@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks for the §2.3 "no added latency" claim, in
+//! software terms: prime index computation (digit folding) vs power-of-two
+//! masking vs a hardware-naive `%` operator, plus the per-element folding
+//! adder step and vector start-address conversion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vcache_core::AddressGenerator;
+use vcache_mersenne::{FoldingAdder, MersenneModulus};
+
+fn bench_index_computation(c: &mut Criterion) {
+    let modulus = MersenneModulus::new(13).expect("valid exponent");
+    let addrs: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+
+    let mut group = c.benchmark_group("index_computation");
+    group.bench_function("pow2_mask", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc = acc.wrapping_add(black_box(a) & 8191);
+            }
+            acc
+        })
+    });
+    group.bench_function("prime_fold", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc = acc.wrapping_add(modulus.reduce(black_box(a)));
+            }
+            acc
+        })
+    });
+    group.bench_function("prime_modulo_operator", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc = acc.wrapping_add(black_box(a) % 8191);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_datapath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datapath");
+    group.bench_function("folding_adder_step", |b| {
+        b.iter_batched(
+            || FoldingAdder::new(13).expect("valid exponent"),
+            |mut adder| {
+                let mut idx = 0u64;
+                for _ in 0..1024 {
+                    idx = adder.add(idx, 517);
+                }
+                idx
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("vector_start_conversion", |b| {
+        b.iter_batched(
+            || {
+                let mut g = AddressGenerator::new(13, 1, 64).expect("valid exponent");
+                g.set_start_register_capacity(0);
+                g.set_stride(517);
+                g
+            },
+            |mut g| {
+                let mut acc = 0u64;
+                for i in 0..256u64 {
+                    acc = acc.wrapping_add(g.start_vector(i.wrapping_mul(0xDEAD_BEEF)).index);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_computation, bench_datapath);
+criterion_main!(benches);

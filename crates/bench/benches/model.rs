@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the analytical model: full-figure evaluation
+//! cost and the two-variable congruence solver (fast vs brute force).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vcache_mersenne::congruence::CrossConflict;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_evaluation");
+    group.sample_size(20);
+    group.bench_function("fig7_full_grid", |b| b.iter(vcache_bench::fig7));
+    group.bench_function("fig12_fft_grid", |b| b.iter(vcache_bench::fig12));
+    group.finish();
+}
+
+fn bench_congruence(c: &mut Criterion) {
+    let problem = CrossConflict {
+        s1: 31,
+        s2: 17,
+        d: 12,
+        banks: 64,
+        elements: 64,
+        access_time: 64,
+    };
+    let mut group = c.benchmark_group("congruence_solver");
+    group.bench_function("fast_per_lag", |b| b.iter(|| black_box(&problem).stalls()));
+    group.bench_function("brute_force", |b| {
+        b.iter(|| black_box(&problem).stalls_brute())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_congruence);
+criterion_main!(benches);

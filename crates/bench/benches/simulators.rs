@@ -1,0 +1,60 @@
+//! Criterion throughput benchmarks for the simulation substrates: cache
+//! access rates per organization and memory stream simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use vcache_cache::{CacheSim, ReplacementPolicy, StreamId, WordAddr};
+use vcache_mem::{simulate_single_stream, BankingScheme, MemoryConfig};
+
+const ACCESSES: u64 = 8192;
+
+fn drive(cache: &mut CacheSim) -> u64 {
+    let mut misses = 0;
+    for i in 0..ACCESSES {
+        let addr = WordAddr::new(i.wrapping_mul(769));
+        if !cache.access(black_box(addr), StreamId::new(0)).is_hit() {
+            misses += 1;
+        }
+    }
+    misses
+}
+
+fn bench_cache_orgs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access_throughput");
+    group.throughput(Throughput::Elements(ACCESSES));
+    group.bench_function("direct_8192", |b| {
+        b.iter_batched(
+            || CacheSim::direct_mapped(8192, 1).expect("valid"),
+            |mut cache| drive(&mut cache),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("prime_8191", |b| {
+        b.iter_batched(
+            || CacheSim::prime_mapped(13, 1).expect("valid"),
+            |mut cache| drive(&mut cache),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("assoc4_lru_8192", |b| {
+        b.iter_batched(
+            || CacheSim::set_associative(8192, 4, 1, ReplacementPolicy::Lru).expect("valid"),
+            |mut cache| drive(&mut cache),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_memory_streams(c: &mut Criterion) {
+    let cfg = MemoryConfig::new(64, 32, BankingScheme::LowOrderInterleave).expect("valid");
+    let mut group = c.benchmark_group("memory_stream");
+    group.throughput(Throughput::Elements(ACCESSES));
+    group.bench_function("single_stream_64banks", |b| {
+        b.iter(|| simulate_single_stream(black_box(&cfg), 0, 7, ACCESSES))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_orgs, bench_memory_streams);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the paper's figure 4 as a table and results/fig4.csv.
+fn main() {
+    let fig = vcache_bench::fig4();
+    print!("{}", vcache_bench::render_table(&fig));
+    match vcache_bench::write_csv(&fig, std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's figure 6 as a table and results/fig6.csv.
+fn main() {
+    let fig = vcache_bench::fig6();
+    print!("{}", vcache_bench::render_table(&fig));
+    match vcache_bench::write_csv(&fig, std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

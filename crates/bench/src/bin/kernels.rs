@@ -1,0 +1,63 @@
+//! Kernel zoo: every workload generator in `vcache-workloads` replayed
+//! through both cache mappings — the broad-population view a production
+//! cache evaluation would demand, beyond the paper's three pattern
+//! families.
+
+use vcache_cache::{CacheSim, StreamId, WordAddr};
+use vcache_workloads::{
+    blocked_lu_trace, blocked_matmul_trace, fft_two_dim_trace, gather_trace, saxpy_trace,
+    stencil5_trace, subblock_trace, transpose_trace, FftLayout, Program,
+};
+
+fn replay(cache: &mut CacheSim, program: &Program, repeats: u64) {
+    for _ in 0..repeats {
+        for (word, stream) in program.words() {
+            cache.access(WordAddr::new(word), StreamId::new(stream));
+        }
+    }
+}
+
+fn main() {
+    // Bases are chosen so paired arrays do not alias modulo 8192 — a
+    // direct-mapped cache is exquisitely sensitive to array placement,
+    // which is itself part of the §1 story.
+    // The sub-block shape comes from the safe planner bound (b1 = P mod C
+    // spacing, b2 exact): see the erratum note in vcache_core::blocking.
+    let kernels: Vec<(Program, u64)> = vec![
+        (saxpy_trace(0, (1 << 20) + 4096, 4096), 2),
+        (blocked_matmul_trace(64, 16), 1),
+        (blocked_lu_trace(64, 8), 1),
+        (fft_two_dim_trace(FftLayout { b1: 256, b2: 128 }), 1),
+        (subblock_trace(0, 10_000, 4, (0, 0), (1809, 4), 0), 2),
+        (transpose_trace(0, (1 << 20) + 4096, 64, 64), 2),
+        (stencil5_trace(0, 512, 64), 2),
+        (gather_trace(0, 1 << 22, 32_768, 7), 2),
+    ];
+
+    println!(
+        "{:<26} {:>10} {:>14} {:>14} {:>12}",
+        "kernel", "accesses", "direct miss%", "prime miss%", "advantage"
+    );
+    for (program, repeats) in &kernels {
+        let mut direct = CacheSim::direct_mapped(8192, 1).expect("valid");
+        let mut prime = CacheSim::prime_mapped(13, 1).expect("valid");
+        replay(&mut direct, program, *repeats);
+        replay(&mut prime, program, *repeats);
+        let (d, p) = (direct.stats().miss_ratio(), prime.stats().miss_ratio());
+        println!(
+            "{:<26} {:>10} {:>13.2}% {:>13.2}% {:>11.2}x",
+            program.name,
+            direct.stats().accesses,
+            100.0 * d,
+            100.0 * p,
+            if p > 0.0 { d / p } else { 1.0 },
+        );
+    }
+    println!("\nStride-free kernels (gather) and all-unit-stride kernels (saxpy,");
+    println!("matmul blocks) see no difference; anything mixing strides or");
+    println!("crossing power-of-two leading dimensions favours the prime mapping.");
+    println!("The 0.97x rows show the flip side: when a programmer has laid out");
+    println!("arrays to alias perfectly in a 2^c cache, the prime modulus");
+    println!("scrambles that placement and cedes a percent or two — the cost of");
+    println!("not needing placement discipline at all.");
+}

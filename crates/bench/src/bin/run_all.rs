@@ -1,0 +1,22 @@
+//! Regenerates every figure table and CSV in one run.
+
+fn main() {
+    let figures = [
+        vcache_bench::fig4(),
+        vcache_bench::fig5(),
+        vcache_bench::fig6(),
+        vcache_bench::fig7(),
+        vcache_bench::fig8(),
+        vcache_bench::fig9(),
+        vcache_bench::fig10(),
+        vcache_bench::fig11(),
+        vcache_bench::fig12(),
+    ];
+    for fig in &figures {
+        println!("{}", vcache_bench::render_table(fig));
+        match vcache_bench::write_csv(fig, std::path::Path::new("results")) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write CSV for {}: {e}", fig.id),
+        }
+    }
+}

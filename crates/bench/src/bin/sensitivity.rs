@@ -1,0 +1,59 @@
+//! Problem-size sensitivity (§1, citing Lam et al.): "an algorithm with
+//! one problem size can run at twice the speed of the same algorithm with
+//! a different size".
+//!
+//! The same row-sweep kernel (stride = leading dimension, the access a
+//! column-major program uses for every row operation) over matrices whose
+//! leading dimension varies across a narrow band: per-dimension hit
+//! ratios and the band's spread, direct-mapped vs prime-mapped. A
+//! programmer padding arrays to avoid unlucky sizes is exactly the burden
+//! §1 says the prime-mapped cache removes.
+
+use vcache_cache::{CacheSim, StreamId, WordAddr};
+
+/// Two sweeps of a 2048-element row (stride `p`); returns the hit ratio
+/// (50% = perfect reuse: first sweep compulsory, second all hits).
+fn run(cache: &mut CacheSim, p: u64) -> f64 {
+    for _ in 0..2 {
+        cache.access_stream(WordAddr::new(0), p, 2048, StreamId::new(0));
+    }
+    cache.stats().hit_ratio()
+}
+
+fn main() {
+    println!("# 2048-element row swept twice; leading dimension P varies 1018..1032");
+    println!("{:>6} {:>14} {:>14}", "P", "direct hit%", "prime hit%");
+    let mut direct_ratios = Vec::new();
+    let mut prime_ratios = Vec::new();
+    for p in 1018..=1032u64 {
+        let mut direct = CacheSim::direct_mapped(8192, 1).expect("valid");
+        let mut prime = CacheSim::prime_mapped(13, 1).expect("valid");
+        let d = run(&mut direct, p);
+        let pr = run(&mut prime, p);
+        println!("{p:>6} {:>13.1}% {:>13.1}%", 100.0 * d, 100.0 * pr);
+        direct_ratios.push(d);
+        prime_ratios.push(pr);
+    }
+    let spread = |v: &[f64]| {
+        let (lo, hi) = v
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+        (lo, hi)
+    };
+    let (dlo, dhi) = spread(&direct_ratios);
+    let (plo, phi) = spread(&prime_ratios);
+    println!(
+        "\ndirect: hit ratio ranges {:.1}%..{:.1}%",
+        100.0 * dlo,
+        100.0 * dhi
+    );
+    println!(
+        "prime:  hit ratio ranges {:.1}%..{:.1}%",
+        100.0 * plo,
+        100.0 * phi
+    );
+    println!("\nEven and especially power-of-two leading dimensions collapse the");
+    println!("direct-mapped cache; padding the array \"fixes\" it — the tuning §1");
+    println!("calls \"a burden of knowing architecture details of a machine\". The");
+    println!("prime-mapped cache is flat at the ideal 50% across the whole band.");
+}

@@ -1,0 +1,25 @@
+//! The §4 sub-block demonstration: conflict-free submatrix access at
+//! cache utilization approaching 1, measured in the cache simulator, for
+//! arbitrary leading dimensions — including the power-of-two dimensions
+//! that defeat any direct-mapped cache.
+
+use vcache_bench::validate::subblock_experiment;
+
+fn main() {
+    let dims = [
+        100u64, 999, 1000, 1024, 4096, 8190, 8191, 8192, 10_000, 123_457,
+    ];
+    println!("# Conflict-free sub-block selection on the 8191-line prime cache");
+    println!(
+        "{:>8} {:>6} {:>6} {:>12} {:>16} {:>20}",
+        "P", "b1", "b2", "utilization", "prime conflicts", "direct conflict-free?"
+    );
+    for r in subblock_experiment(&dims) {
+        println!(
+            "{:>8} {:>6} {:>6} {:>12.4} {:>16} {:>20}",
+            r.p, r.b1, r.b2, r.utilization, r.prime_conflicts, r.direct_conflict_free
+        );
+    }
+    println!("\nPrime conflicts are 0 by construction (§4 conditions);");
+    println!("the direct-mapped column shows how rarely a 2^c cache can match it.");
+}

@@ -1,0 +1,42 @@
+//! Cross-validation: analytical model vs trace-driven machine simulator.
+//!
+//! Sweeps memory access time on the MM-model and the prime-mapped
+//! CC-model, printing model, simulated, and the ratio. Shapes should agree
+//! (same monotone trend, same ordering); absolute ratios within ~2x are
+//! expected because the paper's closed forms count one extra sweep per
+//! stride class (see `vcache_mem::sweep::single_stream_stalls_paper`).
+
+use vcache_bench::validate::{xval_mm, xval_prime};
+
+fn main() {
+    let t_ms = [4u64, 8, 16, 24, 32, 48, 64];
+    println!("# Analytical model vs trace simulator (cycles per result)");
+    println!("\n## MM-model (M = 64, B = R = 1024, random strides)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "t_m", "model", "simulated", "ratio"
+    );
+    for p in xval_mm(&t_ms, 1 << 16, 1024, 42) {
+        println!(
+            "{:>6} {:>12.3} {:>12.3} {:>8.3}",
+            p.t_m,
+            p.model,
+            p.simulated,
+            p.ratio()
+        );
+    }
+    println!("\n## Prime-mapped CC-model (C = 8191)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "t_m", "model", "simulated", "ratio"
+    );
+    for p in xval_prime(&t_ms, 1 << 16, 1024, 42) {
+        println!(
+            "{:>6} {:>12.3} {:>12.3} {:>8.3}",
+            p.t_m,
+            p.model,
+            p.simulated,
+            p.ratio()
+        );
+    }
+}

@@ -1,0 +1,522 @@
+//! The figure generators: paper parameters → model curves.
+//!
+//! Shared defaults (stated at the top of §3.4 and §4): `MVL = 64`,
+//! `T_start = 30 + t_m`, `P_stride1 = 0.25`, direct-mapped cache `C = 8192`
+//! lines (one double word each), prime-mapped `C = 8191 = 2^13 − 1`,
+//! `N = 2^20` data elements, `R = B` unless the figure varies it, and
+//! `P_ds = 0.25` where the figure does not pin it.
+
+use serde::{Deserialize, Serialize};
+use vcache_model::{
+    cc_direct_cycles_per_result, cc_prime_cycles_per_result, mm_cycles_per_result, Machine,
+    StrideModel, Workload,
+};
+
+/// Default total data size `N`.
+pub const N_DEFAULT: u64 = 1 << 20;
+/// Default double-stream probability where a figure does not vary it.
+/// The paper never states its value for Figures 4–9; 0.1 reproduces the
+/// reported curve shapes (notably the near-flat prime curve of Figure 7 —
+/// the cross-interference term `P_ds²·(B/C)·t_m` grows with `t_m` for any
+/// `P_ds > 0`, so the paper's "little change" requires a small one).
+pub const P_DS_DEFAULT: f64 = 0.1;
+/// The paper's `P_stride1`.
+pub const P_STRIDE1: f64 = 0.25;
+/// Direct-mapped line count (8K double words).
+pub const DIRECT_LINES: u64 = 8192;
+/// Prime-mapped line count (2^13 − 1).
+pub const PRIME_LINES: u64 = 8191;
+
+/// One labelled curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One reproduced figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Short id (`fig4` … `fig12`), also the CSV file stem.
+    pub id: String,
+    /// What the paper's caption says.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+fn machine(banks: u64, t_m: u64, cache_lines: u64) -> Machine {
+    Machine {
+        mvl: 64,
+        banks,
+        t_m,
+        cache_lines,
+    }
+}
+
+fn random_workload(b: u64, p_ds: f64, p_stride1: f64, modulus: u64) -> Workload {
+    Workload::random_strides(N_DEFAULT, b, p_ds, p_stride1, modulus)
+}
+
+/// Figure 4: cycles/result vs memory access time; MM-model vs direct-mapped
+/// CC-model at blocking factors 2K and 4K. `M = 32`, `R = B`.
+#[must_use]
+pub fn fig4() -> Figure {
+    let tms: Vec<u64> = (1..=16).map(|i| i * 4).collect();
+    let mut mm = Series {
+        label: "MM-model".into(),
+        points: Vec::new(),
+    };
+    let mut cc2k = Series {
+        label: "CC-direct B=2K".into(),
+        points: Vec::new(),
+    };
+    let mut cc4k = Series {
+        label: "CC-direct B=4K".into(),
+        points: Vec::new(),
+    };
+    for &tm in &tms {
+        let m = machine(32, tm, DIRECT_LINES);
+        let wl_mm = random_workload(4096, P_DS_DEFAULT, P_STRIDE1, m.banks);
+        mm.points
+            .push((tm as f64, mm_cycles_per_result(&m, &wl_mm)));
+        let wl2 = random_workload(2048, P_DS_DEFAULT, P_STRIDE1, DIRECT_LINES);
+        cc2k.points
+            .push((tm as f64, cc_direct_cycles_per_result(&m, &wl2)));
+        let wl4 = random_workload(4096, P_DS_DEFAULT, P_STRIDE1, DIRECT_LINES);
+        cc4k.points
+            .push((tm as f64, cc_direct_cycles_per_result(&m, &wl4)));
+    }
+    Figure {
+        id: "fig4".into(),
+        title: "Cycles per result vs memory access time (MM vs direct-mapped CC)".into(),
+        x_label: "t_m (cycles)".into(),
+        y_label: "clock cycles per result".into(),
+        series: vec![mm, cc2k, cc4k],
+    }
+}
+
+/// Figure 5: cycles/result vs reuse factor `R`; `B = 1K`, `M = 32`,
+/// `t_m ∈ {8, 16}` for both machine models.
+#[must_use]
+pub fn fig5() -> Figure {
+    let reuses: Vec<u64> = (0..=6).map(|i| 1 << i).collect();
+    let mut series = Vec::new();
+    for &tm in &[8u64, 16] {
+        let m = machine(32, tm, DIRECT_LINES);
+        let mut mm = Series {
+            label: format!("MM t_m={tm}"),
+            points: Vec::new(),
+        };
+        let mut cc = Series {
+            label: format!("CC-direct t_m={tm}"),
+            points: Vec::new(),
+        };
+        for &r in &reuses {
+            let wl_mm = random_workload(1024, P_DS_DEFAULT, P_STRIDE1, m.banks).with_reuse(r);
+            let wl_cc = random_workload(1024, P_DS_DEFAULT, P_STRIDE1, DIRECT_LINES).with_reuse(r);
+            mm.points.push((r as f64, mm_cycles_per_result(&m, &wl_mm)));
+            cc.points
+                .push((r as f64, cc_direct_cycles_per_result(&m, &wl_cc)));
+        }
+        series.push(mm);
+        series.push(cc);
+    }
+    Figure {
+        id: "fig5".into(),
+        title: "Cycles per result vs reuse factor (B = 1K)".into(),
+        x_label: "reuse factor R".into(),
+        y_label: "clock cycles per result".into(),
+        series,
+    }
+}
+
+/// Figure 6: cycles/result vs blocking factor `B`; `M = 32`,
+/// `t_m ∈ {16, 32}`, `R = B`.
+#[must_use]
+pub fn fig6() -> Figure {
+    let blocks: Vec<u64> = (8..=13).map(|i| 1 << i).collect();
+    let mut series = Vec::new();
+    for &tm in &[16u64, 32] {
+        let m = machine(32, tm, DIRECT_LINES);
+        let mut mm = Series {
+            label: format!("MM t_m={tm}"),
+            points: Vec::new(),
+        };
+        let mut cc = Series {
+            label: format!("CC-direct t_m={tm}"),
+            points: Vec::new(),
+        };
+        for &b in &blocks {
+            let wl_mm = random_workload(b, P_DS_DEFAULT, P_STRIDE1, m.banks);
+            let wl_cc = random_workload(b, P_DS_DEFAULT, P_STRIDE1, DIRECT_LINES);
+            mm.points.push((b as f64, mm_cycles_per_result(&m, &wl_mm)));
+            cc.points
+                .push((b as f64, cc_direct_cycles_per_result(&m, &wl_cc)));
+        }
+        series.push(mm);
+        series.push(cc);
+    }
+    Figure {
+        id: "fig6".into(),
+        title: "Cycles per result vs blocking factor (R = B)".into(),
+        x_label: "blocking factor B".into(),
+        y_label: "clock cycles per result".into(),
+        series,
+    }
+}
+
+/// The three-model comparison used by Figures 7–10: returns
+/// `(MM, direct, prime)` cycles/result at one parameter point.
+fn three_models(banks: u64, t_m: u64, b: u64, p_ds: f64, p_stride1: f64) -> (f64, f64, f64) {
+    let m_mm = machine(banks, t_m, DIRECT_LINES);
+    let wl_mm = random_workload(b, p_ds, p_stride1, banks);
+    let mm = mm_cycles_per_result(&m_mm, &wl_mm);
+
+    let m_d = machine(banks, t_m, DIRECT_LINES);
+    let wl_d = random_workload(b, p_ds, p_stride1, DIRECT_LINES);
+    let direct = cc_direct_cycles_per_result(&m_d, &wl_d);
+
+    let m_p = machine(banks, t_m, PRIME_LINES);
+    let wl_p = random_workload(b, p_ds, p_stride1, PRIME_LINES);
+    let prime = cc_prime_cycles_per_result(&m_p, &wl_p);
+
+    (mm, direct, prime)
+}
+
+fn three_series<F>(xs: &[f64], mut f: F) -> Vec<Series>
+where
+    F: FnMut(f64) -> (f64, f64, f64),
+{
+    let mut mm = Series {
+        label: "MM-model".into(),
+        points: Vec::new(),
+    };
+    let mut direct = Series {
+        label: "CC-direct".into(),
+        points: Vec::new(),
+    };
+    let mut prime = Series {
+        label: "CC-prime".into(),
+        points: Vec::new(),
+    };
+    for &x in xs {
+        let (a, b, c) = f(x);
+        mm.points.push((x, a));
+        direct.points.push((x, b));
+        prime.points.push((x, c));
+    }
+    vec![mm, direct, prime]
+}
+
+/// Figure 7: cycles/result vs memory access time, all three models,
+/// random strides, `M = 64`, `B = 4K`, `R = B`.
+#[must_use]
+pub fn fig7() -> Figure {
+    let xs: Vec<f64> = (1..=16).map(|i| (i * 4) as f64).collect();
+    Figure {
+        id: "fig7".into(),
+        title: "Cycles per result vs memory access time (M = 64, random strides)".into(),
+        x_label: "t_m (cycles)".into(),
+        y_label: "clock cycles per result".into(),
+        series: three_series(&xs, |x| {
+            three_models(64, x as u64, 4096, P_DS_DEFAULT, P_STRIDE1)
+        }),
+    }
+}
+
+/// Figure 8: cycles/result vs blocking factor, all three models,
+/// `t_m = M/2 = 32`.
+#[must_use]
+pub fn fig8() -> Figure {
+    let xs: Vec<f64> = (8..=13).map(|i| (1u64 << i) as f64).collect();
+    Figure {
+        id: "fig8".into(),
+        title: "Cycles per result vs blocking factor (t_m = M/2)".into(),
+        x_label: "blocking factor B".into(),
+        y_label: "clock cycles per result".into(),
+        series: three_series(&xs, |x| {
+            three_models(64, 32, x as u64, P_DS_DEFAULT, P_STRIDE1)
+        }),
+    }
+}
+
+/// Figure 9: cycles/result vs `P_stride1`, all three models, `t_m = 32`.
+#[must_use]
+pub fn fig9() -> Figure {
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    Figure {
+        id: "fig9".into(),
+        title: "Cycles per result vs probability of unit stride".into(),
+        x_label: "P_stride1".into(),
+        y_label: "clock cycles per result".into(),
+        series: three_series(&xs, |x| three_models(64, 32, 4096, P_DS_DEFAULT, x)),
+    }
+}
+
+/// Figure 10: cycles/result vs the fraction of double-stream accesses
+/// `P_ds`, all three models, `t_m = 32`.
+#[must_use]
+pub fn fig10() -> Figure {
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    Figure {
+        id: "fig10".into(),
+        title: "Cycles per result vs proportion of double-stream accesses".into(),
+        x_label: "P_ds".into(),
+        y_label: "clock cycles per result".into(),
+        series: three_series(&xs, |x| three_models(64, 32, 4096, x, P_STRIDE1)),
+    }
+}
+
+/// Figure 11: matrix row/column accesses — one stream fixed at stride 1
+/// (columns), the other random (rows of a random-dimensioned matrix);
+/// x is the fraction of row (non-unit) accesses among single-stream
+/// operations. Direct- vs prime-mapped CC-models, `t_m = 32`.
+#[must_use]
+pub fn fig11() -> Figure {
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut direct = Series {
+        label: "CC-direct".into(),
+        points: Vec::new(),
+    };
+    let mut prime = Series {
+        label: "CC-prime".into(),
+        points: Vec::new(),
+    };
+    for &row_fraction in &xs {
+        // P_stride1 here is the probability of a *column* access.
+        let p_unit = 1.0 - row_fraction;
+        let wl = |modulus: u64| Workload {
+            n: N_DEFAULT,
+            b: 4096,
+            r: 4096,
+            p_ds: P_DS_DEFAULT,
+            s1: StrideModel::Random { p_unit, modulus },
+            s2: StrideModel::Fixed(1),
+        };
+        let d = cc_direct_cycles_per_result(&machine(64, 32, DIRECT_LINES), &wl(DIRECT_LINES));
+        let p = cc_prime_cycles_per_result(&machine(64, 32, PRIME_LINES), &wl(PRIME_LINES));
+        direct.points.push((row_fraction, d));
+        prime.points.push((row_fraction, p));
+    }
+    Figure {
+        id: "fig11".into(),
+        title: "Row/column matrix access: cycles per result vs row-access fraction".into(),
+        x_label: "fraction of row accesses".into(),
+        y_label: "clock cycles per result".into(),
+        series: vec![direct, prime],
+    }
+}
+
+/// The FFT figure (the paper's second "Figure 11", labelled fig12 here):
+/// cycles/point vs `B2` with `B1 = 1024` fixed, then vs `B1` with
+/// `B2 = 1024` fixed; direct- vs prime-mapped, `t_m = 32`.
+#[must_use]
+pub fn fig12() -> Figure {
+    let mut series = Vec::new();
+    for (tag, fix_b1) in [("sweep B2", true), ("sweep B1", false)] {
+        let mut direct = Series {
+            label: format!("CC-direct {tag}"),
+            points: Vec::new(),
+        };
+        let mut prime = Series {
+            label: format!("CC-prime {tag}"),
+            points: Vec::new(),
+        };
+        for log in 4..=12u32 {
+            let v = 1u64 << log;
+            let (b1, b2) = if fix_b1 { (1024, v) } else { (v, 1024) };
+            let d = vcache_model::fft::fft_time(&machine(64, 32, DIRECT_LINES), b1, b2)
+                .cycles_per_point();
+            let p = vcache_model::fft::fft_time(&machine(64, 32, PRIME_LINES), b1, b2)
+                .cycles_per_point();
+            direct.points.push((v as f64, d));
+            prime.points.push((v as f64, p));
+        }
+        series.push(direct);
+        series.push(prime);
+    }
+    Figure {
+        id: "fig12".into(),
+        title: "Blocked FFT: cycles per point vs blocking factor".into(),
+        x_label: "swept dimension (B2 then B1)".into(),
+        y_label: "clock cycles per point".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ys(s: &Series) -> Vec<f64> {
+        s.points.iter().map(|&(_, y)| y).collect()
+    }
+
+    #[test]
+    fn fig4_crossover_behaviour() {
+        // The paper: with B = 4K the CC-model overtakes MM only once t_m
+        // exceeds ~20 cycles; with B = 2K the crossover is earlier (~7).
+        let f = fig4();
+        let mm = &f.series[0];
+        let cc2k = &f.series[1];
+        let cc4k = &f.series[2];
+        // At t_m = 4 (first point) MM wins over both CC variants.
+        assert!(ys(mm)[0] < ys(cc4k)[0]);
+        // At t_m = 64 (last point) both CC variants win.
+        let last = mm.points.len() - 1;
+        assert!(ys(cc4k)[last] < ys(mm)[last]);
+        assert!(ys(cc2k)[last] < ys(mm)[last]);
+        // The 2K crossover happens at a smaller t_m than the 4K one.
+        let cross = |cc: &Series| {
+            mm.points
+                .iter()
+                .zip(&cc.points)
+                .find(|((_, m), (_, c))| c < m)
+                .map(|((x, _), _)| *x)
+                .unwrap_or(f64::INFINITY)
+        };
+        assert!(cross(cc2k) <= cross(cc4k));
+    }
+
+    #[test]
+    fn fig5_reuse_one_equalises_models() {
+        let f = fig5();
+        // Series come in (MM, CC) pairs per t_m; at R = 1 each pair agrees.
+        for pair in f.series.chunks(2) {
+            let (mm, cc) = (&pair[0], &pair[1]);
+            assert_eq!(mm.points[0].0, 1.0);
+            // Not bit-identical: the paper draws CC strides from [1, C] and
+            // MM strides from [1, M], so the initial-load stall expectation
+            // differs at the fraction-of-a-percent level.
+            let rel = (mm.points[0].1 - cc.points[0].1).abs() / mm.points[0].1;
+            assert!(rel < 0.01, "{} vs {}", mm.label, cc.label);
+            // And reuse monotonically favours the cache.
+            assert!(ys(cc).last().unwrap() < ys(mm).last().unwrap());
+        }
+    }
+
+    #[test]
+    fn fig6_direct_cache_degrades_past_blocking_sweet_spot() {
+        let f = fig6();
+        // Direct-mapped CC at t_m = 16: worse at B = 8K than at B = 1K
+        // (interference grows quadratically with B).
+        let cc16 = &f.series[1];
+        let y = ys(cc16);
+        assert!(y.last().unwrap() > &y[2]);
+    }
+
+    #[test]
+    fn fig7_prime_flat_and_dominant() {
+        let f = fig7();
+        let (mm, direct, prime) = (&f.series[0], &f.series[1], &f.series[2]);
+        let last = mm.points.len() - 1;
+        // Prime wins everywhere.
+        for i in 0..=last {
+            assert!(ys(prime)[i] <= ys(direct)[i] + 1e-9, "i={i}");
+            assert!(ys(prime)[i] <= ys(mm)[i] + 1e-9, "i={i}");
+        }
+        // At t_m = M = 64 the paper reports ~3x over direct, ~5x over MM.
+        let ratio_direct = ys(direct)[last] / ys(prime)[last];
+        let ratio_mm = ys(mm)[last] / ys(prime)[last];
+        assert!(ratio_direct > 2.0, "direct/prime = {ratio_direct}");
+        assert!(ratio_mm > 3.0, "mm/prime = {ratio_mm}");
+        // Prime curve nearly flat: "shows little change as memory access
+        // time increases".
+        let p = ys(prime);
+        assert!(p[last] / p[0] < 2.0, "prime rises too fast: {p:?}");
+    }
+
+    #[test]
+    fn fig8_direct_crosses_mm_prime_stays_flat() {
+        let f = fig8();
+        let (mm, direct, prime) = (&f.series[0], &f.series[1], &f.series[2]);
+        // Direct eventually exceeds MM as B grows ("quickly cross over
+        // after about 3K").
+        let crossed = mm
+            .points
+            .iter()
+            .zip(&direct.points)
+            .any(|((_, m), (_, d))| d > m);
+        assert!(crossed);
+        // Prime stays below both at every B.
+        for i in 0..mm.points.len() {
+            assert!(ys(prime)[i] <= ys(direct)[i] + 1e-9);
+            assert!(ys(prime)[i] <= ys(mm)[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig9_mappings_converge_at_unit_stride() {
+        let f = fig9();
+        let (direct, prime) = (&f.series[1], &f.series[2]);
+        let last = direct.points.len() - 1; // P_stride1 = 1
+        let rel = (ys(direct)[last] - ys(prime)[last]).abs() / ys(direct)[last];
+        assert!(
+            rel < 1e-3,
+            "at P=1: {} vs {}",
+            ys(direct)[last],
+            ys(prime)[last]
+        );
+        // And prime is strictly better at P < 1.
+        assert!(ys(prime)[0] < ys(direct)[0]);
+    }
+
+    #[test]
+    fn fig10_cost_rises_with_double_streams_but_prime_stays_ahead() {
+        let f = fig10();
+        let (_, direct, prime) = (&f.series[0], &f.series[1], &f.series[2]);
+        for i in 0..direct.points.len() {
+            assert!(ys(prime)[i] <= ys(direct)[i] + 1e-9, "i={i}");
+        }
+        // Cross-interference grows with P_ds on both mappings.
+        assert!(ys(prime).last().unwrap() > &ys(prime)[0]);
+        // Paper: "performance difference ranges from 40% to a factor of 2".
+        let mid = direct.points.len() / 2;
+        assert!(ys(direct)[mid] / ys(prime)[mid] > 1.3);
+    }
+
+    #[test]
+    fn fig11_direct_degrades_with_row_fraction_prime_flat() {
+        let f = fig11();
+        let (direct, prime) = (&f.series[0], &f.series[1]);
+        let d = ys(direct);
+        let p = ys(prime);
+        assert!(d.last().unwrap() > &d[0], "direct should worsen with rows");
+        let spread = p
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        assert!(
+            spread.1 / spread.0 < 1.25,
+            "prime should be nearly flat: {p:?}"
+        );
+        // Prime at least as good everywhere (tolerance: its cache is one
+        // line smaller, which nudges the footprint term).
+        for i in 0..d.len() {
+            assert!(p[i] <= d[i] * 1.001, "i={i}: {} vs {}", p[i], d[i]);
+        }
+    }
+
+    #[test]
+    fn fig12_fft_prime_wins_by_factor_two() {
+        let f = fig12();
+        // Series: direct B2-sweep, prime B2-sweep, direct B1-sweep, prime B1-sweep.
+        for pair in f.series.chunks(2) {
+            let (direct, prime) = (&pair[0], &pair[1]);
+            let mut any_big_win = false;
+            for (dp, pp) in direct.points.iter().zip(&prime.points) {
+                assert!(pp.1 <= dp.1 + 1e-9, "prime worse at {}", dp.0);
+                if dp.1 / pp.1 > 2.0 {
+                    any_big_win = true;
+                }
+            }
+            assert!(any_big_win, "expected >2x somewhere in {}", direct.label);
+        }
+    }
+}

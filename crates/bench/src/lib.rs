@@ -1,0 +1,23 @@
+//! Benchmark harness: one function per figure of Yang & Wu (ISCA 1992).
+//!
+//! Each `figN()` returns a [`Figure`] — labelled series of
+//! (x, cycles-per-result) points computed from the analytical model in
+//! `vcache-model` with the paper's parameters. The binaries in `src/bin/`
+//! print these as tables and write CSV into `results/`. The extension
+//! experiments (`xval`, `subblock`, `ablation`) drive the trace simulators
+//! instead.
+//!
+//! ```
+//! let fig = vcache_bench::fig7();
+//! assert_eq!(fig.series.len(), 3); // MM, direct, prime
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod figures;
+pub mod table;
+pub mod validate;
+
+pub use figures::{fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig8, fig9, Figure, Series};
+pub use table::{render_table, write_csv};

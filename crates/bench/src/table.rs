@@ -1,0 +1,128 @@
+//! Rendering figures as terminal tables and CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::figures::Figure;
+
+/// Renders a figure as an aligned text table: one row per x value, one
+/// column per series.
+///
+/// # Example
+///
+/// ```
+/// let fig = vcache_bench::fig7();
+/// let table = vcache_bench::render_table(&fig);
+/// assert!(table.contains("MM-model"));
+/// ```
+#[must_use]
+pub fn render_table(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", fig.id, fig.title);
+    let _ = writeln!(out, "# y: {}", fig.y_label);
+    let _ = write!(out, "{:>12}", fig.x_label);
+    for s in &fig.series {
+        let _ = write!(out, "{:>16}", s.label);
+    }
+    let _ = writeln!(out);
+    let xs: Vec<f64> = fig
+        .series
+        .first()
+        .map_or_else(Vec::new, |s| s.points.iter().map(|&(x, _)| x).collect());
+    for (row, &x) in xs.iter().enumerate() {
+        let _ = write!(out, "{x:>12.3}");
+        for s in &fig.series {
+            match s.points.get(row) {
+                Some(&(_, y)) => {
+                    let _ = write!(out, "{y:>16.3}");
+                }
+                None => {
+                    let _ = write!(out, "{:>16}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes a figure as CSV (`x,label1,label2,…`) under `dir`, named
+/// `<id>.csv`. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn write_csv(fig: &Figure, dir: &Path) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    let _ = write!(out, "{}", fig.x_label.replace(' ', "_"));
+    for s in &fig.series {
+        let _ = write!(out, ",{}", s.label.replace(' ', "_"));
+    }
+    let _ = writeln!(out);
+    let xs: Vec<f64> = fig
+        .series
+        .first()
+        .map_or_else(Vec::new, |s| s.points.iter().map(|&(x, _)| x).collect());
+    for (row, &x) in xs.iter().enumerate() {
+        let _ = write!(out, "{x}");
+        for s in &fig.series {
+            if let Some(&(_, y)) = s.points.get(row) {
+                let _ = write!(out, ",{y}");
+            } else {
+                let _ = write!(out, ",");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let path = dir.join(format!("{}.csv", fig.id));
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{Figure, Series};
+
+    fn tiny_figure() -> Figure {
+        Figure {
+            id: "test_fig".into(),
+            title: "test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![(1.0, 2.0), (2.0, 4.0)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(1.0, 3.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows_and_headers() {
+        let t = render_table(&tiny_figure());
+        assert!(t.contains("test_fig"));
+        assert!(t.contains("a"));
+        assert!(t.contains("b"));
+        assert!(t.contains("4.000"));
+        assert!(t.contains('-'), "missing point shown as dash");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("vcache_bench_test_csv");
+        let path = write_csv(&tiny_figure(), &dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("x,a,b\n"));
+        assert!(body.contains("1,2,3"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,431 @@
+//! Extension experiments: analytical-vs-simulated cross-validation, the
+//! §4 sub-block conflict-freedom demonstration, and the §2.1 associativity
+//! ablation.
+
+use serde::{Deserialize, Serialize};
+use vcache_cache::ReplacementPolicy;
+use vcache_core::blocking::{conflict_free_subblock, is_conflict_free_pow2};
+use vcache_machine::{CacheSpec, CcMachine, MachineConfig, MmMachine};
+use vcache_mersenne::MersenneModulus;
+use vcache_workloads::{generate_program, subblock_trace, Vcm};
+
+/// One analytical-vs-simulated comparison point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XvalPoint {
+    /// Memory access time swept.
+    pub t_m: u64,
+    /// Analytical cycles/result.
+    pub model: f64,
+    /// Trace-simulated cycles/result.
+    pub simulated: f64,
+}
+
+impl XvalPoint {
+    /// `simulated / model`.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.simulated / self.model
+    }
+}
+
+/// Cross-validates the MM-model formulas against the trace simulator on a
+/// random-multistride workload (`M = 64`, `R = B`), returning one point
+/// per `t_m`. `n` is the total data size, `b` the blocking factor.
+#[must_use]
+pub fn xval_mm(t_ms: &[u64], n: u64, b: u64, seed: u64) -> Vec<XvalPoint> {
+    t_ms.iter()
+        .map(|&t_m| {
+            let machine = vcache_model::Machine {
+                mvl: 64,
+                banks: 64,
+                t_m,
+                cache_lines: 8192,
+            };
+            let wl = vcache_model::Workload::random_strides(n, b, 0.25, 0.25, 64);
+            let model = vcache_model::mm_cycles_per_result(&machine, &wl);
+            let cfg = MachineConfig::paper_section4(t_m);
+            let program = generate_program(&Vcm::random_multistride(b, b, 0.25, 64), n, seed);
+            let simulated = MmMachine::new(cfg)
+                .expect("valid configuration")
+                .execute(&program)
+                .cycles_per_result();
+            XvalPoint {
+                t_m,
+                model,
+                simulated,
+            }
+        })
+        .collect()
+}
+
+/// Cross-validates the prime-mapped CC-model, same setup as [`xval_mm`].
+#[must_use]
+pub fn xval_prime(t_ms: &[u64], n: u64, b: u64, seed: u64) -> Vec<XvalPoint> {
+    t_ms.iter()
+        .map(|&t_m| {
+            let machine = vcache_model::Machine {
+                mvl: 64,
+                banks: 64,
+                t_m,
+                cache_lines: 8191,
+            };
+            let wl = vcache_model::Workload::random_strides(n, b, 0.25, 0.25, 8191);
+            let model = vcache_model::cc_prime_cycles_per_result(&machine, &wl);
+            let cfg = MachineConfig::paper_section4(t_m).with_cache(CacheSpec::prime(13));
+            let program = generate_program(&Vcm::random_multistride(b, b, 0.25, 64), n, seed);
+            let simulated = CcMachine::new(cfg)
+                .expect("valid configuration")
+                .execute(&program)
+                .cycles_per_result();
+            XvalPoint {
+                t_m,
+                model,
+                simulated,
+            }
+        })
+        .collect()
+}
+
+/// Result of checking one matrix's conflict-free sub-block plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubBlockResult {
+    /// Matrix leading dimension `P`.
+    pub p: u64,
+    /// Planned `b1`.
+    pub b1: u64,
+    /// Planned `b2`.
+    pub b2: u64,
+    /// Plan utilization of the prime cache.
+    pub utilization: f64,
+    /// Conflict misses measured in the prime-mapped cache simulator over
+    /// two full sweeps of the sub-block (must be 0).
+    pub prime_conflicts: u64,
+    /// Whether the same shape is conflict-free in an equal-budget
+    /// direct-mapped cache.
+    pub direct_conflict_free: bool,
+}
+
+/// Plans and *measures* conflict-free sub-blocks for each leading
+/// dimension, driving the actual cache simulator (not just the mapping
+/// predicate).
+///
+/// # Panics
+///
+/// Panics if a planned sub-block fails to build its trace (plan exceeding
+/// the matrix would be a bug in the planner).
+#[must_use]
+pub fn subblock_experiment(leading_dims: &[u64]) -> Vec<SubBlockResult> {
+    let modulus = MersenneModulus::new(13).expect("13 is a valid exponent");
+    leading_dims
+        .iter()
+        .map(|&p| {
+            let plan = conflict_free_subblock(p, u64::MAX, modulus);
+            let b2 = plan.b2.min(1_000_000 / plan.b1.max(1)).max(1); // keep traces bounded
+            let mut cache = vcache_cache::CacheSim::prime_mapped(13, 1).expect("valid");
+            let q = b2; // matrix just wide enough
+            let trace = subblock_trace(0, p, q, (0, 0), (plan.b1.min(p), b2), 0);
+            for _ in 0..2 {
+                for a in &trace.accesses {
+                    for w in a.words() {
+                        cache.access(
+                            vcache_cache::WordAddr::new(w),
+                            vcache_cache::StreamId::new(0),
+                        );
+                    }
+                }
+            }
+            SubBlockResult {
+                p,
+                b1: plan.b1,
+                b2,
+                utilization: (plan.b1.min(p) * b2) as f64 / 8191.0,
+                prime_conflicts: cache.stats().conflict_misses(),
+                direct_conflict_free: is_conflict_free_pow2(p, plan.b1.min(p), b2, 8192),
+            }
+        })
+        .collect()
+}
+
+/// One row of the associativity ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Trace-simulated cycles per result.
+    pub cycles_per_result: f64,
+    /// Cache miss ratio over the whole run.
+    pub miss_ratio: f64,
+    /// Conflict misses.
+    pub conflict_misses: u64,
+}
+
+/// The §2.1 question — "can associativity help?" — answered by simulation:
+/// runs the same random-multistride program (`B = 2048`, `R = 64`,
+/// `P_ds = 0.1`, strides up to the cache size) through direct-mapped,
+/// 2/4/8-way LRU, and prime-mapped caches of the same 8K-line budget.
+/// `n` is the total data size.
+#[must_use]
+pub fn associativity_ablation(t_m: u64, n: u64, seed: u64) -> Vec<AblationRow> {
+    let program = generate_program(&Vcm::random_multistride(2048, 64, 0.1, 8192), n, seed);
+    let base = MachineConfig::paper_section4(t_m);
+    let mut configs: Vec<(String, CacheSpec)> =
+        vec![("direct 8192".into(), CacheSpec::direct(8192))];
+    for ways in [2u64, 4, 8] {
+        configs.push((
+            format!("{ways}-way LRU 8192"),
+            CacheSpec::SetAssociative {
+                lines: 8192,
+                ways,
+                line_words: 1,
+                policy: ReplacementPolicy::Lru,
+            },
+        ));
+    }
+    configs.push(("prime 8191".into(), CacheSpec::prime(13)));
+
+    configs
+        .into_iter()
+        .map(|(label, spec)| {
+            let mut machine = CcMachine::new(base.with_cache(spec)).expect("valid configuration");
+            let report = machine.execute(&program);
+            let stats = report.cache_stats.expect("CC run has stats");
+            AblationRow {
+                label,
+                cycles_per_result: report.cycles_per_result(),
+                miss_ratio: stats.miss_ratio(),
+                conflict_misses: stats.conflict_misses(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the §2.2 line-size study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineSizeRow {
+    /// Words per line.
+    pub line_words: u64,
+    /// Miss ratio, direct-mapped (8K words total).
+    pub direct_miss_ratio: f64,
+    /// Miss ratio, prime-mapped (same word budget).
+    pub prime_miss_ratio: f64,
+    /// Memory traffic per access (words fetched / accesses), direct.
+    pub direct_traffic: f64,
+    /// Memory traffic per access, prime.
+    pub prime_traffic: f64,
+}
+
+/// §2.2's open question — "an optimal cache line size for vector
+/// processing \[is\] difficult to determine" — swept empirically: the same
+/// random-multistride trace through both mappings at line sizes 1–16
+/// words, holding the *line count* fixed (8192 direct vs 8191 prime) so
+/// the mapping effect is isolated at each width. (Holding the word budget
+/// fixed instead is impossible for the prime cache: there is no Mersenne
+/// prime between 2^7 − 1 and 2^13 − 1, so halving the line count falls
+/// off a cliff — itself a real deployment constraint of the design,
+/// noted in DESIGN.md.) Traffic counts cache-fill words; pollution shows
+/// up as traffic growing with line size while the miss ratio refuses to
+/// fall.
+#[must_use]
+pub fn line_size_study(n: u64, seed: u64) -> Vec<LineSizeRow> {
+    let program = generate_program(&Vcm::random_multistride(2048, 16, 0.1, 64), n, seed);
+    [1u64, 2, 4, 8, 16]
+        .iter()
+        .map(|&line_words| {
+            let mut direct =
+                vcache_cache::CacheSim::direct_mapped(8192, line_words).expect("valid");
+            let mut prime = vcache_cache::CacheSim::prime_mapped(13, line_words).expect("valid");
+            for (word, stream) in program.words() {
+                direct.access(
+                    vcache_cache::WordAddr::new(word),
+                    vcache_cache::StreamId::new(stream),
+                );
+                prime.access(
+                    vcache_cache::WordAddr::new(word),
+                    vcache_cache::StreamId::new(stream),
+                );
+            }
+            let traffic =
+                |s: vcache_cache::CacheStats| (s.misses() * line_words) as f64 / s.accesses as f64;
+            LineSizeRow {
+                line_words,
+                direct_miss_ratio: direct.stats().miss_ratio(),
+                prime_miss_ratio: prime.stats().miss_ratio(),
+                direct_traffic: traffic(direct.stats()),
+                prime_traffic: traffic(prime.stats()),
+            }
+        })
+        .collect()
+}
+
+/// One row of the §2.1 replacement-policy study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplacementRow {
+    /// Vector length swept repeatedly.
+    pub vector_length: u64,
+    /// Hit ratio under LRU.
+    pub lru_hit_ratio: f64,
+    /// Hit ratio under FIFO.
+    pub fifo_hit_ratio: f64,
+    /// Hit ratio under random replacement.
+    pub random_hit_ratio: f64,
+}
+
+/// §2.1's remark that "serial access to vectors dictates against LRU
+/// replacement": sweep a unit-stride vector slightly longer than a
+/// fully-associative cache, repeatedly. LRU evicts exactly the element
+/// about to be reused (hit ratio 0); random replacement keeps most of the
+/// vector.
+#[must_use]
+pub fn replacement_study(capacity: u64, sweeps: u64) -> Vec<ReplacementRow> {
+    [
+        capacity / 2,
+        capacity - 1,
+        capacity,
+        capacity + 1,
+        capacity * 9 / 8,
+        capacity * 2,
+    ]
+    .iter()
+    .map(|&len| {
+        let run = |policy: ReplacementPolicy| {
+            let mut cache =
+                vcache_cache::CacheSim::fully_associative(capacity, 1, policy).expect("valid");
+            for _ in 0..sweeps {
+                cache.access_stream(
+                    vcache_cache::WordAddr::new(0),
+                    1,
+                    len,
+                    vcache_cache::StreamId::new(0),
+                );
+            }
+            cache.stats().hit_ratio()
+        };
+        ReplacementRow {
+            vector_length: len,
+            lru_hit_ratio: run(ReplacementPolicy::Lru),
+            fifo_hit_ratio: run(ReplacementPolicy::Fifo),
+            random_hit_ratio: run(ReplacementPolicy::Random),
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_model_and_simulator_agree_in_shape() {
+        let points = xval_mm(&[8, 32, 64], 1 << 13, 512, 11);
+        for p in &points {
+            // Same order of magnitude and same monotone trend. Two known,
+            // documented gaps keep this from being tighter: the paper's
+            // closed forms count one extra sweep per stride class
+            // (vcache_mem::sweep::single_stream_stalls_paper), and its
+            // cross-interference I_c^M charges every congruence solution
+            // as a full stall while the event-driven banks re-align after
+            // each one — so the model is a pessimistic upper bound.
+            assert!(
+                p.ratio() > 0.25 && p.ratio() < 1.5,
+                "t_m={}: model {} vs sim {}",
+                p.t_m,
+                p.model,
+                p.simulated
+            );
+            assert!(p.model >= p.simulated * 0.9, "model should upper-bound");
+        }
+        // Both increase with t_m.
+        assert!(points[2].model > points[0].model);
+        assert!(points[2].simulated > points[0].simulated);
+    }
+
+    #[test]
+    fn prime_model_and_simulator_agree_in_shape() {
+        let points = xval_prime(&[8, 64], 1 << 13, 512, 11);
+        for p in &points {
+            assert!(
+                p.ratio() > 0.25 && p.ratio() < 3.0,
+                "t_m={}: model {} vs sim {}",
+                p.t_m,
+                p.model,
+                p.simulated
+            );
+        }
+    }
+
+    #[test]
+    fn subblocks_measured_conflict_free() {
+        for r in subblock_experiment(&[100, 1000, 1024, 8192, 10_000]) {
+            assert_eq!(r.prime_conflicts, 0, "P = {}", r.p);
+            assert!(r.utilization > 0.0);
+        }
+    }
+
+    #[test]
+    fn pow2_dimension_blocks_direct_but_not_prime() {
+        let r = &subblock_experiment(&[8192])[0];
+        assert_eq!(r.prime_conflicts, 0);
+        assert!(!r.direct_conflict_free || r.b2 == 1);
+    }
+
+    #[test]
+    fn associativity_does_not_close_the_gap() {
+        let rows = associativity_ablation(32, 1 << 14, 5);
+        let direct = &rows[0];
+        let prime = rows.last().unwrap();
+        // §2.1: associativity reduces conflicts somewhat, but the prime
+        // mapping beats every power-of-two organization on miss ratio —
+        // that, not raw cycle count, is the section's claim (LRU can even
+        // "win" cycles by thrashing whole sweeps into cheap pipelined
+        // reloads, the pathology §2.1 notes for serial vector access).
+        for other in &rows[..rows.len() - 1] {
+            assert!(
+                prime.miss_ratio < other.miss_ratio,
+                "prime {} !< {} ({})",
+                prime.miss_ratio,
+                other.miss_ratio,
+                other.label
+            );
+        }
+        assert!(prime.conflict_misses < direct.conflict_misses);
+        assert!(prime.cycles_per_result < direct.cycles_per_result);
+    }
+
+    #[test]
+    fn line_size_rows_cover_the_sweep() {
+        let rows = line_size_study(1 << 13, 7);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.direct_miss_ratio >= 0.0 && r.direct_miss_ratio <= 1.0);
+            assert!(r.prime_miss_ratio <= r.direct_miss_ratio + 0.05, "{r:?}");
+            // Traffic per access grows with line size once pollution bites.
+            assert!(r.direct_traffic >= r.direct_miss_ratio);
+        }
+        // §2.2: wider lines multiply traffic on non-unit strides.
+        assert!(rows.last().unwrap().direct_traffic > rows[0].direct_traffic);
+    }
+
+    #[test]
+    fn lru_pathology_on_serial_sweeps() {
+        let rows = replacement_study(64, 8);
+        // Vector fits: every policy is perfect after the first sweep.
+        let fits = &rows[1]; // capacity - 1
+        assert!(fits.lru_hit_ratio > 0.8);
+        // Vector one element too long: LRU collapses to zero hits, random
+        // retains most of the working set.
+        let over = &rows[3]; // capacity + 1
+        assert!(
+            over.lru_hit_ratio < 0.05,
+            "LRU should thrash: {}",
+            over.lru_hit_ratio
+        );
+        assert!(
+            over.random_hit_ratio > over.lru_hit_ratio + 0.3,
+            "random {} vs LRU {}",
+            over.random_hit_ratio,
+            over.lru_hit_ratio
+        );
+        // FIFO behaves like LRU on a pure serial sweep.
+        assert!(over.fifo_hit_ratio < 0.05);
+    }
+}

@@ -1,0 +1,213 @@
+//! Address and geometry types.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A word address in the simulated machine (the unit the vector processor
+/// addresses; the paper uses 8-byte double-precision words).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct WordAddr(u64);
+
+impl WordAddr {
+    /// Wraps a raw word address.
+    #[must_use]
+    pub fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// The address `count * stride` words further on (wrapping).
+    #[must_use]
+    pub fn offset(&self, count: u64, stride: u64) -> Self {
+        Self(self.0.wrapping_add(count.wrapping_mul(stride)))
+    }
+
+    /// The cache line containing this word, for lines of `line_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_words` is zero or not a power of two.
+    #[must_use]
+    pub fn line(&self, line_words: u64) -> LineAddr {
+        assert!(
+            line_words.is_power_of_two(),
+            "line size must be a power of two words"
+        );
+        LineAddr(self.0 >> line_words.trailing_zeros())
+    }
+}
+
+impl From<u64> for WordAddr {
+    fn from(addr: u64) -> Self {
+        Self(addr)
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{:#x}", self.0)
+    }
+}
+
+/// A cache-line address (word address divided by the line size).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Wraps a raw line address.
+    #[must_use]
+    pub fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(addr: u64) -> Self {
+        Self(addr)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{:#x}", self.0)
+    }
+}
+
+/// Cache geometry: sets × ways lines of `line_words` words each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    sets: u64,
+    ways: u64,
+    line_words: u64,
+}
+
+impl Geometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero or `line_words` is not a power of two.
+    /// (Construction goes through [`crate::CacheSim`] builders, which
+    /// validate user input and return errors; this type is the checked
+    /// internal form.)
+    #[must_use]
+    pub fn new(sets: u64, ways: u64, line_words: u64) -> Self {
+        assert!(sets > 0, "a cache needs at least one set");
+        assert!(ways > 0, "a cache needs at least one way");
+        assert!(
+            line_words.is_power_of_two(),
+            "line size must be a power of two words"
+        );
+        Self {
+            sets,
+            ways,
+            line_words,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity (lines per set).
+    #[must_use]
+    pub fn ways(&self) -> u64 {
+        self.ways
+    }
+
+    /// Words per line.
+    #[must_use]
+    pub fn line_words(&self) -> u64 {
+        self.line_words
+    }
+
+    /// Total lines in the cache.
+    #[must_use]
+    pub fn total_lines(&self) -> u64 {
+        self.sets * self.ways
+    }
+
+    /// Total capacity in words.
+    #[must_use]
+    pub fn total_words(&self) -> u64 {
+        self.total_lines() * self.line_words
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sets x {} ways x {} words/line",
+            self.sets, self.ways, self.line_words
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_to_line_mapping() {
+        assert_eq!(WordAddr::new(0).line(1).value(), 0);
+        assert_eq!(WordAddr::new(7).line(1).value(), 7);
+        assert_eq!(WordAddr::new(7).line(4).value(), 1);
+        assert_eq!(WordAddr::new(8).line(4).value(), 2);
+        assert_eq!(WordAddr::new(0xFFFF).line(16).value(), 0xFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_line_size_panics() {
+        let _ = WordAddr::new(0).line(3);
+    }
+
+    #[test]
+    fn offset_strides() {
+        let a = WordAddr::new(100);
+        assert_eq!(a.offset(3, 7).value(), 121);
+        assert_eq!(a.offset(0, 7), a);
+    }
+
+    #[test]
+    fn geometry_totals() {
+        let g = Geometry::new(8191, 1, 1);
+        assert_eq!(g.total_lines(), 8191);
+        assert_eq!(g.total_words(), 8191);
+        let g2 = Geometry::new(1024, 4, 8);
+        assert_eq!(g2.total_lines(), 4096);
+        assert_eq!(g2.total_words(), 32768);
+        assert_eq!(g2.to_string(), "1024 sets x 4 ways x 8 words/line");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WordAddr::new(16).to_string(), "w0x10");
+        assert_eq!(LineAddr::new(16).to_string(), "l0x10");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(WordAddr::from(5u64), WordAddr::new(5));
+        assert_eq!(LineAddr::from(5u64), LineAddr::new(5));
+    }
+}

@@ -1,0 +1,166 @@
+//! The fully-associative shadow cache used to classify misses.
+//!
+//! Conflict misses are defined *relative to* a fully-associative cache of
+//! the same capacity: if the shadow would have hit where the real mapping
+//! missed, the miss is the mapping's fault (a conflict); if the shadow
+//! misses too, the working set simply does not fit (capacity), unless the
+//! line was never seen at all (compulsory).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::addr::LineAddr;
+
+/// Outcome of consulting the shadow for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShadowVerdict {
+    /// Shadow holds the line.
+    Hit,
+    /// Line seen before but evicted by capacity in the shadow too.
+    CapacityMiss,
+    /// First-ever touch.
+    ColdMiss,
+}
+
+/// A fully-associative LRU cache tracking only presence, used as the
+/// classification reference. Exposed publicly because it doubles as the
+/// "fully associative" end point in associativity ablations.
+#[derive(Debug, Clone)]
+pub struct ShadowCache {
+    capacity: usize,
+    // LRU queue of (line, touch generation); front = least recent. Entries
+    // whose generation no longer matches `resident` are stale duplicates
+    // left behind by re-touches and are discarded lazily.
+    queue: VecDeque<(LineAddr, u64)>,
+    resident: HashMap<LineAddr, u64>, // line -> generation of its latest touch
+    ever_seen: HashSet<LineAddr>,
+    generation: u64,
+}
+
+impl ShadowCache {
+    /// Creates a shadow with room for `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "shadow cache capacity must be positive");
+        Self {
+            capacity: capacity as usize,
+            queue: VecDeque::new(),
+            resident: HashMap::new(),
+            ever_seen: HashSet::new(),
+            generation: 0,
+        }
+    }
+
+    /// Touches `line`; returns the verdict *before* installing it.
+    pub(crate) fn touch(&mut self, line: LineAddr) -> ShadowVerdict {
+        self.generation += 1;
+        let verdict = if self.resident.contains_key(&line) {
+            ShadowVerdict::Hit
+        } else if self.ever_seen.contains(&line) {
+            ShadowVerdict::CapacityMiss
+        } else {
+            ShadowVerdict::ColdMiss
+        };
+        self.ever_seen.insert(line);
+        self.resident.insert(line, self.generation);
+        self.queue.push_back((line, self.generation));
+        self.evict_lru();
+        verdict
+    }
+
+    /// True if the shadow currently holds `line`.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.resident.contains_key(&line)
+    }
+
+    /// Lines currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when nothing is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Enforces capacity, discarding stale queue entries along the way.
+    fn evict_lru(&mut self) {
+        while self.resident.len() > self.capacity {
+            let (line, gen) = self.queue.pop_front().expect("resident ⊆ queue");
+            if self.resident.get(&line) == Some(&gen) {
+                self.resident.remove(&line);
+            }
+            // else: stale entry for a line re-touched later; skip it.
+        }
+        // Hit-heavy workloads accumulate stale entries without triggering
+        // pops; compact when the queue is mostly garbage so memory stays
+        // proportional to capacity, not trace length.
+        if self.queue.len() > self.capacity.saturating_mul(2) + 16 {
+            let resident = &self.resident;
+            self.queue.retain(|(l, g)| resident.get(l) == Some(g));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u64) -> LineAddr {
+        LineAddr::new(x)
+    }
+
+    #[test]
+    fn cold_then_hit() {
+        let mut s = ShadowCache::new(2);
+        assert_eq!(s.touch(l(1)), ShadowVerdict::ColdMiss);
+        assert_eq!(s.touch(l(1)), ShadowVerdict::Hit);
+        assert!(s.contains(l(1)));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_and_capacity_miss() {
+        let mut s = ShadowCache::new(2);
+        s.touch(l(1));
+        s.touch(l(2));
+        s.touch(l(3)); // evicts 1 (LRU)
+        assert!(!s.contains(l(1)));
+        assert!(s.contains(l(2)));
+        assert!(s.contains(l(3)));
+        assert_eq!(s.touch(l(1)), ShadowVerdict::CapacityMiss);
+    }
+
+    #[test]
+    fn retouching_refreshes_recency() {
+        let mut s = ShadowCache::new(2);
+        s.touch(l(1));
+        s.touch(l(2));
+        s.touch(l(1)); // 1 is now most recent
+        s.touch(l(3)); // must evict 2, not 1
+        assert!(s.contains(l(1)));
+        assert!(!s.contains(l(2)));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut s = ShadowCache::new(4);
+        for i in 0..100 {
+            s.touch(l(i % 7));
+            assert!(s.len() <= 4, "at i={i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = ShadowCache::new(0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Set-index mapping functions.
+//!
+//! The *only* difference between a conventional cache and the paper's
+//! prime-mapped cache is this function: which set does a line address land
+//! in? [`Pow2Mapper`] extracts the low index bits (free in hardware);
+//! [`PrimeMapper`] reduces the line address modulo a Mersenne prime, which
+//! hardware computes with the folding adder of
+//! [`vcache_mersenne::FoldingAdder`] in parallel with normal address
+//! generation.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+use vcache_mersenne::MersenneModulus;
+
+use crate::addr::LineAddr;
+
+/// A total map from line addresses to set indices `0..num_sets`.
+///
+/// Implementors must be pure: the same line always maps to the same set.
+pub trait IndexMapper: fmt::Debug {
+    /// The set index for `line`, in `[0, num_sets)`.
+    fn index(&self, line: LineAddr) -> u64;
+
+    /// Number of sets this mapper targets.
+    fn num_sets(&self) -> u64;
+
+    /// Human-readable scheme name for reports.
+    fn scheme_name(&self) -> &'static str;
+}
+
+/// Conventional power-of-two mapping: `set = line mod 2^c`, a bit-field
+/// extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pow2Mapper {
+    sets: u64,
+}
+
+impl Pow2Mapper {
+    /// Creates a mapper onto `sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two (checked constructors on
+    /// [`crate::CacheSim`] validate user input before reaching here).
+    #[must_use]
+    pub fn new(sets: u64) -> Self {
+        assert!(sets.is_power_of_two(), "pow2 mapper needs 2^c sets");
+        Self { sets }
+    }
+}
+
+impl IndexMapper for Pow2Mapper {
+    fn index(&self, line: LineAddr) -> u64 {
+        line.value() & (self.sets - 1)
+    }
+
+    fn num_sets(&self) -> u64 {
+        self.sets
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "pow2"
+    }
+}
+
+/// The paper's prime mapping: `set = line mod (2^c − 1)`, a Mersenne-prime
+/// modulus evaluated by digit folding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrimeMapper {
+    modulus: MersenneModulus,
+}
+
+impl PrimeMapper {
+    /// Creates a mapper onto `2^c − 1` sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`vcache_mersenne::MersenneModulusError`] for exponents
+    /// whose Mersenne number is not prime.
+    pub fn new(exponent: u32) -> Result<Self, vcache_mersenne::MersenneModulusError> {
+        Ok(Self {
+            modulus: MersenneModulus::new(exponent)?,
+        })
+    }
+
+    /// The underlying modulus.
+    #[must_use]
+    pub fn modulus(&self) -> MersenneModulus {
+        self.modulus
+    }
+}
+
+impl IndexMapper for PrimeMapper {
+    fn index(&self, line: LineAddr) -> u64 {
+        self.modulus.reduce(line.value())
+    }
+
+    fn num_sets(&self) -> u64 {
+        self.modulus.value()
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "prime"
+    }
+}
+
+/// Either mapper, as a closed enum so cache simulators stay object-safe and
+/// serializable without generics at every use site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mapper {
+    /// Power-of-two bit extraction.
+    Pow2(Pow2Mapper),
+    /// Mersenne-prime modulo.
+    Prime(PrimeMapper),
+}
+
+impl IndexMapper for Mapper {
+    fn index(&self, line: LineAddr) -> u64 {
+        match self {
+            Self::Pow2(m) => m.index(line),
+            Self::Prime(m) => m.index(line),
+        }
+    }
+
+    fn num_sets(&self) -> u64 {
+        match self {
+            Self::Pow2(m) => m.num_sets(),
+            Self::Prime(m) => m.num_sets(),
+        }
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        match self {
+            Self::Pow2(m) => m.scheme_name(),
+            Self::Prime(m) => m.scheme_name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_extracts_low_bits() {
+        let m = Pow2Mapper::new(8);
+        assert_eq!(m.index(LineAddr::new(0)), 0);
+        assert_eq!(m.index(LineAddr::new(7)), 7);
+        assert_eq!(m.index(LineAddr::new(8)), 0);
+        assert_eq!(m.index(LineAddr::new(0xF3)), 3);
+        assert_eq!(m.num_sets(), 8);
+        assert_eq!(m.scheme_name(), "pow2");
+    }
+
+    #[test]
+    #[should_panic(expected = "2^c sets")]
+    fn pow2_rejects_non_power() {
+        let _ = Pow2Mapper::new(6);
+    }
+
+    #[test]
+    fn prime_reduces_modulo_mersenne() {
+        let m = PrimeMapper::new(5).unwrap();
+        assert_eq!(m.num_sets(), 31);
+        assert_eq!(m.index(LineAddr::new(31)), 0);
+        assert_eq!(m.index(LineAddr::new(32)), 1);
+        assert_eq!(m.index(LineAddr::new(1000)), 1000 % 31);
+        assert_eq!(m.scheme_name(), "prime");
+    }
+
+    #[test]
+    fn prime_rejects_composite_mersenne() {
+        assert!(PrimeMapper::new(11).is_err());
+    }
+
+    #[test]
+    fn stride_walk_coverage_contrast() {
+        // The defining contrast: a power-of-two stride covers few sets under
+        // pow2 mapping but all sets under prime mapping.
+        let pow2 = Pow2Mapper::new(32);
+        let prime = PrimeMapper::new(5).unwrap();
+        let distinct = |f: &dyn IndexMapper, stride: u64, n: u64| {
+            (0..n)
+                .map(|i| f.index(LineAddr::new(i * stride)))
+                .collect::<std::collections::HashSet<_>>()
+                .len() as u64
+        };
+        assert_eq!(distinct(&pow2, 8, 32), 4); // 32/gcd(32,8)
+        assert_eq!(distinct(&prime, 8, 31), 31); // all sets
+        assert_eq!(distinct(&pow2, 16, 32), 2);
+        assert_eq!(distinct(&prime, 16, 31), 31);
+    }
+
+    #[test]
+    fn mapper_enum_delegates() {
+        let m = Mapper::Prime(PrimeMapper::new(3).unwrap());
+        assert_eq!(m.num_sets(), 7);
+        assert_eq!(m.index(LineAddr::new(8)), 1);
+        assert_eq!(m.scheme_name(), "prime");
+        let p = Mapper::Pow2(Pow2Mapper::new(8));
+        assert_eq!(p.num_sets(), 8);
+        assert_eq!(p.index(LineAddr::new(9)), 1);
+        assert_eq!(p.scheme_name(), "pow2");
+    }
+}

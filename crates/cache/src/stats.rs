@@ -1,0 +1,173 @@
+//! Access counters and the three-way miss taxonomy.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Why an access missed, using the classic compulsory / capacity / conflict
+/// taxonomy the paper adopts from Hennessy & Patterson, with the conflict
+/// class split into the paper's self- and cross-interference sub-classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissKind {
+    /// First-ever reference to the line.
+    Compulsory,
+    /// A fully-associative cache of the same capacity would also miss.
+    Capacity,
+    /// The mapping evicted a line the fully-associative cache still holds;
+    /// the displaced line belonged to the *same* access stream.
+    ConflictSelf,
+    /// As [`MissKind::ConflictSelf`], but the displaced line belonged to a
+    /// *different* stream.
+    ConflictCross,
+}
+
+impl MissKind {
+    /// True for either conflict sub-class.
+    #[must_use]
+    pub fn is_conflict(&self) -> bool {
+        matches!(self, Self::ConflictSelf | Self::ConflictCross)
+    }
+}
+
+impl fmt::Display for MissKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Compulsory => f.write_str("compulsory"),
+            Self::Capacity => f.write_str("capacity"),
+            Self::ConflictSelf => f.write_str("conflict (self-interference)"),
+            Self::ConflictCross => f.write_str("conflict (cross-interference)"),
+        }
+    }
+}
+
+/// Cumulative counters for one simulated cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// First-touch misses.
+    pub compulsory_misses: u64,
+    /// Misses a same-capacity fully-associative cache would share.
+    pub capacity_misses: u64,
+    /// Mapping-conflict misses displacing a line of the same stream.
+    pub self_interference_misses: u64,
+    /// Mapping-conflict misses displacing a line of another stream.
+    pub cross_interference_misses: u64,
+}
+
+impl CacheStats {
+    /// Total misses of all kinds.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Conflict misses (self + cross).
+    #[must_use]
+    pub fn conflict_misses(&self) -> u64 {
+        self.self_interference_misses + self.cross_interference_misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero for an untouched cache.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; zero for an untouched cache.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    pub(crate) fn record_hit(&mut self) {
+        self.accesses += 1;
+        self.hits += 1;
+    }
+
+    pub(crate) fn record_miss(&mut self, kind: MissKind) {
+        self.accesses += 1;
+        match kind {
+            MissKind::Compulsory => self.compulsory_misses += 1,
+            MissKind::Capacity => self.capacity_misses += 1,
+            MissKind::ConflictSelf => self.self_interference_misses += 1,
+            MissKind::ConflictCross => self.cross_interference_misses += 1,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits ({:.1}%), misses: {} compulsory / {} capacity / {} self / {} cross",
+            self.accesses,
+            self.hits,
+            100.0 * self.hit_ratio(),
+            self.compulsory_misses,
+            self.capacity_misses,
+            self.self_interference_misses,
+            self.cross_interference_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_accesses() {
+        let mut s = CacheStats::default();
+        s.record_hit();
+        s.record_miss(MissKind::Compulsory);
+        s.record_miss(MissKind::Capacity);
+        s.record_miss(MissKind::ConflictSelf);
+        s.record_miss(MissKind::ConflictCross);
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 4);
+        assert_eq!(s.conflict_misses(), 2);
+        assert_eq!(
+            s.compulsory_misses + s.capacity_misses + s.conflict_misses() + s.hits,
+            s.accesses
+        );
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.record_hit();
+        s.record_miss(MissKind::Compulsory);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_predicates_and_display() {
+        assert!(MissKind::ConflictSelf.is_conflict());
+        assert!(MissKind::ConflictCross.is_conflict());
+        assert!(!MissKind::Compulsory.is_conflict());
+        assert!(!MissKind::Capacity.is_conflict());
+        assert_eq!(MissKind::Compulsory.to_string(), "compulsory");
+        assert!(MissKind::ConflictSelf.to_string().contains("self"));
+    }
+
+    #[test]
+    fn stats_display_nonempty() {
+        let s = CacheStats::default();
+        assert!(s.to_string().contains("0 accesses"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the cache simulation framework.
+
+use proptest::prelude::*;
+use vcache_cache::{CacheSim, ReplacementPolicy, StreamId, WordAddr};
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop::sample::select(vec![
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn stats_partition_accesses(
+        addrs in prop::collection::vec((0u64..512, 0u32..3), 1..300),
+        ways in prop::sample::select(vec![1u64, 2, 4]),
+        policy in arb_policy(),
+    ) {
+        let mut c = CacheSim::set_associative(16, ways, 1, policy).unwrap();
+        for &(a, s) in &addrs {
+            c.access(WordAddr::new(a), StreamId::new(s));
+        }
+        let st = c.stats();
+        prop_assert_eq!(st.accesses, addrs.len() as u64);
+        prop_assert_eq!(
+            st.hits
+                + st.compulsory_misses
+                + st.capacity_misses
+                + st.self_interference_misses
+                + st.cross_interference_misses,
+            st.accesses
+        );
+    }
+
+    #[test]
+    fn second_access_to_resident_line_hits(
+        addr in 0u64..10_000,
+        lines in prop::sample::select(vec![8u64, 64, 1024]),
+    ) {
+        let mut c = CacheSim::direct_mapped(lines, 1).unwrap();
+        c.access(WordAddr::new(addr), StreamId::new(0));
+        prop_assert!(c.access(WordAddr::new(addr), StreamId::new(0)).is_hit());
+    }
+
+    #[test]
+    fn compulsory_misses_equal_distinct_lines_touched(
+        addrs in prop::collection::vec(0u64..256, 1..300),
+    ) {
+        let mut c = CacheSim::direct_mapped(32, 1).unwrap();
+        for &a in &addrs {
+            c.access(WordAddr::new(a), StreamId::new(0));
+        }
+        let distinct = addrs.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+        prop_assert_eq!(c.stats().compulsory_misses, distinct);
+    }
+
+    #[test]
+    fn fully_associative_lru_never_reports_conflicts(
+        addrs in prop::collection::vec(0u64..128, 1..300),
+    ) {
+        // The classifier defines conflicts relative to a fully-associative
+        // LRU cache of the same capacity — so that cache must see none.
+        let mut c = CacheSim::fully_associative(16, 1, ReplacementPolicy::Lru).unwrap();
+        for &a in &addrs {
+            c.access(WordAddr::new(a), StreamId::new(0));
+        }
+        prop_assert_eq!(c.stats().conflict_misses(), 0);
+    }
+
+    #[test]
+    fn prime_mapped_single_stream_within_capacity_has_no_self_interference(
+        stride in 1u64..100_000,
+        start in 0u64..100_000,
+        length in 1u64..8191,
+    ) {
+        // §4 "Random Stride Accesses": self-interference only when the
+        // stride is a multiple of the (prime) cache size.
+        prop_assume!(stride % 8191 != 0);
+        let mut c = CacheSim::prime_mapped(13, 1).unwrap();
+        for _ in 0..2 {
+            c.access_stream(WordAddr::new(start), stride, length, StreamId::new(0));
+        }
+        prop_assert_eq!(c.stats().conflict_misses(), 0);
+        prop_assert_eq!(c.stats().hits, length);
+    }
+
+    #[test]
+    fn prime_mapped_stride_multiple_of_size_thrashes_one_set(
+        k in 1u64..8,
+        length in 2u64..31,
+    ) {
+        // The sole pathological stride class for the prime cache: every
+        // element lands in set 0 and evicts its predecessor, so nothing
+        // ever hits.
+        let mut c = CacheSim::prime_mapped(5, 1).unwrap();
+        let stride = 31 * k;
+        c.access_stream(WordAddr::new(0), stride, length, StreamId::new(0));
+        c.access_stream(WordAddr::new(0), stride, length, StreamId::new(0));
+        prop_assert_eq!(c.stats().hits, 0);
+        prop_assert!(c.stats().conflict_misses() > 0);
+    }
+
+    #[test]
+    fn direct_and_prime_agree_on_unit_stride_within_capacity(
+        length in 1u64..8191,
+    ) {
+        // P_stride1 = 1 ⇒ the two mappings perform identically (paper Fig. 9
+        // endpoint): both are miss-free on the reuse pass.
+        let mut d = CacheSim::direct_mapped(8192, 1).unwrap();
+        let mut p = CacheSim::prime_mapped(13, 1).unwrap();
+        for c in [&mut d, &mut p] {
+            c.access_stream(WordAddr::new(0), 1, length, StreamId::new(0));
+            c.access_stream(WordAddr::new(0), 1, length, StreamId::new(0));
+        }
+        prop_assert_eq!(d.stats().hits, length);
+        prop_assert_eq!(p.stats().hits, length);
+    }
+
+    #[test]
+    fn eviction_only_reported_when_set_full(
+        addrs in prop::collection::vec(0u64..64, 1..200),
+        ways in prop::sample::select(vec![1u64, 2, 4]),
+    ) {
+        let mut c = CacheSim::set_associative(8, ways, 1, ReplacementPolicy::Lru).unwrap();
+        for &a in &addrs {
+            let r = c.access(WordAddr::new(a), StreamId::new(0));
+            if r.is_hit() {
+                prop_assert!(r.evicted.is_none());
+            }
+        }
+    }
+}

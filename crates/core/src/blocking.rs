@@ -1,0 +1,348 @@
+//! Conflict-free sub-block selection (§4 "Sub-block Accesses").
+//!
+//! For a `P × Q` column-major matrix and a prime-mapped cache of `C`
+//! lines, a `b1 × b2` sub-block maps without self-interference whenever
+//!
+//! ```text
+//! b1 ≤ min(P mod C, C − P mod C)   and   b2 ≤ ⌊C / b1⌋
+//! ```
+//!
+//! because consecutive column segments start `P mod C` lines apart in the
+//! cache (working either upward or downward around the prime ring), so the
+//! segments tile the ring without overlap. Choosing the maxima makes the
+//! utilization `b1·b2 / C` approach 1 — the paper's headline contrast with
+//! direct-mapped caches, whose usable fraction collapses past a few
+//! percent. The paper notes this is "either impossible or prohibitively
+//! costly" with a power-of-two modulus.
+
+use serde::{Deserialize, Serialize};
+use vcache_mersenne::MersenneModulus;
+
+/// A chosen sub-block shape with its predicted cache utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubBlockPlan {
+    /// Rows per sub-block (`b1`): elements of one column segment.
+    pub b1: u64,
+    /// Columns per sub-block (`b2`).
+    pub b2: u64,
+    /// Cache lines `C` the plan targets.
+    pub cache_lines: u64,
+}
+
+impl SubBlockPlan {
+    /// Elements per sub-block (the blocking factor `B = b1·b2`).
+    #[must_use]
+    pub fn blocking_factor(&self) -> u64 {
+        self.b1 * self.b2
+    }
+
+    /// Fraction of the cache the sub-block occupies, in `(0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.blocking_factor() as f64 / self.cache_lines as f64
+    }
+}
+
+/// The largest `b1` satisfying the §4 condition for leading dimension `p`:
+/// `min(P mod C, C − P mod C)`, clamped to at least 1 column element
+/// (degenerate leading dimensions — `P ≡ 0 (mod C)` — stack all column
+/// starts on one line, leaving single-column blocks`b1 ≤ C, b2 = 1`).
+#[must_use]
+pub fn max_conflict_free_b1(p: u64, modulus: MersenneModulus) -> u64 {
+    let c = modulus.value();
+    let r = p % c;
+    if r == 0 {
+        // Column starts all map to the same line: any b1 up to C works for
+        // a single column (b2 = 1).
+        return c;
+    }
+    r.min(c - r).max(1)
+}
+
+/// Picks the utilization-maximising conflict-free sub-block for a `P × Q`
+/// column-major matrix: `b1 = min(P mod C, C − P mod C)`, `b2 = ⌊C/b1⌋`
+/// (both clipped to the matrix dimensions).
+///
+/// # Example
+///
+/// ```
+/// use vcache_core::blocking::conflict_free_subblock;
+/// use vcache_mersenne::MersenneModulus;
+///
+/// let m = MersenneModulus::new(13)?; // C = 8191
+/// let plan = conflict_free_subblock(1000, 1000, m);
+/// // P mod C = 1000 → b1 = 1000, b2 = ⌊8191/1000⌋ = 8.
+/// assert_eq!((plan.b1, plan.b2), (1000, 8));
+/// assert!(plan.utilization() > 0.97);
+/// # Ok::<(), vcache_mersenne::MersenneModulusError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if either matrix dimension is zero.
+#[must_use]
+pub fn conflict_free_subblock(p: u64, q: u64, modulus: MersenneModulus) -> SubBlockPlan {
+    assert!(p > 0 && q > 0, "matrix dimensions must be positive");
+    let c = modulus.value();
+    let b1 = max_conflict_free_b1(p, modulus).min(p);
+    let b2 = (c / b1).min(q).max(1);
+    SubBlockPlan {
+        b1,
+        b2,
+        cache_lines: c,
+    }
+}
+
+/// Checks the §4 conflict-freedom claim directly: maps every element of a
+/// `b1 × b2` sub-block of a matrix with leading dimension `p` through the
+/// prime mapping and reports whether all `b1·b2` lines are distinct.
+///
+/// This is the executable form of the paper's proof sketch, used by tests
+/// and the `subblock` experiment binary.
+///
+/// # Erratum note
+///
+/// The paper's conditions as literally stated — *any* `b1 ≤ min(P mod C,
+/// C − P mod C)` combined with `b2 ≤ ⌊C/b1⌋` — are **not sufficient**.
+/// Counterexample: `P = 10000`, `C = 8191` gives `P mod C = 1809`; the
+/// stated conditions admit `b1 = 1000, b2 = 8`, but column 5 starts at
+/// line `5·1809 mod 8191 = 854`, so its segment `[854, 1854)` intersects
+/// column 1's segment `[1809, 2809)`. The paper's proof
+/// implicitly assumes `b1` *equals* the spacing `min(P mod C, C − P mod
+/// C)`, in which case `b2 ≤ ⌊C/b1⌋` prevents any wrap-around and the
+/// segments tile the ring. [`conflict_free_subblock`] always chooses that
+/// safe maximal `b1`; for any other shape, verify with this function or
+/// size `b2` with [`max_conflict_free_b2`].
+#[must_use]
+pub fn is_conflict_free(p: u64, b1: u64, b2: u64, modulus: MersenneModulus) -> bool {
+    let mut seen = std::collections::HashSet::with_capacity((b1 * b2) as usize);
+    for j in 0..b2 {
+        for i in 0..b1 {
+            let line = modulus.reduce(j.wrapping_mul(p).wrapping_add(i));
+            if !seen.insert(line) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The largest `b2` such that a `b1 × b2` sub-block of a matrix with
+/// leading dimension `p` is conflict-free in the prime cache, computed
+/// exactly (incremental column-by-column check). This is the safe
+/// replacement for the paper's `⌊C/b1⌋` bound when `b1` is chosen smaller
+/// than the column spacing (see the erratum note on
+/// [`is_conflict_free`]).
+///
+/// Returns 0 when even a single column self-conflicts (`b1 > C`).
+///
+/// # Example
+///
+/// ```
+/// use vcache_core::blocking::max_conflict_free_b2;
+/// use vcache_mersenne::MersenneModulus;
+/// let m = MersenneModulus::new(13)?;
+/// // The erratum case: the paper's bound says 8 columns; only 4 are safe.
+/// assert_eq!(max_conflict_free_b2(10_000, 1000, m), 4);
+/// // With b1 equal to the spacing, the paper's bound is exact.
+/// assert_eq!(max_conflict_free_b2(10_000, 1809, m), 4);
+/// # Ok::<(), vcache_mersenne::MersenneModulusError>(())
+/// ```
+#[must_use]
+pub fn max_conflict_free_b2(p: u64, b1: u64, modulus: MersenneModulus) -> u64 {
+    let c = modulus.value();
+    if b1 == 0 || b1 > c {
+        return 0;
+    }
+    // Occupied segment starts on the ring; every segment has length b1.
+    // Segments [a, a+b1) and [b, b+b1) intersect on the C-ring iff the
+    // circular distance between their starts (either way) is below b1.
+    let mut starts: Vec<u64> = Vec::new();
+    let mut b2 = 0u64;
+    loop {
+        let start = modulus.mul(b2, p);
+        let collides = starts
+            .iter()
+            .any(|&os| (start + c - os) % c < b1 || (os + c - start) % c < b1);
+        if collides {
+            return b2;
+        }
+        starts.push(start);
+        b2 += 1;
+        if b2 > c {
+            return b2 - 1; // cannot exceed the ring itself
+        }
+    }
+}
+
+/// The direct-mapped counterpart: same check with a power-of-two modulus,
+/// used by the comparison experiment. Returns whether a `b1 × b2`
+/// sub-block with leading dimension `p` is conflict-free in a `2^c`-line
+/// direct-mapped cache.
+///
+/// # Panics
+///
+/// Panics if `lines` is not a power of two.
+#[must_use]
+pub fn is_conflict_free_pow2(p: u64, b1: u64, b2: u64, lines: u64) -> bool {
+    assert!(lines.is_power_of_two(), "direct-mapped line count is 2^c");
+    let mask = lines - 1;
+    let mut seen = std::collections::HashSet::with_capacity((b1 * b2) as usize);
+    for j in 0..b2 {
+        for i in 0..b1 {
+            let line = j.wrapping_mul(p).wrapping_add(i) & mask;
+            if !seen.insert(line) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m13() -> MersenneModulus {
+        MersenneModulus::new(13).unwrap()
+    }
+
+    fn m5() -> MersenneModulus {
+        MersenneModulus::new(5).unwrap()
+    }
+
+    #[test]
+    fn paper_conditions_give_conflict_free_blocks() {
+        // A spread of leading dimensions, including primes, powers of two,
+        // and near-multiples of C.
+        for p in [100u64, 1000, 1024, 4096, 8190, 8191, 8192, 10_000, 123_457] {
+            let plan = conflict_free_subblock(p, u64::MAX, m13());
+            assert!(
+                is_conflict_free(p, plan.b1, plan.b2, m13()),
+                "P = {p}, plan = {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_approaches_one() {
+        // §4: with b1 = min(P mod C, C − P mod C) and b2 = ⌊C/b1⌋ the
+        // utilization is close to 1.
+        let plan = conflict_free_subblock(1000, u64::MAX, m13());
+        assert!(plan.utilization() > 0.97, "{}", plan.utilization());
+        let plan = conflict_free_subblock(4095, u64::MAX, m13());
+        assert!(plan.utilization() > 0.99, "{}", plan.utilization());
+    }
+
+    #[test]
+    fn exceeding_b2_bound_breaks_conflict_freedom() {
+        // One column more than ⌊C/b1⌋ must wrap onto the first column.
+        let m = m5(); // C = 31
+        let p = 9; // P mod C = 9 → b1 = 9, b2 = ⌊31/9⌋ = 3
+        let plan = conflict_free_subblock(p, u64::MAX, m);
+        assert_eq!((plan.b1, plan.b2), (9, 3));
+        assert!(is_conflict_free(p, 9, 3, m));
+        assert!(!is_conflict_free(p, 9, 4, m));
+    }
+
+    #[test]
+    fn degenerate_leading_dimension_multiple_of_c() {
+        let m = m5();
+        // P ≡ 0 mod 31: all column starts collide; only b2 = 1 works but b1
+        // may fill the whole cache.
+        let plan = conflict_free_subblock(62, u64::MAX, m);
+        assert_eq!(plan.b2, 1);
+        assert!(is_conflict_free(62, plan.b1, plan.b2, m));
+        assert!(!is_conflict_free(62, 2, 2, m));
+    }
+
+    #[test]
+    fn plans_clip_to_matrix_dimensions() {
+        let plan = conflict_free_subblock(4, 3, m13());
+        assert!(plan.b1 <= 4);
+        assert!(plan.b2 <= 3);
+        assert!(is_conflict_free(4, plan.b1, plan.b2, m13()));
+    }
+
+    #[test]
+    fn blocking_factor_and_utilization_accessors() {
+        let plan = SubBlockPlan {
+            b1: 10,
+            b2: 3,
+            cache_lines: 31,
+        };
+        assert_eq!(plan.blocking_factor(), 30);
+        assert!((plan.utilization() - 30.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pow2_contrast_row_major_power_of_two_dimension() {
+        // The §1 motivating impossibility: with P a power of two, a
+        // direct-mapped cache self-interferes at tiny utilizations while
+        // the prime cache does not.
+        let p = 1024u64;
+        // 32-line direct cache: columns start 1024 mod 32 = 0 apart → any
+        // b2 ≥ 2 collides immediately.
+        assert!(!is_conflict_free_pow2(p, 1, 2, 32));
+        // 31-line prime cache: b1 = min(1024 mod 31, …) = min(1, 30) = 1,
+        // b2 = 31 → conflict-free at full utilization.
+        let m = m5();
+        let plan = conflict_free_subblock(p, u64::MAX, m);
+        assert!(is_conflict_free(p, plan.b1, plan.b2, m));
+        assert!((plan.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_condition_erratum_counterexample() {
+        // P = 10000, C = 8191: the paper's literal conditions admit
+        // b1 = 1000 (≤ 1809) with b2 = ⌊8191/1000⌋ = 8, which conflicts.
+        let m = m13();
+        assert!(!is_conflict_free(10_000, 1000, 8, m));
+        // The exact bound is 4 columns.
+        assert_eq!(max_conflict_free_b2(10_000, 1000, m), 4);
+        assert!(is_conflict_free(10_000, 1000, 4, m));
+        assert!(!is_conflict_free(10_000, 1000, 5, m));
+    }
+
+    #[test]
+    fn max_b2_agrees_with_checker_across_shapes() {
+        let m = m5(); // C = 31, small enough to brute force
+        for p in [1u64, 4, 7, 9, 30, 31, 32, 45, 100] {
+            for b1 in 1..=10u64 {
+                let bound = max_conflict_free_b2(p, b1, m);
+                if bound > 0 {
+                    assert!(
+                        is_conflict_free(p, b1, bound, m),
+                        "p={p} b1={b1} b2={bound}"
+                    );
+                }
+                assert!(
+                    !is_conflict_free(p, b1, bound + 1, m),
+                    "p={p} b1={b1} should fail at b2={}",
+                    bound + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_b2_degenerate_cases() {
+        let m = m5();
+        assert_eq!(max_conflict_free_b2(7, 0, m), 0);
+        assert_eq!(max_conflict_free_b2(7, 32, m), 0); // b1 > C
+                                                       // p ≡ 0 mod C: all columns collide, one column fits.
+        assert_eq!(max_conflict_free_b2(31, 5, m), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = conflict_free_subblock(0, 5, m5());
+    }
+
+    #[test]
+    #[should_panic(expected = "2^c")]
+    fn pow2_checker_validates_lines() {
+        let _ = is_conflict_free_pow2(10, 1, 1, 31);
+    }
+}

@@ -1,0 +1,175 @@
+//! FFT blocking on the prime-mapped cache (§4 "FFT Accesses").
+//!
+//! A blocked `N = B1 · B2`-point FFT views the data as a `B2 × B1`
+//! column-major matrix: `B2` row FFTs (stride `B2`) then `B1` column FFTs
+//! (stride 1). On a direct-mapped cache the row phase self-interferes
+//! whenever `B1 > C / gcd(B2, C)` — and `B2` is a power of two, so
+//! `gcd(B2, 2^c)` is large and the row FFT thrashes. On the prime-mapped
+//! cache `gcd(B2, 2^c − 1) = 1` for every power-of-two `B2 < C`, so *any*
+//! factorization with `B1, B2 ≤ C` is free of self-interference —
+//! "optimization is guaranteed as long as the blocking factor is less than
+//! the cache size".
+
+use serde::{Deserialize, Serialize};
+use vcache_mersenne::numtheory::gcd;
+use vcache_mersenne::MersenneModulus;
+
+/// A planned factorization of an `N`-point FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FftPlan {
+    /// Points per row FFT (`B1`, the number of matrix columns).
+    pub b1: u64,
+    /// Points per column FFT (`B2`, the number of matrix rows; also the
+    /// row-access stride).
+    pub b2: u64,
+}
+
+impl FftPlan {
+    /// Total points `N = B1 · B2`.
+    #[must_use]
+    pub fn points(&self) -> u64 {
+        self.b1 * self.b2
+    }
+}
+
+/// Self-interference misses suffered by **one row FFT** of the blocked
+/// algorithm on a cache of `lines` lines: `B1 − lines/gcd(B2, lines)` when
+/// positive, else 0 (the paper's expression, applicable to either mapping
+/// by passing the respective line count).
+///
+/// # Example
+///
+/// ```
+/// use vcache_core::fft::row_fft_conflicts;
+/// // Direct-mapped 8192 lines, B2 = 1024: gcd = 1024 → only 8 usable
+/// // lines; a 512-point row FFT suffers 504 conflicting elements.
+/// assert_eq!(row_fft_conflicts(512, 1024, 8192), 504);
+/// // Prime-mapped 8191 lines: gcd(1024, 8191) = 1 → none.
+/// assert_eq!(row_fft_conflicts(512, 1024, 8191), 0);
+/// ```
+#[must_use]
+pub fn row_fft_conflicts(b1: u64, b2: u64, lines: u64) -> u64 {
+    let usable = lines / gcd(b2, lines);
+    b1.saturating_sub(usable)
+}
+
+/// Plans an `n`-point blocked FFT for a prime-mapped cache: the most
+/// balanced factorization `n = B1 · B2` with both factors powers of two
+/// and `B2 < C` (guaranteeing the column phase fits and the row phase is
+/// conflict-free).
+///
+/// # Errors
+///
+/// Returns `None` if `n` is not a power of two ≥ 4 or no factorization
+/// satisfies `B2 < C` with `B1 ≥ 2`.
+#[must_use]
+pub fn plan_fft(n: u64, modulus: MersenneModulus) -> Option<FftPlan> {
+    if !n.is_power_of_two() || n < 4 {
+        return None;
+    }
+    let c = modulus.value();
+    let log_n = n.ilog2();
+    // Prefer balance: |log B1 − log B2| minimal, subject to B2 < C.
+    (0..=log_n)
+        .filter_map(|log_b2| {
+            let b2 = 1u64 << log_b2;
+            let b1 = n >> log_b2;
+            (b2 < c && b1 >= 2 && b2 >= 2).then_some(FftPlan { b1, b2 })
+        })
+        .min_by_key(|p| p.b1.ilog2().abs_diff(p.b2.ilog2()))
+}
+
+/// True when `plan` runs on the prime-mapped cache with zero
+/// self-interference in both phases (§4's optimality condition).
+#[must_use]
+pub fn plan_is_conflict_free(plan: FftPlan, modulus: MersenneModulus) -> bool {
+    let c = modulus.value();
+    row_fft_conflicts(plan.b1, plan.b2, c) == 0 && plan.b2 <= c && plan.b1 <= c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m13() -> MersenneModulus {
+        MersenneModulus::new(13).unwrap()
+    }
+
+    #[test]
+    fn direct_mapped_row_phase_thrashes_prime_does_not() {
+        // Every power-of-two B2 shares a large factor with 2^13 = 8192 but
+        // none with 8191.
+        for log_b2 in 4..13u32 {
+            let b2 = 1u64 << log_b2;
+            let b1 = 4096;
+            assert!(
+                row_fft_conflicts(b1, b2, 8192) > 0,
+                "direct should conflict at B2 = {b2}"
+            );
+            assert_eq!(
+                row_fft_conflicts(b1, b2, 8191),
+                0,
+                "prime should be clean at B2 = {b2}"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicts_formula_reference_values() {
+        assert_eq!(row_fft_conflicts(512, 1024, 8192), 512 - 8);
+        assert_eq!(row_fft_conflicts(8, 1024, 8192), 0); // fits in usable lines
+        assert_eq!(row_fft_conflicts(0, 16, 8192), 0);
+    }
+
+    #[test]
+    fn planner_balances_factors() {
+        let plan = plan_fft(1 << 20, m13()).unwrap();
+        assert_eq!(plan.points(), 1 << 20);
+        assert_eq!((plan.b1, plan.b2), (1024, 1024));
+        assert!(plan_is_conflict_free(plan, m13()));
+    }
+
+    #[test]
+    fn planner_respects_cache_bound() {
+        // N = 2^26: balanced 2^13 × 2^13 would put B2 = 8192 > C − 1, so
+        // the planner settles on B2 = 2^12 and a wider row phase.
+        let plan = plan_fft(1 << 26, m13()).unwrap();
+        assert!(plan.b2 < 8191);
+        assert_eq!(plan.points(), 1 << 26);
+        // N = 2^24 = 4096 × 4096 fits both phases inside the cache and is
+        // fully conflict-free.
+        let small = plan_fft(1 << 24, m13()).unwrap();
+        assert_eq!((small.b1, small.b2), (4096, 4096));
+        assert!(plan_is_conflict_free(small, m13()));
+    }
+
+    #[test]
+    fn oversized_transforms_need_more_blocking_levels() {
+        // N = 2^28 cannot satisfy B1, B2 ≤ C simultaneously (2·13 < 28):
+        // one level of blocking is not enough and the planner's best effort
+        // is honestly reported as not conflict-free.
+        let plan = plan_fft(1 << 28, m13()).unwrap();
+        assert!(plan.b2 < 8191);
+        assert!(!plan_is_conflict_free(plan, m13()));
+    }
+
+    #[test]
+    fn planner_rejects_bad_sizes() {
+        assert_eq!(plan_fft(1000, m13()), None); // not a power of two
+        assert_eq!(plan_fft(2, m13()), None); // too small to block
+        assert_eq!(plan_fft(0, m13()), None);
+    }
+
+    #[test]
+    fn every_pow2_b2_below_c_is_conflict_free_on_prime() {
+        // The §4 guarantee, exhaustively for a small cache: C = 31.
+        let m = MersenneModulus::new(5).unwrap();
+        for log_b2 in 1..5u32 {
+            let plan = FftPlan {
+                b1: 16,
+                b2: 1 << log_b2,
+            };
+            assert!(plan_is_conflict_free(plan, m), "B2 = {}", plan.b2);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The assembled prime-mapped vector cache.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+use vcache_cache::{CacheSim, CacheStats, StreamId, WordAddr};
+
+use crate::datapath::AddressGenerator;
+
+/// Error constructing a [`PrimeVectorCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimeCacheError {
+    inner: vcache_cache::CacheConfigError,
+}
+
+impl fmt::Display for PrimeCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot build prime-mapped cache: {}", self.inner)
+    }
+}
+
+impl std::error::Error for PrimeCacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.inner)
+    }
+}
+
+/// Outcome of streaming one vector through the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorLoadOutcome {
+    /// Elements accessed.
+    pub elements: u64,
+    /// Elements that missed.
+    pub misses: u64,
+    /// Extra folding-adder passes paid at vector start-up (0 when the
+    /// start-address register file hits).
+    pub startup_adder_passes: u32,
+}
+
+impl VectorLoadOutcome {
+    /// Hit ratio of this load, in `[0, 1]`.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            (self.elements - self.misses) as f64 / self.elements as f64
+        }
+    }
+}
+
+/// A complete prime-mapped vector cache: the Figure-1 address generator in
+/// front of a `2^c − 1`-line direct-mapped data store.
+///
+/// Every access is produced by the hardware datapath model and — in debug
+/// builds — cross-checked against the architectural definition
+/// `line mod (2^c − 1)`; a divergence is a bug in the datapath and panics
+/// immediately.
+///
+/// # Example
+///
+/// ```
+/// use vcache_core::PrimeVectorCache;
+///
+/// let mut cache = PrimeVectorCache::new(13, 1)?;
+/// // Row-and-diagonal accesses of a 1024-column matrix: strides 1024 and
+/// // 1025 — the §1 pair a power-of-two cache can never serve well together.
+/// for _ in 0..2 {
+///     cache.load_vector(0, 1024, 2048, 0);
+///     cache.load_vector(0, 1025, 2048, 1);
+/// }
+/// let stats = cache.stats();
+/// assert_eq!(stats.self_interference_misses, 0);
+/// # Ok::<(), vcache_core::PrimeCacheError>(())
+/// ```
+#[derive(Debug)]
+pub struct PrimeVectorCache {
+    generator: AddressGenerator,
+    data: CacheSim,
+}
+
+impl PrimeVectorCache {
+    /// Builds a cache of `2^c − 1` lines of `line_words` words, with
+    /// 64-bit addresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeCacheError`] if `c` is not a Mersenne-prime exponent
+    /// or `line_words` is not a power of two.
+    pub fn new(exponent: u32, line_words: u64) -> Result<Self, PrimeCacheError> {
+        let data = CacheSim::prime_mapped(exponent, line_words)
+            .map_err(|inner| PrimeCacheError { inner })?;
+        let generator = AddressGenerator::new(exponent, line_words, 64)
+            .expect("CacheSim::prime_mapped already validated the exponent");
+        Ok(Self { generator, data })
+    }
+
+    /// Streams a `length`-element vector of stride `stride` from word
+    /// `base`, tagged as `stream`.
+    pub fn load_vector(
+        &mut self,
+        base: u64,
+        stride: i64,
+        length: u64,
+        stream: u32,
+    ) -> VectorLoadOutcome {
+        let stream = StreamId::new(stream);
+        self.generator.set_stride(stride);
+        let mut misses = 0u64;
+        let mut startup_passes = 0u32;
+        let mut addr = base;
+        for i in 0..length {
+            let generated = if i == 0 {
+                let g = self.generator.start_vector(base);
+                startup_passes = g.extra_adder_passes;
+                g
+            } else {
+                addr = addr.wrapping_add_signed(stride);
+                self.generator.next_element()
+            };
+            let word = WordAddr::new(if i == 0 { base } else { addr });
+            debug_assert_eq!(
+                generated.index,
+                self.data.set_of(word),
+                "datapath index diverged from the architectural mapping at element {i}"
+            );
+            if !self.data.access(word, stream).is_hit() {
+                misses += 1;
+            }
+        }
+        VectorLoadOutcome {
+            elements: length,
+            misses,
+            startup_adder_passes: startup_passes,
+        }
+    }
+
+    /// Cumulative cache statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.data.stats()
+    }
+
+    /// Cumulative folding-adder work (the hardware-cost side of §2.3).
+    #[must_use]
+    pub fn adder_stats(&self) -> vcache_mersenne::AdderStats {
+        self.generator.adder_stats()
+    }
+
+    /// Number of cache lines (`2^c − 1`).
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.data.geometry().total_lines()
+    }
+
+    /// Direct access to the underlying simulator (for experiments that mix
+    /// vector and scalar traffic).
+    pub fn cache_mut(&mut self) -> &mut CacheSim {
+        &mut self.data
+    }
+
+    /// Empties the cache and clears counters.
+    pub fn reset(&mut self) {
+        self.data.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_errors() {
+        assert!(PrimeVectorCache::new(13, 1).is_ok());
+        let err = PrimeVectorCache::new(11, 1).unwrap_err();
+        assert!(err.to_string().contains("Mersenne"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(PrimeVectorCache::new(13, 3).is_err());
+    }
+
+    #[test]
+    fn pow2_stride_reuse_is_perfect() {
+        let mut c = PrimeVectorCache::new(13, 1).unwrap();
+        let first = c.load_vector(0, 4096, 8191, 0);
+        assert_eq!(first.misses, 8191);
+        let second = c.load_vector(0, 4096, 8191, 0);
+        assert_eq!(second.misses, 0);
+        assert_eq!(second.hit_ratio(), 1.0);
+        assert_eq!(c.stats().conflict_misses(), 0);
+    }
+
+    #[test]
+    fn negative_stride_vectors_work() {
+        let mut c = PrimeVectorCache::new(5, 1).unwrap();
+        c.load_vector(1000, -7, 31, 0);
+        let again = c.load_vector(1000, -7, 31, 0);
+        assert_eq!(again.misses, 0);
+    }
+
+    #[test]
+    fn row_and_diagonal_coexist() {
+        // §1: row stride P and diagonal stride P+1 cannot both be
+        // conflict-friendly in any power-of-two cache; the prime cache
+        // serves both.
+        let mut c = PrimeVectorCache::new(13, 1).unwrap();
+        for _ in 0..3 {
+            c.load_vector(0, 1024, 2000, 0);
+            c.load_vector(0, 1025, 2000, 1);
+        }
+        assert_eq!(c.stats().self_interference_misses, 0);
+    }
+
+    #[test]
+    fn startup_passes_reported_then_elided_by_register_file() {
+        let mut c = PrimeVectorCache::new(13, 1).unwrap();
+        let first = c.load_vector(0xABC_DEF0, 3, 4, 0);
+        assert!(first.startup_adder_passes > 0);
+        let second = c.load_vector(0xABC_DEF0, 3, 4, 0);
+        assert_eq!(second.startup_adder_passes, 0);
+    }
+
+    #[test]
+    fn multi_word_lines() {
+        let mut c = PrimeVectorCache::new(5, 4).unwrap();
+        // Unit stride: 4 words per line → 1 miss per 4 elements.
+        let out = c.load_vector(0, 1, 64, 0);
+        assert_eq!(out.misses, 16);
+    }
+
+    #[test]
+    fn stats_and_reset() {
+        let mut c = PrimeVectorCache::new(5, 1).unwrap();
+        c.load_vector(0, 1, 10, 0);
+        assert_eq!(c.stats().accesses, 10);
+        assert!(c.adder_stats().additions > 0);
+        assert_eq!(c.lines(), 31);
+        c.reset();
+        assert_eq!(c.stats().accesses, 0);
+        let _ = c.cache_mut();
+    }
+
+    #[test]
+    fn zero_length_vector() {
+        let mut c = PrimeVectorCache::new(5, 1).unwrap();
+        let out = c.load_vector(0, 1, 0, 0);
+        assert_eq!(out.elements, 0);
+        assert_eq!(out.hit_ratio(), 0.0);
+    }
+}

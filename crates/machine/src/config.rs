@@ -1,0 +1,268 @@
+//! Machine configuration shared by the MM- and CC-model simulators.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+use vcache_cache::{CacheSim, ReplacementPolicy};
+use vcache_mem::{BankingScheme, MemoryConfig, MemoryConfigError};
+
+/// Which vector cache sits between processor and banks (CC-model only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CacheSpec {
+    /// Conventional direct-mapped cache of `lines` (2^c) lines.
+    Direct {
+        /// Line count.
+        lines: u64,
+        /// Words per line.
+        line_words: u64,
+    },
+    /// Set-associative cache (for the §2.1 associativity ablation).
+    SetAssociative {
+        /// Total line count.
+        lines: u64,
+        /// Ways per set.
+        ways: u64,
+        /// Words per line.
+        line_words: u64,
+        /// Replacement policy.
+        policy: ReplacementPolicy,
+    },
+    /// The paper's prime-mapped cache of `2^c − 1` lines.
+    Prime {
+        /// Mersenne exponent `c`.
+        exponent: u32,
+        /// Words per line.
+        line_words: u64,
+    },
+}
+
+impl CacheSpec {
+    /// Direct-mapped, one-word lines (the paper's baseline).
+    #[must_use]
+    pub fn direct(lines: u64) -> Self {
+        Self::Direct {
+            lines,
+            line_words: 1,
+        }
+    }
+
+    /// Prime-mapped, one-word lines (the paper's design).
+    #[must_use]
+    pub fn prime(exponent: u32) -> Self {
+        Self::Prime {
+            exponent,
+            line_words: 1,
+        }
+    }
+
+    /// Builds the simulator for this spec.
+    pub(crate) fn build(&self) -> Result<CacheSim, vcache_cache::CacheConfigError> {
+        match *self {
+            Self::Direct { lines, line_words } => CacheSim::direct_mapped(lines, line_words),
+            Self::SetAssociative {
+                lines,
+                ways,
+                line_words,
+                policy,
+            } => CacheSim::set_associative(lines, ways, line_words, policy),
+            Self::Prime {
+                exponent,
+                line_words,
+            } => CacheSim::prime_mapped(exponent, line_words),
+        }
+    }
+}
+
+/// Error constructing a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// Invalid memory system parameters.
+    Memory(MemoryConfigError),
+    /// Invalid cache parameters.
+    Cache(vcache_cache::CacheConfigError),
+    /// `MVL` must be positive.
+    ZeroMvl,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Memory(e) => write!(f, "memory configuration: {e}"),
+            Self::Cache(e) => write!(f, "cache configuration: {e}"),
+            Self::ZeroMvl => f.write_str("maximum vector length must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Memory(e) => Some(e),
+            Self::Cache(e) => Some(e),
+            Self::ZeroMvl => None,
+        }
+    }
+}
+
+impl From<MemoryConfigError> for MachineError {
+    fn from(e: MemoryConfigError) -> Self {
+        Self::Memory(e)
+    }
+}
+
+impl From<vcache_cache::CacheConfigError> for MachineError {
+    fn from(e: vcache_cache::CacheConfigError) -> Self {
+        Self::Cache(e)
+    }
+}
+
+/// Full machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Maximum vector register length (the paper fixes 64).
+    pub mvl: u64,
+    /// Interleaved bank count `M` (power of two for the paper's low-order
+    /// interleave, prime for the BSP-style ablation scheme).
+    pub banks: u64,
+    /// Bank access time `t_m` in cycles.
+    pub t_m: u64,
+    /// How addresses map onto banks.
+    pub banking: BankingScheme,
+    /// The vector cache, if any (`None` = MM-model).
+    pub cache: Option<CacheSpec>,
+}
+
+impl MachineConfig {
+    /// The Figures 4–6 machine: `MVL = 64`, 32 banks, no cache.
+    #[must_use]
+    pub fn paper_default(t_m: u64) -> Self {
+        Self {
+            mvl: 64,
+            banks: 32,
+            t_m,
+            banking: BankingScheme::LowOrderInterleave,
+            cache: None,
+        }
+    }
+
+    /// The §4 machine: 64 banks.
+    #[must_use]
+    pub fn paper_section4(t_m: u64) -> Self {
+        Self {
+            mvl: 64,
+            banks: 64,
+            t_m,
+            banking: BankingScheme::LowOrderInterleave,
+            cache: None,
+        }
+    }
+
+    /// The same machine with `cache` installed.
+    #[must_use]
+    pub fn with_cache(&self, cache: CacheSpec) -> Self {
+        Self {
+            cache: Some(cache),
+            ..self.clone()
+        }
+    }
+
+    /// The same machine with a prime number of memory banks in the style
+    /// of the Burroughs BSP (the memory-side analogue of prime mapping,
+    /// cited in the paper's §2.3 as prior work).
+    #[must_use]
+    pub fn with_prime_banks(&self, banks: u64) -> Self {
+        Self {
+            banks,
+            banking: BankingScheme::PrimeBanked,
+            ..self.clone()
+        }
+    }
+
+    /// `T_start = 30 + t_m`.
+    #[must_use]
+    pub fn t_start(&self) -> u64 {
+        30 + self.t_m
+    }
+
+    pub(crate) fn memory_config(&self) -> Result<MemoryConfig, MachineError> {
+        Ok(MemoryConfig::new(self.banks, self.t_m, self.banking)?)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), MachineError> {
+        if self.mvl == 0 {
+            return Err(MachineError::ZeroMvl);
+        }
+        self.memory_config()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = MachineConfig::paper_default(16);
+        assert_eq!((c.mvl, c.banks, c.t_m), (64, 32, 16));
+        assert_eq!(c.t_start(), 46);
+        assert!(c.cache.is_none());
+        let s4 = MachineConfig::paper_section4(32).with_cache(CacheSpec::prime(13));
+        assert_eq!(s4.banks, 64);
+        assert!(matches!(
+            s4.cache,
+            Some(CacheSpec::Prime { exponent: 13, .. })
+        ));
+    }
+
+    #[test]
+    fn validation_and_errors() {
+        let bad_banks = MachineConfig {
+            banks: 12,
+            ..MachineConfig::paper_default(4)
+        };
+        assert!(matches!(bad_banks.validate(), Err(MachineError::Memory(_))));
+        let zero_mvl = MachineConfig {
+            mvl: 0,
+            ..MachineConfig::paper_default(4)
+        };
+        assert_eq!(zero_mvl.validate(), Err(MachineError::ZeroMvl));
+        assert!(MachineConfig::paper_default(8).validate().is_ok());
+        // Prime banking validates prime counts and rejects others.
+        assert!(MachineConfig::paper_section4(8)
+            .with_prime_banks(61)
+            .validate()
+            .is_ok());
+        assert!(matches!(
+            MachineConfig::paper_section4(8)
+                .with_prime_banks(64)
+                .validate(),
+            Err(MachineError::Memory(_))
+        ));
+    }
+
+    #[test]
+    fn cache_spec_builders() {
+        assert!(CacheSpec::direct(8192).build().is_ok());
+        assert!(CacheSpec::prime(13).build().is_ok());
+        assert!(CacheSpec::prime(12).build().is_err());
+        assert!(CacheSpec::SetAssociative {
+            lines: 8192,
+            ways: 4,
+            line_words: 1,
+            policy: ReplacementPolicy::Lru
+        }
+        .build()
+        .is_ok());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = MachineError::from(
+            MemoryConfig::new(12, 4, BankingScheme::LowOrderInterleave).unwrap_err(),
+        );
+        assert!(e.to_string().contains("memory configuration"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&MachineError::ZeroMvl).is_none());
+    }
+}

@@ -1,0 +1,338 @@
+//! The executors: MM-model and CC-model.
+
+use vcache_cache::{CacheSim, StreamId, WordAddr};
+use vcache_mem::{simulate_dual_stream, simulate_single_stream, MemoryConfig, StreamSpec};
+use vcache_workloads::{Program, VectorAccess};
+
+use crate::config::{MachineConfig, MachineError};
+use crate::report::ExecutionReport;
+
+/// Fixed per-access overhead (Equation (1)): `10` cycles per vector
+/// operation sequence plus `15 + T_start` per strip of `MVL` elements.
+/// `t_start_reduction` implements Equation (4)'s `T_start − t_m` for
+/// accesses served entirely from the cache.
+fn access_overhead(config: &MachineConfig, length: u64, t_start_reduction: u64) -> f64 {
+    let strips = length.div_ceil(config.mvl).max(1) as f64;
+    10.0 + strips * (15.0 + (config.t_start() - t_start_reduction) as f64)
+}
+
+fn to_spec(a: &VectorAccess) -> StreamSpec {
+    StreamSpec {
+        base: a.base,
+        stride: a.stride as u64, // two's complement wrapping encodes negatives
+        length: a.length,
+    }
+}
+
+/// The cache-less MM-model vector processor (paper Figure 2).
+///
+/// See the crate docs for the timing skeleton and an example.
+#[derive(Debug)]
+pub struct MmMachine {
+    config: MachineConfig,
+    memory: MemoryConfig,
+}
+
+impl MmMachine {
+    /// Builds the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] for invalid bank counts, zero access time,
+    /// or zero `MVL`. Any configured cache is ignored (this is the no-cache
+    /// model).
+    pub fn new(config: MachineConfig) -> Result<Self, MachineError> {
+        config.validate()?;
+        let memory = config.memory_config()?;
+        Ok(Self { config, memory })
+    }
+
+    /// Executes `program`, streaming every access through the banks.
+    #[must_use]
+    pub fn execute(&self, program: &Program) -> ExecutionReport {
+        let mut report = ExecutionReport::default();
+        let mut i = 0;
+        while i < program.accesses.len() {
+            let a = &program.accesses[i];
+            if a.paired_with_next && i + 1 < program.accesses.len() {
+                let b = &program.accesses[i + 1];
+                let dual = simulate_dual_stream(&self.memory, to_spec(a), to_spec(b));
+                let stalls = dual.total_stalls();
+                report.cycles += access_overhead(&self.config, a.length, 0)
+                    + a.length.max(b.length) as f64
+                    + stalls as f64;
+                report.overhead_cycles += access_overhead(&self.config, a.length, 0);
+                report.memory_stall_cycles += stalls;
+                report.results += a.length;
+                report.elements += a.length + b.length;
+                i += 2;
+            } else {
+                let single =
+                    simulate_single_stream(&self.memory, a.base, a.stride as u64, a.length);
+                report.cycles += access_overhead(&self.config, a.length, 0)
+                    + a.length as f64
+                    + single.stall_cycles as f64;
+                report.overhead_cycles += access_overhead(&self.config, a.length, 0);
+                report.memory_stall_cycles += single.stall_cycles;
+                report.results += a.length;
+                report.elements += a.length;
+                i += 1;
+            }
+        }
+        report
+    }
+}
+
+/// The cache-equipped CC-model vector processor (paper Figure 3).
+///
+/// Miss handling follows the paper's assumptions: a sweep that misses on
+/// *every* element is a compulsory/initial load and pipelines through the
+/// banks like an MM-model stream; scattered misses each stall the full
+/// `t_m` ("cache misses may not be easily pipelined"); an all-hit sweep
+/// starts up `t_m` cycles sooner.
+#[derive(Debug)]
+pub struct CcMachine {
+    config: MachineConfig,
+    memory: MemoryConfig,
+    cache: CacheSim,
+}
+
+impl CcMachine {
+    /// Builds the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Cache`] if no cache is configured or its
+    /// parameters are invalid, and the same errors as [`MmMachine::new`]
+    /// otherwise.
+    pub fn new(config: MachineConfig) -> Result<Self, MachineError> {
+        config.validate()?;
+        let memory = config.memory_config()?;
+        let spec = config.cache.ok_or(MachineError::Cache(
+            vcache_cache::CacheConfigError::ZeroSize,
+        ))?;
+        let cache = spec.build()?;
+        Ok(Self {
+            config,
+            memory,
+            cache,
+        })
+    }
+
+    /// The cache's current counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> vcache_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Executes `program` through the cache, consuming accumulated state
+    /// (call repeatedly to model phase sequences sharing one cache).
+    pub fn execute(&mut self, program: &Program) -> ExecutionReport {
+        let mut report = ExecutionReport::default();
+        let mut i = 0;
+        while i < program.accesses.len() {
+            let a = &program.accesses[i];
+            let paired = a.paired_with_next && i + 1 < program.accesses.len();
+            let (results, elements) = if paired {
+                let b = &program.accesses[i + 1];
+                (a.length, a.length + b.length)
+            } else {
+                (a.length, a.length)
+            };
+
+            let run_access = |acc: &VectorAccess, cache: &mut CacheSim| {
+                let mut m = 0;
+                for k in 0..acc.length {
+                    let word = WordAddr::new(acc.word(k));
+                    if !cache.access(word, StreamId::new(acc.stream)).is_hit() {
+                        m += 1;
+                    }
+                }
+                m
+            };
+
+            // Per-stream miss handling: a stream that misses on every
+            // element is an initial load and pipelines through the banks;
+            // scattered misses each stall t_m; all-hits cost nothing extra.
+            let streams: &[&VectorAccess] = if paired {
+                &[a, &program.accesses[i + 1]]
+            } else {
+                &[a]
+            };
+            let mut full_miss = [false; 2];
+            let mut mem_stalls = 0u64;
+            let mut cache_stalls = 0u64;
+            let mut all_hit = true;
+            for (s, acc) in streams.iter().enumerate() {
+                let misses = run_access(acc, &mut self.cache);
+                if misses == acc.length && acc.length > 0 {
+                    all_hit = false;
+                    full_miss[s] = true;
+                } else if misses > 0 {
+                    all_hit = false;
+                    cache_stalls += misses * self.config.t_m;
+                }
+            }
+            match full_miss {
+                [true, true] => {
+                    // Both streams load together: dual-bus bank contention.
+                    let b = &program.accesses[i + 1];
+                    mem_stalls =
+                        simulate_dual_stream(&self.memory, to_spec(a), to_spec(b)).total_stalls();
+                }
+                _ => {
+                    for (s, acc) in streams.iter().enumerate() {
+                        if full_miss[s] {
+                            mem_stalls += simulate_single_stream(
+                                &self.memory,
+                                acc.base,
+                                acc.stride as u64,
+                                acc.length,
+                            )
+                            .stall_cycles;
+                        }
+                    }
+                }
+            }
+            // Equation (4): an access served entirely from cache starts up
+            // t_m cycles sooner.
+            let startup_reduction = if all_hit { self.config.t_m } else { 0 };
+
+            report.cycles += access_overhead(&self.config, a.length, startup_reduction)
+                + results as f64
+                + (mem_stalls + cache_stalls) as f64;
+            report.overhead_cycles += access_overhead(&self.config, a.length, startup_reduction);
+            report.memory_stall_cycles += mem_stalls;
+            report.cache_stall_cycles += cache_stalls;
+            report.results += results;
+            report.elements += elements;
+            i += if paired { 2 } else { 1 };
+        }
+        report.cache_stats = Some(self.cache.stats());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheSpec;
+    use vcache_workloads::{generate_program, saxpy_trace, Vcm};
+
+    fn program_unit_reuse(b: u64, r: u64) -> Program {
+        let vcm = Vcm {
+            blocking_factor: b,
+            reuse_factor: r,
+            p_ds: 0.0,
+            stride1: vcache_workloads::StrideDistribution::Fixed(1),
+            stride2: vcache_workloads::StrideDistribution::Fixed(1),
+        };
+        generate_program(&vcm, b, 1)
+    }
+
+    #[test]
+    fn mm_unit_stride_no_stalls() {
+        let m = MmMachine::new(MachineConfig::paper_default(16)).unwrap();
+        let report = m.execute(&program_unit_reuse(1024, 1));
+        assert_eq!(report.memory_stall_cycles, 0);
+        assert_eq!(report.results, 1024);
+        // 10 + 16 strips × (15 + 46) + 1024 elements.
+        assert_eq!(report.cycles, 10.0 + 16.0 * 61.0 + 1024.0);
+    }
+
+    #[test]
+    fn mm_strided_program_stalls() {
+        let m = MmMachine::new(MachineConfig::paper_default(16)).unwrap();
+        let vcm = Vcm {
+            blocking_factor: 512,
+            reuse_factor: 1,
+            p_ds: 0.0,
+            stride1: vcache_workloads::StrideDistribution::Fixed(8),
+            stride2: vcache_workloads::StrideDistribution::Fixed(1),
+        };
+        let report = m.execute(&generate_program(&vcm, 512, 1));
+        // stride 8 on 32 banks, tm 16: (512-1)/4 wraps × 12 cycles.
+        assert_eq!(report.memory_stall_cycles, (511 / 4) * 12);
+    }
+
+    #[test]
+    fn mm_paired_access_counts_both_streams() {
+        let m = MmMachine::new(MachineConfig::paper_default(4)).unwrap();
+        let report = m.execute(&saxpy_trace(0, 100_000, 64));
+        assert_eq!(report.results, 64);
+        assert_eq!(report.elements, 128);
+    }
+
+    #[test]
+    fn cc_reuse_turns_into_hits() {
+        let cfg = MachineConfig::paper_default(16).with_cache(CacheSpec::direct(8192));
+        let mut m = CcMachine::new(cfg).unwrap();
+        let report = m.execute(&program_unit_reuse(1024, 4));
+        let stats = report.cache_stats.unwrap();
+        assert_eq!(stats.compulsory_misses, 1024);
+        assert_eq!(stats.hits, 3 * 1024);
+        assert_eq!(report.cache_stall_cycles, 0);
+    }
+
+    #[test]
+    fn cc_beats_mm_when_memory_slow_and_reuse_high() {
+        let program = program_unit_reuse(2048, 8);
+        let mm = MmMachine::new(MachineConfig::paper_default(64))
+            .unwrap()
+            .execute(&program);
+        let cc =
+            CcMachine::new(MachineConfig::paper_default(64).with_cache(CacheSpec::direct(8192)))
+                .unwrap()
+                .execute(&program);
+        assert!(
+            cc.cycles < mm.cycles,
+            "cc {} !< mm {}",
+            cc.cycles,
+            mm.cycles
+        );
+    }
+
+    #[test]
+    fn prime_cache_beats_direct_on_pow2_strides() {
+        // Stride 512 swept twice: direct-mapped thrashes 16 lines, prime
+        // keeps everything.
+        let vcm = Vcm {
+            blocking_factor: 4096,
+            reuse_factor: 4,
+            p_ds: 0.0,
+            stride1: vcache_workloads::StrideDistribution::Fixed(512),
+            stride2: vcache_workloads::StrideDistribution::Fixed(1),
+        };
+        let program = generate_program(&vcm, 4096, 1);
+        let base = MachineConfig::paper_section4(32);
+        let direct = CcMachine::new(base.with_cache(CacheSpec::direct(8192)))
+            .unwrap()
+            .execute(&program);
+        let prime = CcMachine::new(base.with_cache(CacheSpec::prime(13)))
+            .unwrap()
+            .execute(&program);
+        assert!(
+            prime.cycles < direct.cycles / 2.0,
+            "prime {} !< half of direct {}",
+            prime.cycles,
+            direct.cycles
+        );
+        assert_eq!(prime.cache_stats.unwrap().conflict_misses(), 0);
+    }
+
+    #[test]
+    fn cc_requires_a_cache() {
+        assert!(matches!(
+            CcMachine::new(MachineConfig::paper_default(8)),
+            Err(MachineError::Cache(_))
+        ));
+    }
+
+    #[test]
+    fn empty_program_is_free() {
+        let m = MmMachine::new(MachineConfig::paper_default(8)).unwrap();
+        let report = m.execute(&Program::new("empty", vec![]));
+        assert_eq!(report.cycles, 0.0);
+        assert_eq!(report.results, 0);
+    }
+}

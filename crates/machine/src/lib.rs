@@ -1,0 +1,44 @@
+//! Trace-driven simulators of the paper's two vector-processor models.
+//!
+//! Where `vcache-model` evaluates the closed-form Equations (1)–(8), this
+//! crate *executes* the same machines against explicit traces from
+//! `vcache-workloads`:
+//!
+//! * [`MmMachine`] — Figure 2: vector unit + interleaved banks, no cache.
+//!   Every vector access streams through the bank simulator of
+//!   `vcache-mem`; paired accesses ride the two read buses concurrently.
+//! * [`CcMachine`] — Figure 3: the same machine with a vector cache
+//!   (direct-mapped, set-associative, or prime-mapped). Fully-missing
+//!   sweeps pipeline through memory like the MM-model (the paper's
+//!   "compulsory misses can be properly pipelined"); isolated misses stall
+//!   the processor for the whole memory access time `t_m`; all-hit sweeps
+//!   start up `t_m` cycles sooner (Equation (4)'s `T_start − t_m`).
+//!
+//! Timing skeleton (both machines, matching Equation (1)): each vector
+//! access costs `10 + ⌈L/MVL⌉ · (15 + T_start) + Σ per-element cycles`,
+//! `T_start = 30 + t_m`.
+//!
+//! # Example
+//!
+//! ```
+//! use vcache_machine::{CacheSpec, CcMachine, MachineConfig, MmMachine};
+//! use vcache_workloads::{generate_program, Vcm};
+//!
+//! let config = MachineConfig::paper_section4(32);
+//! let program = generate_program(&Vcm::random_multistride(1024, 8, 0.25, 64), 1 << 13, 7);
+//! let mm = MmMachine::new(config.clone())?.execute(&program);
+//! let pc = CcMachine::new(config.with_cache(CacheSpec::prime(13)))?.execute(&program);
+//! assert!(pc.cycles_per_result() < mm.cycles_per_result());
+//! # Ok::<(), vcache_machine::MachineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod config;
+mod exec;
+mod report;
+
+pub use config::{CacheSpec, MachineConfig, MachineError};
+pub use exec::{CcMachine, MmMachine};
+pub use report::ExecutionReport;

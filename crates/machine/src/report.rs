@@ -1,0 +1,106 @@
+//! Execution reports.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+use vcache_cache::CacheStats;
+
+/// What a machine did while executing a program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Total execution cycles.
+    pub cycles: f64,
+    /// Result elements produced (first-stream elements; the denominator of
+    /// the paper's "clock cycles per result").
+    pub results: u64,
+    /// Elements streamed in total (both streams of paired accesses).
+    pub elements: u64,
+    /// Stall cycles attributed to memory-bank interference.
+    pub memory_stall_cycles: u64,
+    /// Stall cycles attributed to cache misses (CC-model only).
+    pub cache_stall_cycles: u64,
+    /// Fixed overhead cycles (block and strip start-up costs).
+    pub overhead_cycles: f64,
+    /// Final cache counters (CC-model only).
+    pub cache_stats: Option<CacheStats>,
+}
+
+impl ExecutionReport {
+    /// The paper's figure-of-merit: `cycles / results`.
+    #[must_use]
+    pub fn cycles_per_result(&self) -> f64 {
+        if self.results == 0 {
+            0.0
+        } else {
+            self.cycles / self.results as f64
+        }
+    }
+
+    /// Folds another report into this one (for multi-phase programs).
+    pub fn merge(&mut self, other: &ExecutionReport) {
+        self.cycles += other.cycles;
+        self.results += other.results;
+        self.elements += other.elements;
+        self.memory_stall_cycles += other.memory_stall_cycles;
+        self.cache_stall_cycles += other.cache_stall_cycles;
+        self.overhead_cycles += other.overhead_cycles;
+        if let Some(stats) = other.cache_stats {
+            self.cache_stats = Some(stats); // final counters win
+        }
+    }
+}
+
+impl fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} cycles for {} results ({:.3} cycles/result; stalls: {} mem, {} cache)",
+            self.cycles,
+            self.results,
+            self.cycles_per_result(),
+            self.memory_stall_cycles,
+            self.cache_stall_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_per_result_guard() {
+        let r = ExecutionReport::default();
+        assert_eq!(r.cycles_per_result(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExecutionReport {
+            cycles: 100.0,
+            results: 10,
+            elements: 12,
+            memory_stall_cycles: 5,
+            cache_stall_cycles: 2,
+            overhead_cycles: 20.0,
+            cache_stats: None,
+        };
+        let b = ExecutionReport {
+            cycles: 50.0,
+            results: 10,
+            elements: 10,
+            memory_stall_cycles: 1,
+            cache_stall_cycles: 0,
+            overhead_cycles: 10.0,
+            cache_stats: Some(CacheStats::default()),
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 150.0);
+        assert_eq!(a.results, 20);
+        assert_eq!(a.elements, 22);
+        assert_eq!(a.memory_stall_cycles, 6);
+        assert!(a.cache_stats.is_some());
+        assert!((a.cycles_per_result() - 7.5).abs() < 1e-12);
+        assert!(a.to_string().contains("cycles/result"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Low-order-bit interleaved memory-bank simulator for the vector machine
+//! models of Yang & Wu (ISCA 1992).
+//!
+//! Both machine models of the paper (Figures 2 and 3) sit on `M = 2^m`
+//! interleaved memory banks with access time `t_m` processor cycles,
+//! connected by three pipelined buses (two read, one write) that each move
+//! one cache line per cycle. A vector access stream with stride `s` visits
+//! `M / gcd(M, s)` distinct banks per sweep; when the bank cycle time
+//! exceeds that sweep length the stream catches its own tail and stalls.
+//! This crate simulates those mechanics cycle by cycle:
+//!
+//! * [`InterleavedMemory`] — per-bank busy bookkeeping with pluggable
+//!   banking schemes (power-of-two low-order interleave, or a prime bank
+//!   count in the style of the Burroughs BSP as an ablation baseline);
+//! * [`simulate_single_stream`] / [`simulate_dual_stream`] — pipelined
+//!   vector sweeps with stall accounting, one issue per bus per cycle;
+//! * [`sweep`] — closed-form sweep-stall expressions used to cross-check
+//!   the simulator against the paper's `I_s^M` derivation.
+//!
+//! # Example
+//!
+//! ```
+//! use vcache_mem::{BankingScheme, MemoryConfig, simulate_single_stream};
+//!
+//! // 32 banks, 16-cycle access time, stride 8: only 32/gcd(32,8) = 4 banks
+//! // are visited, so the stream stalls badly...
+//! let cfg = MemoryConfig::new(32, 16, BankingScheme::LowOrderInterleave)?;
+//! let strided = simulate_single_stream(&cfg, 0, 8, 64);
+//! // ...while stride 1 visits all 32 banks and never stalls.
+//! let unit = simulate_single_stream(&cfg, 0, 1, 64);
+//! assert!(strided.stall_cycles > 0);
+//! assert_eq!(unit.stall_cycles, 0);
+//! # Ok::<(), vcache_mem::MemoryConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod banks;
+mod stream;
+pub mod sweep;
+
+pub use banks::{
+    AccessOutcome, BankingScheme, InterleavedMemory, MemStats, MemoryConfig, MemoryConfigError,
+};
+pub use stream::{
+    simulate_dual_stream, simulate_single_stream, DualStreamOutcome, StreamOutcome, StreamSpec,
+};

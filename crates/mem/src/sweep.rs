@@ -1,0 +1,188 @@
+//! Closed-form sweep-stall expressions for a single strided stream.
+//!
+//! These are the deterministic building blocks under the paper's averaged
+//! `I_s^M` formula (§3.2): a stream of stride `s` on `M = 2^m` banks visits
+//! `M / gcd(M, s)` banks per sweep and, once the pipeline catches its own
+//! tail, pays `t_m − M/gcd` cycles per sweep (or `t_m − 1` per element when
+//! the whole vector lands in one bank). The cycle-accurate simulator in
+//! [`crate::simulate_single_stream`] must agree with these expressions exactly — that
+//! agreement is tested here and is the first link in the chain validating
+//! the analytical model against the machine simulation.
+
+use vcache_mersenne::numtheory::gcd;
+
+use crate::banks::MemoryConfig;
+
+/// Number of distinct banks visited by a stream of stride `stride` on
+/// `banks` banks: `M / gcd(M, s)`.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` (a zero stride re-reads one address; callers
+/// model that as a scalar access, not a vector sweep).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(vcache_mem::sweep::banks_visited(32, 8), 4);
+/// assert_eq!(vcache_mem::sweep::banks_visited(32, 3), 32);
+/// ```
+#[must_use]
+pub fn banks_visited(banks: u64, stride: u64) -> u64 {
+    assert!(stride > 0, "vector stride must be nonzero");
+    banks / gcd(banks, stride)
+}
+
+/// Exact pipeline stall cycles for a single stream of `length` elements
+/// with stride `stride`, matching [`crate::simulate_single_stream`].
+///
+/// A sweep covers `k = banks_visited` elements; the first sweep issues
+/// cleanly and each later sweep stalls `max(0, t_m − k)` cycles when it
+/// returns to its first bank. The degenerate single-bank case (`k = 1`)
+/// stalls every element after the first by `t_m − 1`.
+///
+/// # Example
+///
+/// ```
+/// use vcache_mem::{sweep, BankingScheme, MemoryConfig};
+/// let cfg = MemoryConfig::new(32, 16, BankingScheme::LowOrderInterleave)?;
+/// assert_eq!(sweep::single_stream_stalls(&cfg, 8, 64), 15 * (16 - 4));
+/// assert_eq!(sweep::single_stream_stalls(&cfg, 1, 64), 0);
+/// # Ok::<(), vcache_mem::MemoryConfigError>(())
+/// ```
+#[must_use]
+pub fn single_stream_stalls(config: &MemoryConfig, stride: u64, length: u64) -> u64 {
+    let tm = config.access_time();
+    let k = banks_visited(config.banks(), stride);
+    if length == 0 {
+        return 0;
+    }
+    if k == 1 {
+        return (length - 1) * (tm - 1);
+    }
+    if tm <= k {
+        return 0;
+    }
+    // Completed wrap-arounds: element i stalls iff it revisits its bank,
+    // i.e. once per sweep after the first.
+    let wraps = (length - 1) / k;
+    wraps * (tm - k)
+}
+
+/// The paper's per-sweep approximation of the same quantity: counts *every*
+/// sweep (including the first) as delayed, `MVL / k` sweeps in total.
+///
+/// This is the term inside Equation (2)'s summation; it overestimates
+/// [`single_stream_stalls`] by exactly one sweep's worth of delay. Both
+/// are provided so the model crate can mirror the paper exactly while the
+/// simulator stays exact.
+#[must_use]
+pub fn single_stream_stalls_paper(config: &MemoryConfig, stride: u64, length: u64) -> u64 {
+    let tm = config.access_time();
+    let k = banks_visited(config.banks(), stride);
+    if length == 0 {
+        return 0;
+    }
+    if k == 1 {
+        return length * (tm - 1);
+    }
+    if tm <= k {
+        return 0;
+    }
+    (length / k) * (tm - k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banks::BankingScheme;
+    use crate::stream::simulate_single_stream;
+
+    fn cfg(banks: u64, tm: u64) -> MemoryConfig {
+        MemoryConfig::new(banks, tm, BankingScheme::LowOrderInterleave).unwrap()
+    }
+
+    #[test]
+    fn closed_form_matches_simulator_exhaustively() {
+        for m in [8u64, 32, 64] {
+            for tm in [1u64, 4, 8, 15, 16, 33, 64] {
+                let config = cfg(m, tm);
+                for stride in 1..=m {
+                    for length in [0u64, 1, 7, 64, 130] {
+                        let sim = simulate_single_stream(&config, 0, stride, length);
+                        let formula = single_stream_stalls(&config, stride, length);
+                        assert_eq!(
+                            sim.stall_cycles, formula,
+                            "M={m} tm={tm} s={stride} n={length}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_simulator_on_prime_banks() {
+        // The gcd argument is modulus-agnostic; with a prime bank count the
+        // only degenerate strides are multiples of M.
+        for m in [7u64, 31, 61] {
+            for tm in [4u64, 16, 63, 64, 100] {
+                let config = MemoryConfig::new(m, tm, BankingScheme::PrimeBanked).unwrap();
+                for stride in [1u64, 2, 8, 16, 32, 64, m, 2 * m] {
+                    for length in [0u64, 1, 64, 200] {
+                        let sim = simulate_single_stream(&config, 0, stride, length);
+                        let formula = single_stream_stalls(&config, stride, length);
+                        assert_eq!(
+                            sim.stall_cycles, formula,
+                            "M={m} tm={tm} s={stride} n={length}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prime_banks_break_power_of_two_stride_pathology() {
+        // Stride 32 on 64 low-order banks uses 2 banks; on 61 prime banks
+        // it sweeps all 61. Same t_m, wildly different stalls.
+        let pow2 = MemoryConfig::new(64, 32, BankingScheme::LowOrderInterleave).unwrap();
+        let prime = MemoryConfig::new(61, 32, BankingScheme::PrimeBanked).unwrap();
+        let s_pow2 = simulate_single_stream(&pow2, 0, 32, 128).stall_cycles;
+        let s_prime = simulate_single_stream(&prime, 0, 32, 128).stall_cycles;
+        assert!(s_pow2 > 0);
+        assert_eq!(s_prime, 0);
+    }
+
+    #[test]
+    fn base_address_does_not_change_stalls() {
+        let config = cfg(32, 16);
+        for base in [0u64, 1, 17, 31, 1000] {
+            let sim = simulate_single_stream(&config, base, 8, 64);
+            assert_eq!(sim.stall_cycles, single_stream_stalls(&config, 8, 64));
+        }
+    }
+
+    #[test]
+    fn paper_form_exceeds_exact_by_one_sweep() {
+        let config = cfg(32, 16);
+        // stride 8 → k = 4, tm - k = 12 per sweep, MVL = 64 → 16 sweeps.
+        assert_eq!(single_stream_stalls_paper(&config, 8, 64), 16 * 12);
+        assert_eq!(single_stream_stalls(&config, 8, 64), 15 * 12);
+    }
+
+    #[test]
+    fn banks_visited_reference() {
+        assert_eq!(banks_visited(32, 1), 32);
+        assert_eq!(banks_visited(32, 2), 16);
+        assert_eq!(banks_visited(32, 32), 1);
+        assert_eq!(banks_visited(32, 64), 1);
+        assert_eq!(banks_visited(32, 31), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_stride_panics() {
+        let _ = banks_visited(32, 0);
+    }
+}

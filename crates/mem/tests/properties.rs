@@ -1,0 +1,100 @@
+//! Property-based tests for the interleaved memory simulator.
+
+use proptest::prelude::*;
+use vcache_mem::{
+    simulate_dual_stream, simulate_single_stream, sweep, BankingScheme, MemoryConfig, StreamSpec,
+};
+
+fn arb_pow2_config() -> impl Strategy<Value = MemoryConfig> {
+    (prop::sample::select(vec![2u64, 4, 8, 16, 32, 64]), 1u64..40).prop_map(|(m, tm)| {
+        MemoryConfig::new(m, tm, BankingScheme::LowOrderInterleave).expect("valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn simulator_matches_closed_form(
+        cfg in arb_pow2_config(),
+        stride in 1u64..128,
+        length in 0u64..200,
+        base in 0u64..1000,
+    ) {
+        let sim = simulate_single_stream(&cfg, base, stride, length);
+        prop_assert_eq!(sim.stall_cycles, sweep::single_stream_stalls(&cfg, stride, length));
+    }
+
+    #[test]
+    fn finish_time_is_stalls_plus_pipeline(
+        cfg in arb_pow2_config(),
+        stride in 1u64..128,
+        length in 1u64..200,
+    ) {
+        // In-order single stream: last element issues at (n-1) + stalls and
+        // completes t_m later. Stall cycles are exactly the added latency.
+        let sim = simulate_single_stream(&cfg, 0, stride, length);
+        prop_assert_eq!(
+            sim.finish_time,
+            (length - 1) + sim.stall_cycles + cfg.access_time()
+        );
+    }
+
+    #[test]
+    fn more_banks_never_hurt(
+        tm in 1u64..40,
+        stride in 1u64..64,
+        length in 0u64..128,
+    ) {
+        // Doubling the bank count can only reduce (or keep) stalls.
+        let mut prev = u64::MAX;
+        for m in [4u64, 8, 16, 32, 64] {
+            let cfg = MemoryConfig::new(m, tm, BankingScheme::LowOrderInterleave).unwrap();
+            let stalls = simulate_single_stream(&cfg, 0, stride, length).stall_cycles;
+            prop_assert!(stalls <= prev, "M={m}: {stalls} > {prev}");
+            prev = stalls;
+        }
+    }
+
+    #[test]
+    fn odd_strides_on_pow2_banks_are_conflict_free_when_latency_covered(
+        cfg in arb_pow2_config(),
+        odd in 0u64..32,
+        length in 0u64..128,
+    ) {
+        // gcd(2^m, odd) = 1 → full sweep of M banks; no stalls if t_m <= M.
+        prop_assume!(cfg.access_time() <= cfg.banks());
+        let stride = 2 * odd + 1;
+        let sim = simulate_single_stream(&cfg, 0, stride, length);
+        prop_assert_eq!(sim.stall_cycles, 0);
+    }
+
+    #[test]
+    fn dual_stream_cross_stalls_vanish_on_disjoint_banks(
+        tm in 1u64..20,
+        length in 1u64..64,
+    ) {
+        let cfg = MemoryConfig::new(8, tm, BankingScheme::LowOrderInterleave).unwrap();
+        let a = StreamSpec { base: 0, stride: 2, length };
+        let b = StreamSpec { base: 1, stride: 2, length };
+        prop_assert_eq!(simulate_dual_stream(&cfg, a, b).cross_stall_cycles, 0);
+    }
+
+    #[test]
+    fn dual_stream_total_at_least_solo_sum(
+        cfg in arb_pow2_config(),
+        s1 in 1u64..32,
+        s2 in 1u64..32,
+        b2 in 0u64..64,
+        length in 1u64..64,
+    ) {
+        // Sharing banks can only add stalls relative to running alone;
+        // cross_stall_cycles is that (non-negative) difference.
+        let a = StreamSpec { base: 0, stride: s1, length };
+        let b = StreamSpec { base: b2, stride: s2, length };
+        let dual = simulate_dual_stream(&cfg, a, b);
+        let solo: u64 = [a, b]
+            .iter()
+            .map(|s| simulate_single_stream(&cfg, s.base, s.stride, s.length).stall_cycles)
+            .sum();
+        prop_assert_eq!(dual.total_stalls(), solo + dual.cross_stall_cycles);
+    }
+}

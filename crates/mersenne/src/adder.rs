@@ -1,0 +1,274 @@
+//! A bit-level model of the `c`-bit end-around-carry (folding) adder.
+//!
+//! The paper's Figure 1 datapath computes the next cache index by adding the
+//! (Mersenne-converted) stride to the previous index in a single `c`-bit
+//! adder whose carry-out feeds back into its carry-in. Because the adder is
+//! only `c` bits wide — a *portion* of the memory-address adder — the paper
+//! argues the cache address is ready no later than the memory address, i.e.
+//! the scheme adds zero latency. This module reproduces that adder at the
+//! bit level (ripple-carry, explicit end-around carry) so the claim can be
+//! checked against the arithmetic definition, and counts operations so the
+//! hardware-cost discussion of §2.3 is quantified.
+
+use core::fmt;
+
+use crate::MersenneModulus;
+
+/// Cumulative operation counts for a [`FoldingAdder`].
+///
+/// One "addition" is one pass through the `c`-bit adder; `end_around_carries`
+/// counts how many of those passes produced a carry-out that was folded back
+/// (in real hardware this is free — the carry wire is simply routed — but it
+/// is the interesting event for verifying the arithmetic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdderStats {
+    /// Number of c-bit additions performed.
+    pub additions: u64,
+    /// Number of additions whose carry-out was folded back into carry-in.
+    pub end_around_carries: u64,
+    /// Number of full-adder (single-bit) evaluations, `c` per addition plus
+    /// `c` more per folded carry in this ripple model.
+    pub full_adder_ops: u64,
+}
+
+impl fmt::Display for AdderStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} additions ({} with end-around carry, {} full-adder ops)",
+            self.additions, self.end_around_carries, self.full_adder_ops
+        )
+    }
+}
+
+/// A `c`-bit ripple-carry adder with end-around carry: the hardware unit of
+/// the prime-mapped cache's address generator.
+///
+/// The adder computes `a + b mod (2^c - 1)` with the convention that the
+/// all-ones word (which is ≡ 0) is normalised to zero, matching
+/// [`MersenneModulus::reduce`].
+///
+/// # Example
+///
+/// ```
+/// use vcache_mersenne::FoldingAdder;
+///
+/// let mut adder = FoldingAdder::new(13)?;
+/// // 8190 + 2 = 8192 ≡ 1 (mod 8191): carry folds around.
+/// assert_eq!(adder.add(8190, 2), 1);
+/// assert_eq!(adder.stats().end_around_carries, 1);
+/// # Ok::<(), vcache_mersenne::MersenneModulusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FoldingAdder {
+    modulus: MersenneModulus,
+    stats: AdderStats,
+}
+
+impl FoldingAdder {
+    /// Creates a folding adder of width `c` bits (modulus `2^c - 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MersenneModulusError`] if `c` is not a supported
+    /// Mersenne-prime exponent.
+    pub fn new(exponent: u32) -> Result<Self, crate::MersenneModulusError> {
+        Ok(Self {
+            modulus: MersenneModulus::new(exponent)?,
+            stats: AdderStats::default(),
+        })
+    }
+
+    /// Creates a folding adder for an existing modulus.
+    #[must_use]
+    pub fn for_modulus(modulus: MersenneModulus) -> Self {
+        Self {
+            modulus,
+            stats: AdderStats::default(),
+        }
+    }
+
+    /// The modulus `2^c - 1` this adder implements.
+    #[must_use]
+    pub fn modulus(&self) -> MersenneModulus {
+        self.modulus
+    }
+
+    /// Adds two `c`-bit residues through the ripple-carry datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `c` bits — a real adder has no
+    /// wires for the extra bits, so feeding it a wider value is a
+    /// programming error, not an arithmetic condition.
+    pub fn add(&mut self, a: u64, b: u64) -> u64 {
+        let c = self.modulus.exponent();
+        let mask = self.modulus.mask();
+        assert!(a <= mask, "operand {a} exceeds {c}-bit adder width");
+        assert!(b <= mask, "operand {b} exceeds {c}-bit adder width");
+
+        let (mut sum, carry_out) = self.ripple(a, b, 0);
+        self.stats.additions += 1;
+        if carry_out {
+            // End-around carry: wire carry-out back to carry-in and
+            // re-evaluate. For Mersenne operands a second carry cannot occur
+            // (a + b + 1 ≤ 2(2^c - 1) + 1 < 2^(c+1)), so one fold suffices.
+            let (sum2, carry2) = self.ripple(sum, 0, 1);
+            debug_assert!(!carry2, "second end-around carry is impossible");
+            sum = sum2;
+            self.stats.end_around_carries += 1;
+        }
+        // The all-ones word represents zero.
+        if sum == mask {
+            0
+        } else {
+            sum
+        }
+    }
+
+    /// One pass of the `c`-bit ripple-carry array.
+    fn ripple(&mut self, a: u64, b: u64, carry_in: u64) -> (u64, bool) {
+        let c = self.modulus.exponent();
+        let mut carry = carry_in;
+        let mut sum = 0u64;
+        for bit in 0..c {
+            let ab = (a >> bit) & 1;
+            let bb = (b >> bit) & 1;
+            let s = ab ^ bb ^ carry;
+            carry = (ab & bb) | (ab & carry) | (bb & carry);
+            sum |= s << bit;
+            self.stats.full_adder_ops += 1;
+        }
+        (sum, carry != 0)
+    }
+
+    /// Reduces an arbitrarily wide line address into the `c`-bit index by a
+    /// chain of folding additions over its `c`-bit digits — the start-address
+    /// conversion of the paper's Figure 1 (`index_A + tag_A1 + tag_A2 + …`).
+    ///
+    /// Returns the index together with the number of adder passes used,
+    /// which is the start-up latency (in adder delays) the designer pays if
+    /// the converted start address is not cached in a register.
+    pub fn fold_address(&mut self, address: u64) -> (u64, u32) {
+        let c = self.modulus.exponent();
+        let mask = self.modulus.mask();
+        let mut acc = address & mask;
+        let mut rest = address >> c;
+        let mut passes = 0;
+        while rest != 0 {
+            acc = self.add(acc, rest & mask);
+            rest >>= c;
+            passes += 1;
+        }
+        // Normalise the representation of zero.
+        if acc == mask {
+            acc = 0;
+        }
+        (acc, passes)
+    }
+
+    /// Operation counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> AdderStats {
+        self.stats
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = AdderStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_matches_modulus_exhaustively_c5() {
+        let mut adder = FoldingAdder::new(5).unwrap();
+        let m = adder.modulus();
+        for a in 0..31u64 {
+            for b in 0..31u64 {
+                assert_eq!(adder.add(a, b), m.add(a, b), "a={a} b={b}");
+            }
+        }
+        // 31*31 additions performed.
+        assert_eq!(adder.stats().additions as usize, 31 * 31);
+    }
+
+    #[test]
+    fn add_accepts_all_ones_operand() {
+        // The all-ones pattern can arrive from an unnormalised datapath; it
+        // fits in c bits so the adder must take it and treat it as ≡ 0.
+        let mut adder = FoldingAdder::new(3).unwrap();
+        assert_eq!(adder.add(7, 0), 0);
+        // 0b111 + 0b111 = 0b1110: carry folds, 0b110 + 1 = 0b111 ≡ 0.
+        assert_eq!(adder.add(7, 7), 0);
+    }
+
+    #[test]
+    fn add_seven_plus_seven_is_zero_mod_seven() {
+        let mut adder = FoldingAdder::new(3).unwrap();
+        let m = adder.modulus();
+        assert_eq!(adder.add(7, 7), m.add(7, 7));
+        assert_eq!(m.add(7, 7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 5-bit adder width")]
+    fn add_rejects_wide_operand() {
+        let mut adder = FoldingAdder::new(5).unwrap();
+        let _ = adder.add(32, 0);
+    }
+
+    #[test]
+    fn end_around_carry_counted() {
+        let mut adder = FoldingAdder::new(13).unwrap();
+        assert_eq!(adder.add(8190, 2), 1);
+        assert_eq!(adder.add(1, 1), 2); // no carry
+        let s = adder.stats();
+        assert_eq!(s.additions, 2);
+        assert_eq!(s.end_around_carries, 1);
+        // 13 bits per pass; the folded addition costs one extra pass.
+        assert_eq!(s.full_adder_ops, 13 * 3);
+    }
+
+    #[test]
+    fn fold_address_matches_reduce() {
+        let mut adder = FoldingAdder::new(13).unwrap();
+        let m = adder.modulus();
+        for addr in [0u64, 1, 8191, 8192, 0xDEAD_BEEF, u64::MAX, 1 << 40] {
+            let (idx, _passes) = adder.fold_address(addr);
+            assert_eq!(idx, m.reduce(addr), "addr = {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn fold_address_pass_count_is_digit_count() {
+        let mut adder = FoldingAdder::new(13).unwrap();
+        // A 32-bit address has tag bits above bit 13: 32-13 = 19 bits of tag,
+        // i.e. two 13-bit digits above the index → 2 passes.
+        let addr = (1u64 << 32) - 1;
+        let (_, passes) = adder.fold_address(addr);
+        assert_eq!(passes, 2);
+        // An index-only address needs no passes at all.
+        let (_, passes0) = adder.fold_address(0x1FFF >> 1);
+        assert_eq!(passes0, 0);
+    }
+
+    #[test]
+    fn reset_stats_clears_counts() {
+        let mut adder = FoldingAdder::new(5).unwrap();
+        let _ = adder.add(3, 4);
+        adder.reset_stats();
+        assert_eq!(adder.stats(), AdderStats::default());
+    }
+
+    #[test]
+    fn stats_display_mentions_counts() {
+        let mut adder = FoldingAdder::new(5).unwrap();
+        let _ = adder.add(30, 30);
+        let text = adder.stats().to_string();
+        assert!(text.contains("1 additions"), "{text}");
+    }
+}

@@ -1,0 +1,242 @@
+//! The two-variable congruence "program" of the paper's §3.2.
+//!
+//! Cross-interference between two vector access streams on `M` interleaved
+//! banks: element `i` of the first stream lives in bank `s1*i mod M`,
+//! element `j` of the second in bank `(s2*j + D) mod M`. A conflict occurs
+//! for every solution pair `(i, j)` of
+//!
+//! ```text
+//! s1*i ≡ s2*j + D (mod M),   i, j ∈ [0, MVL),   |i - j| < t_m
+//! ```
+//!
+//! and costs `t_m - |i - j|` stall cycles. The paper states "we have
+//! written a program of solving the congruence equation"; this module is
+//! that program, twice: a brute-force reference and a fast solver that
+//! reduces the problem to one linear congruence per lag `k = i - j`, used
+//! by the analytical model where the triple `(s1, s2, D)` is averaged over
+//! its whole distribution.
+
+use crate::numtheory::{gcd, mod_inverse};
+
+/// Parameters of one cross-interference counting problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrossConflict {
+    /// Stride of the first vector stream.
+    pub s1: u64,
+    /// Stride of the second vector stream.
+    pub s2: u64,
+    /// Bank distance between the streams' starting addresses.
+    pub d: u64,
+    /// Number of memory banks `M` (need not be a power of two here).
+    pub banks: u64,
+    /// Elements per stream (the paper uses `MVL`).
+    pub elements: u64,
+    /// Bank access time `t_m` in cycles; lags `|i-j| < t_m` conflict.
+    pub access_time: u64,
+}
+
+impl CrossConflict {
+    /// Total stall cycles, brute force over all `(i, j)` pairs.
+    ///
+    /// Quadratic in [`Self::elements`]; kept as the oracle for testing and
+    /// for small problems.
+    #[must_use]
+    pub fn stalls_brute(&self) -> u64 {
+        let m = self.banks;
+        assert!(m > 0, "bank count must be positive");
+        let mut stalls = 0;
+        for i in 0..self.elements {
+            for j in 0..self.elements {
+                let lag = i.abs_diff(j);
+                if lag >= self.access_time {
+                    continue;
+                }
+                if (self.s1 * i) % m == (self.s2 * j + self.d) % m {
+                    stalls += self.access_time - lag;
+                }
+            }
+        }
+        stalls
+    }
+
+    /// Total stall cycles via per-lag linear congruences.
+    ///
+    /// For a fixed lag `k = i - j`, substituting `j = i - k` turns the
+    /// two-variable congruence into `(s1 - s2)·i ≡ D - s2·k (mod M)`, whose
+    /// solutions form `gcd(s1 - s2, M)` arithmetic progressions of period
+    /// `M / gcd`. Counting progression members inside the valid `i` range
+    /// is O(1), so the whole computation is `O(t_m · gcd)` instead of
+    /// `O(MVL²)`.
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        let m = self.banks;
+        assert!(m > 0, "bank count must be positive");
+        if self.elements == 0 || self.access_time == 0 {
+            return 0;
+        }
+        let mvl = self.elements;
+        let tm = self.access_time;
+        // a = (s1 - s2) mod M
+        let a = (self.s1 % m + m - self.s2 % m) % m;
+        let mut stalls = 0u64;
+        let max_lag = tm.min(mvl) as i64 - 1;
+        for k in -max_lag..=max_lag {
+            // b = (D - s2*k) mod M
+            let s2_abs = (self.s2 % m) * (k.unsigned_abs() % m) % m;
+            let minus_s2k = if k >= 0 { (m - s2_abs) % m } else { s2_abs };
+            let b = (self.d % m + minus_s2k) % m;
+            // Valid i range so that both i and j = i - k lie in [0, MVL).
+            let lo = k.max(0) as u64;
+            let hi = (mvl as i64 - 1 + k.min(0)) as u64; // inclusive
+            if lo > hi {
+                continue;
+            }
+            let weight = tm - k.unsigned_abs();
+            stalls += weight * count_congruence_solutions_in_range(a, b, m, lo, hi);
+        }
+        stalls
+    }
+}
+
+/// Counts `x` in `[lo, hi]` (inclusive) with `a·x ≡ b (mod m)`.
+fn count_congruence_solutions_in_range(a: u64, b: u64, m: u64, lo: u64, hi: u64) -> u64 {
+    debug_assert!(m > 0);
+    let a = a % m;
+    let b = b % m;
+    if a == 0 {
+        return if b == 0 { hi - lo + 1 } else { 0 };
+    }
+    let g = gcd(a, m);
+    if !b.is_multiple_of(g) {
+        return 0;
+    }
+    let m_red = m / g;
+    let inv = mod_inverse(a / g, m_red).expect("reduced pair is coprime");
+    let x0 = (u128::from(inv) * u128::from(b / g) % u128::from(m_red)) as u64;
+    // Solutions are x ≡ x0 (mod m_red). Count members of the progression in
+    // [lo, hi].
+    let first = if x0 >= lo % m_red {
+        lo - lo % m_red + x0
+    } else {
+        lo - lo % m_red + x0 + m_red
+    };
+    let first = if first < lo { first + m_red } else { first };
+    if first > hi {
+        0
+    } else {
+        (hi - first) / m_red + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_matches_brute_small_sweep() {
+        for m in [4u64, 8, 16, 7, 31] {
+            for s1 in 1..=m.min(6) {
+                for s2 in 1..=m.min(6) {
+                    for d in 0..m.min(5) {
+                        let p = CrossConflict {
+                            s1,
+                            s2,
+                            d,
+                            banks: m,
+                            elements: 20,
+                            access_time: 5,
+                        };
+                        assert_eq!(p.stalls(), p.stalls_brute(), "m={m} s1={s1} s2={s2} d={d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matches_brute_paper_scale() {
+        // The paper's configuration: M = 32 or 64 banks, MVL = 64.
+        for (m, tm) in [(32u64, 8u64), (64, 16), (64, 64)] {
+            for (s1, s2, d) in [(1, 1, 0), (2, 6, 3), (31, 17, 12), (32, 32, 0), (63, 2, 1)] {
+                let p = CrossConflict {
+                    s1,
+                    s2,
+                    d,
+                    banks: m,
+                    elements: 64,
+                    access_time: tm,
+                };
+                assert_eq!(
+                    p.stalls(),
+                    p.stalls_brute(),
+                    "m={m} tm={tm} s1={s1} s2={s2} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cases() {
+        let base = CrossConflict {
+            s1: 3,
+            s2: 5,
+            d: 1,
+            banks: 16,
+            elements: 0,
+            access_time: 4,
+        };
+        assert_eq!(base.stalls(), 0);
+        let no_window = CrossConflict {
+            access_time: 0,
+            elements: 10,
+            ..base
+        };
+        assert_eq!(no_window.stalls(), 0);
+    }
+
+    #[test]
+    fn identical_streams_conflict_every_element() {
+        // Same stride, same start (D = 0): i = j always collides with lag 0,
+        // costing t_m each.
+        let p = CrossConflict {
+            s1: 1,
+            s2: 1,
+            d: 0,
+            banks: 8,
+            elements: 16,
+            access_time: 3,
+        };
+        // lag 0 contributes 16 * 3; lags ±1.. also collide when
+        // s*(i-j) ≡ 0 mod 8 → |i-j| multiple of 8 ≥ t_m, so nothing else.
+        assert_eq!(p.stalls(), 16 * 3);
+        assert_eq!(p.stalls_brute(), 16 * 3);
+    }
+
+    #[test]
+    fn disjoint_banks_never_conflict() {
+        // Stride 2 from even bank vs stride 2 from odd bank: streams live on
+        // disjoint bank sets, no conflicts at any lag.
+        let p = CrossConflict {
+            s1: 2,
+            s2: 2,
+            d: 1,
+            banks: 8,
+            elements: 64,
+            access_time: 8,
+        };
+        assert_eq!(p.stalls(), 0);
+    }
+
+    #[test]
+    fn progression_counting_reference() {
+        // 6x ≡ 4 (mod 8) has solutions x ∈ {2, 6} mod 8 → in [0, 15]: {2,6,10,14}.
+        assert_eq!(count_congruence_solutions_in_range(6, 4, 8, 0, 15), 4);
+        assert_eq!(count_congruence_solutions_in_range(6, 4, 8, 3, 9), 1); // only x = 6
+        assert_eq!(count_congruence_solutions_in_range(6, 4, 8, 7, 7), 0);
+        // Unsolvable.
+        assert_eq!(count_congruence_solutions_in_range(2, 1, 4, 0, 100), 0);
+        // Degenerate a = 0.
+        assert_eq!(count_congruence_solutions_in_range(0, 0, 4, 5, 9), 5);
+        assert_eq!(count_congruence_solutions_in_range(8, 3, 4, 5, 9), 0);
+    }
+}

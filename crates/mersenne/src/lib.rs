@@ -1,0 +1,120 @@
+//! Mersenne-number arithmetic and the number theory behind the
+//! prime-mapped vector cache of Yang & Wu (ISCA 1992).
+//!
+//! The prime-mapped cache holds `2^c - 1` lines, where `2^c - 1` is a
+//! [Mersenne prime]. Its central trick is that reduction modulo a Mersenne
+//! number needs no division: since `2^c ≡ 1 (mod 2^c - 1)`, a wide value can
+//! be reduced by summing its `c`-bit digits, and additions can be performed
+//! by an ordinary `c`-bit adder whose carry-out is folded back into the
+//! carry-in (an *end-around-carry* or *folding* adder). This crate provides:
+//!
+//! * [`MersenneModulus`] — a validated modulus `2^c - 1` with fast
+//!   digit-folding reduction and residue arithmetic;
+//! * [`FoldingAdder`] — a gate-level-faithful model of the `c`-bit
+//!   end-around-carry adder used by the cache's address generator, with
+//!   operation counting so hardware-cost claims can be checked;
+//! * [`numtheory`] — gcd/extended-gcd, modular inverses, linear-congruence
+//!   solvers and divisor-function helpers used by the analytical model;
+//! * [`congruence`] — the two-variable congruence solver the paper uses to
+//!   count cross-interference stalls between two vector access streams.
+//!
+//! # Example
+//!
+//! ```
+//! use vcache_mersenne::MersenneModulus;
+//!
+//! // The 8K-line prime-mapped cache of the paper: 2^13 - 1 = 8191 lines.
+//! let m = MersenneModulus::new(13).expect("13 is a Mersenne-prime exponent");
+//! assert_eq!(m.value(), 8191);
+//! // Reduction by digit folding, no division:
+//! assert_eq!(m.reduce(8191), 0);
+//! assert_eq!(m.reduce(8192), 1);
+//! assert_eq!(m.reduce(0xFFFF_FFFF), 0xFFFF_FFFFu64 % 8191);
+//! ```
+//!
+//! [Mersenne prime]: https://en.wikipedia.org/wiki/Mersenne_prime
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod adder;
+pub mod congruence;
+mod modulus;
+pub mod numtheory;
+
+pub use adder::{AdderStats, FoldingAdder};
+pub use modulus::{MersenneModulus, MersenneModulusError, Residue};
+
+/// Exponents `c` for which `2^c - 1` is prime and fits in the `u64`
+/// address arithmetic of the simulators (`c ≤ 61`).
+///
+/// These are the cache-size choices available to a prime-mapped cache: a
+/// 2-line toy cache up to an (academic) 2^61-line one. The paper's running
+/// example uses `c = 13` (8191 lines ≈ the 8K-word cache of its figures).
+pub const MERSENNE_EXPONENTS: [u32; 9] = [2, 3, 5, 7, 13, 17, 19, 31, 61];
+
+/// Returns `true` if `2^c - 1` is a Mersenne prime representable in `u64`
+/// cache arithmetic (i.e. `c` is one of [`MERSENNE_EXPONENTS`]).
+///
+/// # Example
+///
+/// ```
+/// assert!(vcache_mersenne::is_mersenne_exponent(13));
+/// assert!(!vcache_mersenne::is_mersenne_exponent(11)); // 2047 = 23 * 89
+/// ```
+#[must_use]
+pub fn is_mersenne_exponent(c: u32) -> bool {
+    MERSENNE_EXPONENTS.contains(&c)
+}
+
+/// Returns the largest Mersenne-prime line count not exceeding `limit`,
+/// if any exists.
+///
+/// This is how a designer picks the prime-mapped geometry closest to a
+/// power-of-two budget: an 8192-line budget yields 8191 usable lines.
+///
+/// # Example
+///
+/// ```
+/// use vcache_mersenne::largest_mersenne_at_most;
+/// assert_eq!(largest_mersenne_at_most(8192), Some(8191));
+/// assert_eq!(largest_mersenne_at_most(8190), Some(127)); // next below 8191 is 2^7-1
+/// assert_eq!(largest_mersenne_at_most(2), None);
+/// ```
+#[must_use]
+pub fn largest_mersenne_at_most(limit: u64) -> Option<u64> {
+    MERSENNE_EXPONENTS
+        .iter()
+        .rev()
+        .map(|&c| (1u64 << c) - 1)
+        .find(|&m| m <= limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numtheory::is_prime;
+
+    #[test]
+    fn exponent_table_yields_primes() {
+        for &c in &MERSENNE_EXPONENTS {
+            let m = (1u64 << c) - 1;
+            assert!(is_prime(m), "2^{c} - 1 = {m} must be prime");
+        }
+    }
+
+    #[test]
+    fn non_exponents_rejected() {
+        for c in [0, 1, 4, 6, 8, 9, 10, 11, 12, 14, 15, 16, 18, 20, 23, 29, 32] {
+            assert!(!is_mersenne_exponent(c), "c = {c} is not in the table");
+        }
+    }
+
+    #[test]
+    fn largest_at_most_boundaries() {
+        assert_eq!(largest_mersenne_at_most(3), Some(3));
+        assert_eq!(largest_mersenne_at_most(4), Some(3));
+        assert_eq!(largest_mersenne_at_most(u64::MAX), Some((1 << 61) - 1));
+        assert_eq!(largest_mersenne_at_most(0), None);
+    }
+}

@@ -1,0 +1,414 @@
+//! The validated Mersenne modulus `2^c - 1` and residue arithmetic on it.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when constructing a [`MersenneModulus`] from an exponent
+/// for which `2^c - 1` is not a supported Mersenne prime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MersenneModulusError {
+    exponent: u32,
+}
+
+impl MersenneModulusError {
+    /// The rejected exponent.
+    #[must_use]
+    pub fn exponent(&self) -> u32 {
+        self.exponent
+    }
+}
+
+impl fmt::Display for MersenneModulusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "2^{} - 1 is not a supported Mersenne prime (valid exponents: {:?})",
+            self.exponent,
+            crate::MERSENNE_EXPONENTS
+        )
+    }
+}
+
+impl std::error::Error for MersenneModulusError {}
+
+/// A Mersenne-prime modulus `2^c - 1`, the line count of a prime-mapped
+/// cache.
+///
+/// All reduction is performed by *digit folding* — repeatedly adding the
+/// high bits above position `c` back into the low `c` bits — which is the
+/// software analogue of the end-around-carry adder the hardware uses
+/// (see [`FoldingAdder`](crate::FoldingAdder)). No division instruction is
+/// ever executed on the reduction path.
+///
+/// # Example
+///
+/// ```
+/// use vcache_mersenne::MersenneModulus;
+///
+/// let m = MersenneModulus::new(7)?;
+/// assert_eq!(m.value(), 127);
+/// assert_eq!(m.reduce(130), 3);
+/// assert_eq!(m.add(120, 10), 3);
+/// # Ok::<(), vcache_mersenne::MersenneModulusError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MersenneModulus {
+    exponent: u32,
+}
+
+impl MersenneModulus {
+    /// Creates the modulus `2^c - 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MersenneModulusError`] if `c` is not one of the supported
+    /// Mersenne-prime exponents ([`crate::MERSENNE_EXPONENTS`]). Composite
+    /// Mersenne numbers (e.g. `2^11 - 1 = 23 * 89`) are rejected because the
+    /// conflict-freedom arguments of the paper require a *prime* modulus.
+    pub fn new(exponent: u32) -> Result<Self, MersenneModulusError> {
+        if crate::is_mersenne_exponent(exponent) {
+            Ok(Self { exponent })
+        } else {
+            Err(MersenneModulusError { exponent })
+        }
+    }
+
+    /// The exponent `c` (also the index width in bits of the cache address).
+    #[must_use]
+    pub fn exponent(&self) -> u32 {
+        self.exponent
+    }
+
+    /// The modulus value `2^c - 1`.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        (1u64 << self.exponent) - 1
+    }
+
+    /// The all-ones bit mask of width `c`; numerically equal to
+    /// [`Self::value`], provided separately for readability at call sites
+    /// doing bit manipulation.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        self.value()
+    }
+
+    /// Reduces `x` modulo `2^c - 1` by digit folding.
+    ///
+    /// Each fold adds the bits above position `c` into the low `c` bits,
+    /// exploiting `2^c ≡ 1`. For a 64-bit input at most ⌈64/c⌉ folds are
+    /// needed, each a shift, a mask and an add.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let m = vcache_mersenne::MersenneModulus::new(13)?;
+    /// for x in [0u64, 1, 8190, 8191, 8192, 1 << 40, u64::MAX] {
+    ///     assert_eq!(m.reduce(x), x % 8191);
+    /// }
+    /// # Ok::<(), vcache_mersenne::MersenneModulusError>(())
+    /// ```
+    #[must_use]
+    pub fn reduce(&self, mut x: u64) -> u64 {
+        let c = self.exponent;
+        let mask = self.mask();
+        while x > mask {
+            x = (x & mask) + (x >> c);
+        }
+        // x is now in [0, 2^c - 1]; the single ambiguous value 2^c - 1
+        // represents zero.
+        if x == mask {
+            0
+        } else {
+            x
+        }
+    }
+
+    /// Adds two residues modulo `2^c - 1`.
+    ///
+    /// Operands need not be pre-reduced; the result always is.
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        // u64 addition may overflow only if both operands are huge
+        // unreduced values; reduce first to keep the sum in range.
+        self.reduce(self.reduce(a) + self.reduce(b))
+    }
+
+    /// Subtracts `b` from `a` modulo `2^c - 1`.
+    #[must_use]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        let m = self.value();
+        let (a, b) = (self.reduce(a), self.reduce(b));
+        self.reduce(a + (m - b))
+    }
+
+    /// Multiplies two residues modulo `2^c - 1`.
+    ///
+    /// Used by the models (e.g. mapping the `i`-th element of a strided
+    /// vector to line `(base + i * stride) mod (2^c - 1)`), not by the
+    /// hardware datapath, which only ever adds.
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        let prod = u128::from(self.reduce(a)) * u128::from(self.reduce(b));
+        // Fold the 128-bit product in u128, then hand off to u64 folding.
+        let c = self.exponent;
+        let mask = u128::from(self.mask());
+        let folded = (prod & mask) + (prod >> c);
+        self.reduce(folded as u64 + (folded >> 64) as u64)
+    }
+
+    /// Converts a signed stride to its residue, so that negative strides
+    /// (e.g. accessing a vector backwards) walk the cache correctly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let m = vcache_mersenne::MersenneModulus::new(5)?;
+    /// // stride -1 is congruent to 30 mod 31
+    /// assert_eq!(m.reduce_signed(-1), 30);
+    /// assert_eq!(m.add(3, m.reduce_signed(-1)), 2);
+    /// # Ok::<(), vcache_mersenne::MersenneModulusError>(())
+    /// ```
+    #[must_use]
+    pub fn reduce_signed(&self, x: i64) -> u64 {
+        if x >= 0 {
+            self.reduce(x as u64)
+        } else {
+            let mag = self.reduce(x.unsigned_abs());
+            self.sub(0, mag)
+        }
+    }
+
+    /// Creates a [`Residue`] bound to this modulus.
+    #[must_use]
+    pub fn residue(&self, x: u64) -> Residue {
+        Residue {
+            value: self.reduce(x),
+            modulus: *self,
+        }
+    }
+}
+
+impl fmt::Display for MersenneModulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "2^{} - 1 = {}", self.exponent, self.value())
+    }
+}
+
+/// A value known to be reduced modulo a specific [`MersenneModulus`].
+///
+/// The newtype prevents accidentally mixing residues of different cache
+/// geometries (e.g. adding an 8191-line index to a 127-line index), which
+/// plain `u64`s would permit.
+///
+/// # Example
+///
+/// ```
+/// use vcache_mersenne::MersenneModulus;
+///
+/// let m = MersenneModulus::new(13)?;
+/// let a = m.residue(8000);
+/// let b = m.residue(500);
+/// assert_eq!((a + b).value(), (8000 + 500) % 8191);
+/// # Ok::<(), vcache_mersenne::MersenneModulusError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Residue {
+    value: u64,
+    modulus: MersenneModulus,
+}
+
+impl Residue {
+    /// The reduced value, in `[0, 2^c - 2]`.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The modulus this residue is bound to.
+    #[must_use]
+    pub fn modulus(&self) -> MersenneModulus {
+        self.modulus
+    }
+}
+
+impl core::ops::Add for Residue {
+    type Output = Residue;
+
+    /// # Panics
+    ///
+    /// Panics if the operands are bound to different moduli.
+    fn add(self, rhs: Residue) -> Residue {
+        assert_eq!(
+            self.modulus, rhs.modulus,
+            "cannot add residues of different Mersenne moduli"
+        );
+        Residue {
+            value: self.modulus.add(self.value, rhs.value),
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl core::ops::Sub for Residue {
+    type Output = Residue;
+
+    /// # Panics
+    ///
+    /// Panics if the operands are bound to different moduli.
+    fn sub(self, rhs: Residue) -> Residue {
+        assert_eq!(
+            self.modulus, rhs.modulus,
+            "cannot subtract residues of different Mersenne moduli"
+        );
+        Residue {
+            value: self.modulus.sub(self.value, rhs.value),
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl core::ops::Mul for Residue {
+    type Output = Residue;
+
+    /// # Panics
+    ///
+    /// Panics if the operands are bound to different moduli.
+    fn mul(self, rhs: Residue) -> Residue {
+        assert_eq!(
+            self.modulus, rhs.modulus,
+            "cannot multiply residues of different Mersenne moduli"
+        );
+        Residue {
+            value: self.modulus.mul(self.value, rhs.value),
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl fmt::Display for Residue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (mod {})", self.value, self.modulus.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_moduli() -> Vec<MersenneModulus> {
+        crate::MERSENNE_EXPONENTS
+            .iter()
+            .map(|&c| MersenneModulus::new(c).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn new_rejects_bad_exponents() {
+        for c in [0, 1, 4, 11, 23, 32, 59] {
+            let err = MersenneModulus::new(c).unwrap_err();
+            assert_eq!(err.exponent(), c);
+            assert!(err.to_string().contains(&format!("2^{c}")));
+        }
+    }
+
+    #[test]
+    fn reduce_matches_modulo_exhaustive_small() {
+        let m = MersenneModulus::new(5).unwrap();
+        for x in 0..10_000u64 {
+            assert_eq!(m.reduce(x), x % 31, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_modulo_edge_values() {
+        for m in all_moduli() {
+            let v = m.value();
+            for x in [
+                0,
+                1,
+                v - 1,
+                v,
+                v + 1,
+                2 * v,
+                2 * v + 1,
+                u64::MAX,
+                u64::MAX - 1,
+                1u64 << 63,
+            ] {
+                assert_eq!(m.reduce(x), x % v, "c = {}, x = {x}", m.exponent());
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_mul_match_reference() {
+        let m = MersenneModulus::new(7).unwrap();
+        let v = m.value();
+        for a in (0..v).step_by(13) {
+            for b in (0..v).step_by(17) {
+                assert_eq!(m.add(a, b), (a + b) % v);
+                assert_eq!(m.sub(a, b), (a + v - b) % v);
+                assert_eq!(m.mul(a, b), (a * b) % v);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_large_operands_do_not_overflow() {
+        let m = MersenneModulus::new(31).unwrap();
+        let v = m.value();
+        let a = v - 1;
+        let b = v - 2;
+        // (v-1)(v-2) mod v == 2
+        assert_eq!(m.mul(a, b), 2);
+        // Unreduced huge operands are accepted too.
+        assert_eq!(m.mul(u64::MAX, u64::MAX), m.mul(u64::MAX % v, u64::MAX % v));
+    }
+
+    #[test]
+    fn signed_reduction() {
+        let m = MersenneModulus::new(5).unwrap();
+        assert_eq!(m.reduce_signed(0), 0);
+        assert_eq!(m.reduce_signed(31), 0);
+        assert_eq!(m.reduce_signed(-31), 0);
+        assert_eq!(m.reduce_signed(-1), 30);
+        assert_eq!(m.reduce_signed(-32), 30);
+        assert_eq!(
+            m.reduce_signed(i64::MIN),
+            (31 - (i64::MIN.unsigned_abs() % 31)) % 31
+        );
+    }
+
+    #[test]
+    fn residue_ops_and_display() {
+        let m = MersenneModulus::new(13).unwrap();
+        let a = m.residue(9000); // 9000 mod 8191 = 809
+        assert_eq!(a.value(), 809);
+        assert_eq!(a.modulus(), m);
+        let b = m.residue(8191);
+        assert_eq!(b.value(), 0);
+        assert_eq!((a + b).value(), 809);
+        assert_eq!((a - a).value(), 0);
+        assert_eq!((a * m.residue(1)).value(), 809);
+        assert_eq!(a.to_string(), "809 (mod 8191)");
+        assert_eq!(m.to_string(), "2^13 - 1 = 8191");
+    }
+
+    #[test]
+    #[should_panic(expected = "different Mersenne moduli")]
+    fn residue_modulus_mixing_panics() {
+        let a = MersenneModulus::new(5).unwrap().residue(1);
+        let b = MersenneModulus::new(7).unwrap().residue(1);
+        let _ = a + b;
+    }
+
+    #[test]
+    fn residue_value_never_equals_modulus() {
+        // 2^c - 1 and 0 are the same residue; the canonical form is 0.
+        for m in all_moduli() {
+            assert_eq!(m.residue(m.value()).value(), 0);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the Mersenne arithmetic substrate.
+
+use proptest::prelude::*;
+use vcache_mersenne::congruence::CrossConflict;
+use vcache_mersenne::numtheory::{gcd, lcm, mod_inverse, mod_mul, solve_linear_congruence};
+use vcache_mersenne::{FoldingAdder, MersenneModulus, MERSENNE_EXPONENTS};
+
+fn arb_modulus() -> impl Strategy<Value = MersenneModulus> {
+    prop::sample::select(MERSENNE_EXPONENTS.to_vec())
+        .prop_map(|c| MersenneModulus::new(c).expect("table exponent"))
+}
+
+proptest! {
+    #[test]
+    fn reduce_agrees_with_hardware_modulo(m in arb_modulus(), x in any::<u64>()) {
+        prop_assert_eq!(m.reduce(x), x % m.value());
+    }
+
+    #[test]
+    fn reduce_is_idempotent(m in arb_modulus(), x in any::<u64>()) {
+        let once = m.reduce(x);
+        prop_assert_eq!(m.reduce(once), once);
+    }
+
+    #[test]
+    fn add_is_commutative_and_associative(
+        m in arb_modulus(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        prop_assert_eq!(m.add(a, b), m.add(b, a));
+        prop_assert_eq!(m.add(m.add(a, b), c), m.add(a, m.add(b, c)));
+    }
+
+    #[test]
+    fn sub_inverts_add(m in arb_modulus(), a in any::<u64>(), b in any::<u64>()) {
+        let sum = m.add(a, b);
+        prop_assert_eq!(m.sub(sum, b), m.reduce(a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(
+        m in arb_modulus(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        prop_assert_eq!(m.mul(a, m.add(b, c)), m.add(m.mul(a, b), m.mul(a, c)));
+    }
+
+    #[test]
+    fn folding_adder_agrees_with_modulus(m in arb_modulus(), a in any::<u64>(), b in any::<u64>()) {
+        let mut adder = FoldingAdder::for_modulus(m);
+        let (a, b) = (a & m.mask(), b & m.mask());
+        prop_assert_eq!(adder.add(a, b), m.add(a, b));
+    }
+
+    #[test]
+    fn fold_address_agrees_with_reduce(m in arb_modulus(), addr in any::<u64>()) {
+        let mut adder = FoldingAdder::for_modulus(m);
+        let (idx, _) = adder.fold_address(addr);
+        prop_assert_eq!(idx, m.reduce(addr));
+    }
+
+    #[test]
+    fn every_nonzero_residue_is_invertible_mod_prime(m in arb_modulus(), x in 1u64..1_000_000) {
+        // Primality of the modulus is what the whole design rests on:
+        // any stride not ≡ 0 walks all lines, equivalently is invertible.
+        let v = m.value();
+        let r = x % v;
+        prop_assume!(r != 0);
+        let inv = mod_inverse(r, v).expect("prime modulus: inverse exists");
+        prop_assert_eq!(mod_mul(r, inv, v), 1);
+    }
+
+    #[test]
+    fn gcd_lcm_product_identity(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        prop_assert_eq!(gcd(a, b) as u128 * lcm(a, b) as u128, a as u128 * b as u128);
+    }
+
+    #[test]
+    fn congruence_solver_matches_brute(a in 0u64..64, b in 0u64..64, m in 1u64..64) {
+        let sols = solve_linear_congruence(a, b, m);
+        let brute: Vec<u64> = (0..m).filter(|&x| a.wrapping_mul(x) % m == b % m).collect();
+        prop_assert_eq!(sols, brute);
+    }
+
+    #[test]
+    fn cross_conflict_fast_matches_brute(
+        s1 in 1u64..32,
+        s2 in 1u64..32,
+        d in 0u64..32,
+        banks in prop::sample::select(vec![4u64, 8, 16, 31, 32]),
+        elements in 1u64..48,
+        access_time in 1u64..12,
+    ) {
+        let p = CrossConflict { s1, s2, d, banks, elements, access_time };
+        prop_assert_eq!(p.stalls(), p.stalls_brute());
+    }
+
+    #[test]
+    fn strided_walk_visits_all_lines_when_coprime(m in arb_modulus(), stride in 1u64..100_000) {
+        // The headline property of the prime-mapped cache: any stride that is
+        // not a multiple of the (prime) line count visits every line once per
+        // C elements — no self-interference within a block of size ≤ C.
+        let v = m.value();
+        prop_assume!(stride % v != 0);
+        // Walk min(v, 4096) steps and assert no repeats (full check only for
+        // small moduli to keep the test fast).
+        let steps = v.min(4096);
+        let mut seen = std::collections::HashSet::with_capacity(steps as usize);
+        let mut line = 0u64;
+        for _ in 0..steps {
+            prop_assert!(seen.insert(line), "line {line} repeated before wrap");
+            line = m.add(line, stride);
+        }
+    }
+}

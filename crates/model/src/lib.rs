@@ -1,0 +1,113 @@
+//! The analytical performance model of Yang & Wu (ISCA 1992), §3–§4.
+//!
+//! Two machine models share a vector unit (`MVL`-word registers), `M = 2^m`
+//! interleaved banks of `t_m`-cycle access time, and the fixed overheads of
+//! Hennessy & Patterson's simple vector timing (`10` cycles per block,
+//! `15 + T_start` per strip-mined loop, `T_start = 30 + t_m`):
+//!
+//! * **MM-model** (no cache): Equations (1)–(3). Stalls come from memory
+//!   bank interference — self (`I_s^M`, closed form over the stride
+//!   distribution) and cross (`I_c^M`, by solving the two-variable
+//!   congruence of [`vcache_mersenne::congruence`]).
+//! * **CC-model** (vector cache of `C` lines): Equations (4)–(7) with the
+//!   direct-mapped self-interference `I_s^C` of Equations (5)–(6), the
+//!   footprint cross-interference `I_c^C = B²·P_ds/C · t_m`, and — for the
+//!   prime-mapped cache — Equation (8), where self-interference survives
+//!   only for strides that are multiples of the prime line count.
+//!
+//! §4's pattern-specific analyses (sub-block, FFT) are in [`fft`]; the
+//! sub-block case needs no model (it is exactly conflict-free, see
+//! `vcache_core::blocking`).
+//!
+//! The headline quantity everywhere is **clock cycles per result**:
+//! total execution time divided by `N·R`.
+//!
+//! # Example
+//!
+//! ```
+//! use vcache_model::{cycles_per_result, Machine, MachineKind, StrideModel, Workload};
+//!
+//! let machine = Machine { mvl: 64, banks: 64, t_m: 64, cache_lines: 8192 };
+//! let wl = Workload::random_strides(1 << 20, 4096, 0.25, 0.25, machine.banks);
+//! let mm = cycles_per_result(&machine, &wl, MachineKind::MmModel);
+//! let dc = cycles_per_result(&machine, &wl, MachineKind::CcDirect);
+//! let pc = cycles_per_result(&machine.with_prime_cache(13), &wl, MachineKind::CcPrime);
+//! // Paper Fig. 7 at t_m = M = 64: prime beats direct ~3x and MM ~5x.
+//! assert!(pc < dc && dc < mm);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cc;
+pub mod fft;
+mod mm;
+mod params;
+
+pub use cc::{
+    cc_direct_cycles_per_result, cc_prime_cycles_per_result, i_c_c, i_s_c_direct, i_s_c_prime,
+    t_elemt_cc, t_n_cc,
+};
+pub use mm::{
+    i_c_m_averaged, i_c_m_expected, i_s_m, mm_cycles_per_result, t_b, t_elemt_mm, t_n_mm,
+};
+pub use params::{Machine, MachineKind, StrideModel, Workload};
+
+/// Cycles per result for any of the three machine models, the quantity the
+/// paper plots in every figure.
+#[must_use]
+pub fn cycles_per_result(machine: &Machine, workload: &Workload, kind: MachineKind) -> f64 {
+    match kind {
+        MachineKind::MmModel => mm_cycles_per_result(machine, workload),
+        MachineKind::CcDirect => cc_direct_cycles_per_result(machine, workload),
+        MachineKind::CcPrime => cc_prime_cycles_per_result(machine, workload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(banks: u64, t_m: u64) -> Machine {
+        Machine {
+            mvl: 64,
+            banks,
+            t_m,
+            cache_lines: 8192,
+        }
+    }
+
+    #[test]
+    fn fig7_ordering_at_matched_latency() {
+        // Fig. 7's headline point: at t_m = M = 64, prime < direct < MM.
+        let m = machine(64, 64);
+        let wl = Workload::random_strides(1 << 20, 4096, 0.25, 0.25, m.banks);
+        let mm = cycles_per_result(&m, &wl, MachineKind::MmModel);
+        let dc = cycles_per_result(&m, &wl, MachineKind::CcDirect);
+        let pc = cycles_per_result(&m.with_prime_cache(13), &wl, MachineKind::CcPrime);
+        assert!(pc < dc, "prime {pc} !< direct {dc}");
+        assert!(dc < mm, "direct {dc} !< MM {mm}");
+        // Factors from the paper's abstract: 2–3x over direct, ~5x over MM.
+        assert!(dc / pc > 1.5, "ratio direct/prime = {}", dc / pc);
+        assert!(mm / pc > 3.0, "ratio MM/prime = {}", mm / pc);
+    }
+
+    #[test]
+    fn dispatcher_matches_direct_calls() {
+        let m = machine(32, 16);
+        let wl = Workload::random_strides(1 << 18, 2048, 0.25, 0.25, m.banks);
+        assert_eq!(
+            cycles_per_result(&m, &wl, MachineKind::MmModel),
+            mm_cycles_per_result(&m, &wl)
+        );
+        assert_eq!(
+            cycles_per_result(&m, &wl, MachineKind::CcDirect),
+            cc_direct_cycles_per_result(&m, &wl)
+        );
+        let mp = m.with_prime_cache(13);
+        assert_eq!(
+            cycles_per_result(&mp, &wl, MachineKind::CcPrime),
+            cc_prime_cycles_per_result(&mp, &wl)
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Model parameters: machine description, stride models, and the VCM
+//! workload tuple.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's machine models to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineKind {
+    /// Figure 2: vector processor + interleaved memory, no cache.
+    MmModel,
+    /// Figure 3 with a conventional direct-mapped vector cache.
+    CcDirect,
+    /// Figure 3 with the prime-mapped vector cache.
+    CcPrime,
+}
+
+impl core::fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::MmModel => f.write_str("MM-model"),
+            Self::CcDirect => f.write_str("CC-direct"),
+            Self::CcPrime => f.write_str("CC-prime"),
+        }
+    }
+}
+
+/// Machine-side parameters shared by both processor models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Machine {
+    /// Maximum vector register length (the paper fixes 64).
+    pub mvl: u64,
+    /// Interleaved bank count `M = 2^m`.
+    pub banks: u64,
+    /// Memory access time `t_m` in processor cycles.
+    pub t_m: u64,
+    /// Vector-cache size in lines: `2^c` for the direct-mapped CC-model,
+    /// `2^c − 1` for the prime-mapped one.
+    pub cache_lines: u64,
+}
+
+impl Machine {
+    /// The paper's start-up time `T_start = 30 + t_m`.
+    #[must_use]
+    pub fn t_start(&self) -> f64 {
+        30.0 + self.t_m as f64
+    }
+
+    /// The same machine with its cache replaced by the `2^c − 1`-line
+    /// prime-mapped cache.
+    #[must_use]
+    pub fn with_prime_cache(&self, exponent: u32) -> Self {
+        Self {
+            cache_lines: (1 << exponent) - 1,
+            ..*self
+        }
+    }
+
+    /// The paper's running configuration (Figures 4–6): 32 banks, 8K-line
+    /// cache, `MVL = 64`.
+    #[must_use]
+    pub fn paper_default(t_m: u64) -> Self {
+        Self {
+            mvl: 64,
+            banks: 32,
+            t_m,
+            cache_lines: 8192,
+        }
+    }
+
+    /// The §4 configuration (Figures 7–11): 64 banks.
+    #[must_use]
+    pub fn paper_section4(t_m: u64) -> Self {
+        Self {
+            mvl: 64,
+            banks: 64,
+            t_m,
+            cache_lines: 8192,
+        }
+    }
+}
+
+/// Distribution of one vector's access stride in the analytical model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrideModel {
+    /// A known constant stride.
+    Fixed(u64),
+    /// The paper's distribution: stride 1 with probability `p_unit`
+    /// (`P_stride1`), otherwise uniform over `[2, modulus]` — where
+    /// `modulus` is `M` for the MM-model and `C` for the CC-models.
+    Random {
+        /// `P_stride1`.
+        p_unit: f64,
+        /// Upper end of the non-unit stride range.
+        modulus: u64,
+    },
+}
+
+impl StrideModel {
+    /// Expectation of `f(stride)` under this distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a random model has `modulus < 2`.
+    pub fn expect<F: FnMut(u64) -> f64>(&self, mut f: F) -> f64 {
+        match *self {
+            Self::Fixed(s) => f(s),
+            Self::Random { p_unit, modulus } => {
+                assert!(modulus >= 2, "random stride model needs modulus >= 2");
+                let other = (1.0 - p_unit) / (modulus - 1) as f64;
+                let mut acc = p_unit * f(1);
+                for s in 2..=modulus {
+                    acc += other * f(s);
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// The paper's seven-tuple `VCM = [B, R, P_ds, s1, s2, …]` plus the total
+/// data size `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Total data elements `N`.
+    pub n: u64,
+    /// Blocking factor `B`.
+    pub b: u64,
+    /// Reuse factor `R`.
+    pub r: u64,
+    /// Probability of a double-stream operation, `P_ds`.
+    pub p_ds: f64,
+    /// First-stream stride model.
+    pub s1: StrideModel,
+    /// Second-stream stride model.
+    pub s2: StrideModel,
+}
+
+impl Workload {
+    /// The paper's random-multistride workload with `R = B` (Figures 4, 7):
+    /// both strides `P_stride1`-unit/uniform over `[2, modulus]`.
+    #[must_use]
+    pub fn random_strides(n: u64, b: u64, p_ds: f64, p_stride1: f64, modulus: u64) -> Self {
+        let s = StrideModel::Random {
+            p_unit: p_stride1,
+            modulus,
+        };
+        Self {
+            n,
+            b,
+            r: b,
+            p_ds,
+            s1: s,
+            s2: s,
+        }
+    }
+
+    /// `P_ss = 1 − P_ds`.
+    #[must_use]
+    pub fn p_ss(&self) -> f64 {
+        1.0 - self.p_ds
+    }
+
+    /// Length of the second vector, `B · P_ds` (§3.1).
+    #[must_use]
+    pub fn second_vector_length(&self) -> f64 {
+        self.b as f64 * self.p_ds
+    }
+
+    /// Same workload with a different reuse factor.
+    #[must_use]
+    pub fn with_reuse(&self, r: u64) -> Self {
+        Self { r, ..*self }
+    }
+
+    /// Same workload with a different blocking factor (and `R = B` retained
+    /// only if it was equal before).
+    #[must_use]
+    pub fn with_blocking(&self, b: u64) -> Self {
+        let r = if self.r == self.b { b } else { self.r };
+        Self { b, r, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_start_is_30_plus_tm() {
+        assert_eq!(Machine::paper_default(16).t_start(), 46.0);
+    }
+
+    #[test]
+    fn prime_cache_swap() {
+        let m = Machine::paper_section4(32).with_prime_cache(13);
+        assert_eq!(m.cache_lines, 8191);
+        assert_eq!(m.banks, 64);
+    }
+
+    #[test]
+    fn stride_expectation_weights_sum_to_one() {
+        let model = StrideModel::Random {
+            p_unit: 0.25,
+            modulus: 32,
+        };
+        let total = model.expect(|_| 1.0);
+        assert!((total - 1.0).abs() < 1e-12);
+        // Expectation of the identity = 0.25*1 + 0.75*mean(2..=32).
+        let mean = model.expect(|s| s as f64);
+        let expected = 0.25 + 0.75 * (2..=32).sum::<u64>() as f64 / 31.0;
+        assert!((mean - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_stride_expectation_is_pointwise() {
+        assert_eq!(StrideModel::Fixed(7).expect(|s| s as f64), 7.0);
+    }
+
+    #[test]
+    fn workload_builders() {
+        let wl = Workload::random_strides(1 << 20, 4096, 0.25, 0.25, 64);
+        assert_eq!(wl.r, wl.b);
+        assert!((wl.p_ss() - 0.75).abs() < 1e-12);
+        assert_eq!(wl.second_vector_length(), 1024.0);
+        assert_eq!(wl.with_reuse(7).r, 7);
+        let wb = wl.with_blocking(2048);
+        assert_eq!((wb.b, wb.r), (2048, 2048)); // R follows B when tied
+        let untied = wl.with_reuse(5).with_blocking(1024);
+        assert_eq!((untied.b, untied.r), (1024, 5));
+    }
+
+    #[test]
+    fn machine_kind_display() {
+        assert_eq!(MachineKind::MmModel.to_string(), "MM-model");
+        assert_eq!(MachineKind::CcDirect.to_string(), "CC-direct");
+        assert_eq!(MachineKind::CcPrime.to_string(), "CC-prime");
+    }
+}

@@ -1,0 +1,135 @@
+//! Additional vector access patterns beyond the paper's three families:
+//! matrix transpose, stencil sweeps, and indexed gather — the wider
+//! numerical-kernel population a production vector cache would face.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::program::{Program, VectorAccess};
+
+/// Out-of-place transpose `B = Aᵀ` of a `p × q` column-major matrix:
+/// reads `A` column-wise (stride 1) paired with writes to `B` row-wise
+/// (stride `q`) — every pass mixes a friendly and a hostile stride, like
+/// the paper's row/column Figure 11 but with both streams live at once.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+#[must_use]
+pub fn transpose_trace(a_base: u64, b_base: u64, p: u64, q: u64) -> Program {
+    assert!(p > 0 && q > 0, "matrix dimensions must be positive");
+    let mut prog = Program::new(format!("transpose[{p}x{q}]"), Vec::new());
+    for j in 0..q {
+        // Column j of A (stride 1) is row j of B (stride q).
+        let mut read = VectorAccess::single(a_base + j * p, 1, p, 0);
+        read.paired_with_next = true;
+        prog.accesses.push(read);
+        prog.accesses
+            .push(VectorAccess::single(b_base + j, q as i64, p, 1));
+    }
+    prog
+}
+
+/// Five-point stencil sweep over a `p × q` column-major grid: for each
+/// interior column, loads the column itself and its four neighbours
+/// (north/south at ±1, east/west at ±p). Classic iterative-solver access:
+/// five unit-stride streams whose *bases* are near-collinear, probing
+/// cross-interference rather than stride pathology.
+///
+/// # Panics
+///
+/// Panics if the grid has no interior (`p < 3` or `q < 3`).
+#[must_use]
+pub fn stencil5_trace(base: u64, p: u64, q: u64) -> Program {
+    assert!(p >= 3 && q >= 3, "stencil needs an interior");
+    let mut prog = Program::new(format!("stencil5[{p}x{q}]"), Vec::new());
+    for j in 1..q - 1 {
+        let centre = base + j * p + 1;
+        let len = p - 2;
+        // Centre, north (−1), south (+1): one contiguous region — model as
+        // three overlapping unit-stride streams; west/east are a column
+        // away on either side.
+        for (stream, col_base) in [
+            (0u32, centre),
+            (1, centre - 1),
+            (2, centre + 1),
+            (3, centre - p),
+            (4, centre + p),
+        ] {
+            prog.accesses
+                .push(VectorAccess::single(col_base, 1, len, stream));
+        }
+    }
+    prog
+}
+
+/// Indexed gather: `n` loads at pseudo-random word addresses in
+/// `[base, base + span)` — sparse matrix / table-lookup traffic with no
+/// exploitable stride at all, the regime where *neither* mapping helps
+/// and both caches should agree (a negative control for experiments).
+#[must_use]
+pub fn gather_trace(base: u64, span: u64, n: u64, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let accesses = (0..n)
+        .map(|_| VectorAccess::single(base + rng.random_range(0..span.max(1)), 1, 1, 0))
+        .collect();
+    Program::new(format!("gather[n={n}, span={span}]"), accesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_pairs_column_with_row() {
+        let prog = transpose_trace(0, 10_000, 8, 4);
+        assert_eq!(prog.accesses.len(), 8);
+        let read = &prog.accesses[0];
+        let write = &prog.accesses[1];
+        assert!(read.paired_with_next);
+        assert_eq!((read.base, read.stride, read.length), (0, 1, 8));
+        assert_eq!((write.base, write.stride, write.length), (10_000, 4, 8));
+        // Together the writes cover B exactly once.
+        let mut written: Vec<u64> = prog
+            .accesses
+            .iter()
+            .filter(|a| a.stream == 1)
+            .flat_map(|a| a.words())
+            .collect();
+        written.sort_unstable();
+        assert_eq!(written, (10_000..10_032).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn transpose_rejects_empty() {
+        let _ = transpose_trace(0, 0, 0, 4);
+    }
+
+    #[test]
+    fn stencil_touches_five_streams_per_column() {
+        let prog = stencil5_trace(0, 10, 5);
+        // 3 interior columns × 5 streams.
+        assert_eq!(prog.accesses.len(), 15);
+        let streams: std::collections::HashSet<u32> =
+            prog.accesses.iter().map(|a| a.stream).collect();
+        assert_eq!(streams.len(), 5);
+        // All unit stride, all length p - 2.
+        assert!(prog.accesses.iter().all(|a| a.stride == 1 && a.length == 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn stencil_needs_interior() {
+        let _ = stencil5_trace(0, 2, 5);
+    }
+
+    #[test]
+    fn gather_is_deterministic_and_bounded() {
+        let a = gather_trace(100, 1000, 64, 1);
+        let b = gather_trace(100, 1000, 64, 1);
+        assert_eq!(a, b);
+        assert!(a.accesses.iter().all(|x| (100..1100).contains(&x.base)));
+        assert_ne!(a, gather_trace(100, 1000, 64, 2));
+    }
+}

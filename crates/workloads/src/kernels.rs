@@ -1,0 +1,352 @@
+//! Concrete kernel traces: the access patterns of §4 and the blocked
+//! kernels the paper cites (matmul, LU, FFT), plus SAXPY and matrix sweeps.
+//!
+//! All matrices are stored **column-major** (the paper's convention):
+//! element `(i, j)` of a `p × q` matrix at base `base` lives at word
+//! `base + j·p + i`. Column access is stride 1, row access stride `p`,
+//! major-diagonal access stride `p + 1`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::{Program, VectorAccess};
+
+/// Which sweep of a matrix to trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatrixSweep {
+    /// Column `j`: stride 1, length `p`.
+    Column(u64),
+    /// Row `i`: stride `p`, length `q`.
+    Row(u64),
+    /// Major diagonal: stride `p + 1`, length `min(p, q)`.
+    Diagonal,
+}
+
+/// Trace of one sweep over a `p × q` column-major matrix at `base`.
+///
+/// # Panics
+///
+/// Panics if the requested row/column index is out of range or the matrix
+/// is empty.
+#[must_use]
+pub fn matrix_trace(base: u64, p: u64, q: u64, sweep: MatrixSweep, stream: u32) -> VectorAccess {
+    assert!(p > 0 && q > 0, "matrix dimensions must be positive");
+    match sweep {
+        MatrixSweep::Column(j) => {
+            assert!(j < q, "column {j} out of range for {p}x{q}");
+            VectorAccess::single(base + j * p, 1, p, stream)
+        }
+        MatrixSweep::Row(i) => {
+            assert!(i < p, "row {i} out of range for {p}x{q}");
+            VectorAccess::single(base + i, p as i64, q, stream)
+        }
+        MatrixSweep::Diagonal => VectorAccess::single(base, (p + 1) as i64, p.min(q), stream),
+    }
+}
+
+/// SAXPY `y ← a·x + y`: two interleaved unit-stride streams of `n` words,
+/// loaded as paired double-stream accesses (one per read bus).
+#[must_use]
+pub fn saxpy_trace(x_base: u64, y_base: u64, n: u64) -> Program {
+    let mut x = VectorAccess::single(x_base, 1, n, 0);
+    x.paired_with_next = true;
+    let y = VectorAccess::single(y_base, 1, n, 1);
+    Program::new("saxpy", vec![x, y])
+}
+
+/// Sub-block access (§4 "Sub-block Accesses"): the `b1 × b2` sub-block of a
+/// `p × q` column-major matrix starting at block row `i0`, block column
+/// `j0` — `b2` unit-stride column segments of length `b1`, starting
+/// addresses `P` apart.
+///
+/// # Panics
+///
+/// Panics if the sub-block does not fit inside the matrix.
+#[must_use]
+pub fn subblock_trace(
+    base: u64,
+    p: u64,
+    q: u64,
+    (i0, j0): (u64, u64),
+    (b1, b2): (u64, u64),
+    stream: u32,
+) -> Program {
+    assert!(i0 + b1 <= p, "sub-block rows exceed matrix");
+    assert!(j0 + b2 <= q, "sub-block columns exceed matrix");
+    let accesses = (0..b2)
+        .map(|j| VectorAccess::single(base + (j0 + j) * p + i0, 1, b1, stream))
+        .collect();
+    Program::new(format!("subblock[{b1}x{b2} of {p}x{q}]"), accesses)
+}
+
+/// Blocked matrix multiply `C += A·B` on `b × b` blocks of `n × n`
+/// column-major matrices: for each block-triple, the paper's §3.1 pattern —
+/// each column of the A-block is reused against columns of the B-block.
+///
+/// The trace tags A-block accesses stream 0, B-block stream 1, C-block
+/// stream 2.
+///
+/// # Panics
+///
+/// Panics if `b` is zero or does not divide `n`.
+#[must_use]
+pub fn blocked_matmul_trace(n: u64, b: u64) -> Program {
+    assert!(
+        b > 0 && n.is_multiple_of(b),
+        "blocking factor must divide n"
+    );
+    let (a_base, b_base, c_base) = (0, n * n, 2 * n * n);
+    let nb = n / b;
+    let mut prog = Program::new(format!("matmul[n={n}, b={b}]"), Vec::new());
+    for jb in 0..nb {
+        for kb in 0..nb {
+            for ib in 0..nb {
+                // Load the A(ib, kb) block: b columns of length b.
+                for col in 0..b {
+                    prog.accesses.push(VectorAccess::single(
+                        a_base + (kb * b + col) * n + ib * b,
+                        1,
+                        b,
+                        0,
+                    ));
+                }
+                // For each column of the C/B blocks: stream B column
+                // paired with C column accumulate.
+                for col in 0..b {
+                    let mut bcol =
+                        VectorAccess::single(b_base + (jb * b + col) * n + kb * b, 1, b, 1);
+                    bcol.paired_with_next = true;
+                    prog.accesses.push(bcol);
+                    prog.accesses.push(VectorAccess::single(
+                        c_base + (jb * b + col) * n + ib * b,
+                        1,
+                        b,
+                        2,
+                    ));
+                }
+            }
+        }
+    }
+    prog
+}
+
+/// Blocked right-looking LU decomposition trace (no pivoting) on an
+/// `n × n` column-major matrix in `b`-wide panels: panel factorization
+/// sweeps (stride-1 columns) followed by trailing-submatrix updates
+/// (column accesses reused against the panel).
+///
+/// # Panics
+///
+/// Panics if `b` is zero or does not divide `n`.
+#[must_use]
+pub fn blocked_lu_trace(n: u64, b: u64) -> Program {
+    assert!(b > 0 && n.is_multiple_of(b), "panel width must divide n");
+    let mut prog = Program::new(format!("lu[n={n}, b={b}]"), Vec::new());
+    let nb = n / b;
+    for kb in 0..nb {
+        let k0 = kb * b;
+        // Panel factorization: each panel column read/updated once per
+        // column to its left (triangular reuse ≈ b/2 average) — emit the
+        // sweeps explicitly.
+        for j in 0..b {
+            for _reuse in 0..=j.min(2) {
+                prog.accesses
+                    .push(VectorAccess::single((k0 + j) * n + k0, 1, n - k0, 0));
+            }
+        }
+        // Trailing update: each trailing column loaded (stream 1) and
+        // updated against panel columns (stream 0, paired).
+        for j in (k0 + b)..n {
+            let mut panel = VectorAccess::single(k0 * n + k0, 1, n - k0, 0);
+            panel.paired_with_next = true;
+            prog.accesses.push(panel);
+            prog.accesses
+                .push(VectorAccess::single(j * n + k0, 1, n - k0, 1));
+        }
+    }
+    prog
+}
+
+/// Memory layout of a blocked two-dimensional FFT (§4 "FFT Accesses").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FftLayout {
+    /// Row count `B2` of the column-major data matrix (`N = B1 · B2`).
+    pub b2: u64,
+    /// Column count `B1`.
+    pub b1: u64,
+}
+
+impl FftLayout {
+    /// Total points `N`.
+    #[must_use]
+    pub fn points(&self) -> u64 {
+        self.b1 * self.b2
+    }
+}
+
+/// One radix-2 Cooley–Tukey stage over `n = 2^k` points with butterfly
+/// span `span`: the classic power-of-two-stride access the paper calls the
+/// direct-mapped cache's worst case.
+///
+/// # Panics
+///
+/// Panics if `n` or `span` is not a power of two, or `span ≥ n`.
+#[must_use]
+pub fn fft_stage_trace(base: u64, n: u64, span: u64, stream: u32) -> Program {
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    assert!(span.is_power_of_two() && span < n, "bad butterfly span");
+    // Stage with span s: for each group of 2s, the s "top" elements and the
+    // s "bottom" elements are each a unit-stride run; across groups the
+    // pattern strides by 2s. Emit per-group top/bottom runs.
+    let mut prog = Program::new(format!("fft-stage[n={n}, span={span}]"), Vec::new());
+    let mut g = 0;
+    while g < n {
+        let mut top = VectorAccess::single(base + g, 1, span, stream);
+        top.paired_with_next = true;
+        prog.accesses.push(top);
+        prog.accesses
+            .push(VectorAccess::single(base + g + span, 1, span, stream));
+        g += 2 * span;
+    }
+    prog
+}
+
+/// The blocked 2-D FFT of §4: an `N = B1 · B2`-point transform viewed as a
+/// `B2 × B1` column-major matrix. Phase 1 performs `B2` row FFTs (row
+/// access: stride `B2`, each row reused `log2 B1` times); phase 2 performs
+/// `B1` column FFTs (stride 1, reused `log2 B2` times).
+///
+/// # Panics
+///
+/// Panics if either dimension is not a power of two ≥ 2.
+#[must_use]
+pub fn fft_two_dim_trace(layout: FftLayout) -> Program {
+    let FftLayout { b1, b2 } = layout;
+    assert!(
+        b1.is_power_of_two() && b1 >= 2,
+        "B1 must be a power of two >= 2"
+    );
+    assert!(
+        b2.is_power_of_two() && b2 >= 2,
+        "B2 must be a power of two >= 2"
+    );
+    let mut prog = Program::new(format!("fft2d[B1={b1}, B2={b2}]"), Vec::new());
+    let row_reuse = b1.ilog2() as u64;
+    let col_reuse = b2.ilog2() as u64;
+    // Phase 1: row FFTs. Row r occupies words r, r+B2, r+2·B2, …
+    for r in 0..b2 {
+        for _stage in 0..row_reuse {
+            prog.accesses
+                .push(VectorAccess::single(r, b2 as i64, b1, 0));
+        }
+    }
+    // Phase 2: column FFTs. Column c occupies words c·B2 … c·B2+B2−1.
+    for c in 0..b1 {
+        for _stage in 0..col_reuse {
+            prog.accesses.push(VectorAccess::single(c * b2, 1, b2, 0));
+        }
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_sweeps_have_paper_strides() {
+        // 10 x 6 column-major matrix.
+        let col = matrix_trace(0, 10, 6, MatrixSweep::Column(2), 0);
+        assert_eq!((col.base, col.stride, col.length), (20, 1, 10));
+        let row = matrix_trace(0, 10, 6, MatrixSweep::Row(3), 0);
+        assert_eq!((row.base, row.stride, row.length), (3, 10, 6));
+        let diag = matrix_trace(0, 10, 6, MatrixSweep::Diagonal, 0);
+        assert_eq!((diag.base, diag.stride, diag.length), (0, 11, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn matrix_row_bounds_checked() {
+        let _ = matrix_trace(0, 10, 6, MatrixSweep::Row(10), 0);
+    }
+
+    #[test]
+    fn saxpy_is_one_paired_load() {
+        let p = saxpy_trace(0, 1000, 64);
+        assert_eq!(p.accesses.len(), 2);
+        assert!(p.accesses[0].paired_with_next);
+        assert_eq!(p.accesses[1].base, 1000);
+        assert_eq!(p.total_elements(), 128);
+    }
+
+    #[test]
+    fn subblock_columns_are_p_apart() {
+        let p = subblock_trace(0, 100, 50, (10, 3), (8, 4), 0);
+        assert_eq!(p.accesses.len(), 4);
+        assert_eq!(p.accesses[0].base, 3 * 100 + 10);
+        assert_eq!(p.accesses[1].base, 4 * 100 + 10);
+        assert!(p.accesses.iter().all(|a| a.stride == 1 && a.length == 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed matrix")]
+    fn subblock_bounds_checked() {
+        let _ = subblock_trace(0, 100, 50, (95, 0), (8, 4), 0);
+    }
+
+    #[test]
+    fn matmul_trace_shape() {
+        let p = blocked_matmul_trace(8, 4);
+        // nb = 2 → 8 block triples; each = 4 A-columns + 4 paired (B, C).
+        assert_eq!(p.accesses.len(), 8 * (4 + 8));
+        // Streams present: 0 (A), 1 (B), 2 (C).
+        let streams: std::collections::HashSet<u32> = p.accesses.iter().map(|a| a.stream).collect();
+        assert_eq!(streams.len(), 3);
+        // All accesses stay inside the three matrices.
+        for a in &p.accesses {
+            let last = a.word(a.length - 1);
+            assert!(last < 3 * 64, "access beyond matrices: {a:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide n")]
+    fn matmul_blocking_must_divide() {
+        let _ = blocked_matmul_trace(8, 3);
+    }
+
+    #[test]
+    fn lu_trace_covers_all_panels() {
+        let p = blocked_lu_trace(16, 4);
+        assert!(!p.accesses.is_empty());
+        // Later panels access shorter columns.
+        let lengths: Vec<u64> = p.accesses.iter().map(|a| a.length).collect();
+        assert!(lengths.contains(&16));
+        assert!(lengths.contains(&4));
+    }
+
+    #[test]
+    fn fft_stage_pairs_cover_all_points_once() {
+        let p = fft_stage_trace(0, 16, 4, 0);
+        let mut words: Vec<u64> = p.words().map(|(w, _)| w).collect();
+        words.sort_unstable();
+        assert_eq!(words, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad butterfly span")]
+    fn fft_stage_span_checked() {
+        let _ = fft_stage_trace(0, 16, 16, 0);
+    }
+
+    #[test]
+    fn fft2d_phase_strides() {
+        let p = fft_two_dim_trace(FftLayout { b1: 8, b2: 4 });
+        // Row phase: 4 rows × log2(8)=3 stages of stride-4 accesses.
+        let rows: Vec<_> = p.accesses.iter().filter(|a| a.stride == 4).collect();
+        assert_eq!(rows.len(), 12);
+        // Column phase: 8 columns × log2(4)=2 stages of stride-1 accesses.
+        let cols: Vec<_> = p.accesses.iter().filter(|a| a.stride == 1).collect();
+        assert_eq!(cols.len(), 16);
+        assert_eq!(FftLayout { b1: 8, b2: 4 }.points(), 32);
+    }
+}

@@ -1,0 +1,118 @@
+//! Trace representation: strided vector accesses grouped into a program.
+
+use serde::{Deserialize, Serialize};
+
+/// One strided vector load (or store) of `length` words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorAccess {
+    /// Word address of element 0.
+    pub base: u64,
+    /// Stride in words; negative strides walk backwards.
+    pub stride: i64,
+    /// Element count.
+    pub length: u64,
+    /// Access-stream tag (for self- vs cross-interference attribution).
+    pub stream: u32,
+    /// True when this access is paired with the *next* access in the
+    /// program as a simultaneous double-stream load (the paper's `P_ds`
+    /// events, one vector per read bus).
+    pub paired_with_next: bool,
+}
+
+impl VectorAccess {
+    /// A single-stream access.
+    #[must_use]
+    pub fn single(base: u64, stride: i64, length: u64, stream: u32) -> Self {
+        Self {
+            base,
+            stride,
+            length,
+            stream,
+            paired_with_next: false,
+        }
+    }
+
+    /// Word address of element `i` (wrapping).
+    #[must_use]
+    pub fn word(&self, i: u64) -> u64 {
+        self.base.wrapping_add(i.wrapping_mul(self.stride as u64))
+    }
+
+    /// Iterator over the words touched, in order.
+    pub fn words(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.length).map(|i| self.word(i))
+    }
+}
+
+/// An ordered trace of vector accesses with a human-readable name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Workload name for reports.
+    pub name: String,
+    /// The accesses, in issue order.
+    pub accesses: Vec<VectorAccess>,
+}
+
+impl Program {
+    /// Creates a named program.
+    #[must_use]
+    pub fn new(name: impl Into<String>, accesses: Vec<VectorAccess>) -> Self {
+        Self {
+            name: name.into(),
+            accesses,
+        }
+    }
+
+    /// Total elements across all accesses.
+    #[must_use]
+    pub fn total_elements(&self) -> u64 {
+        self.accesses.iter().map(|a| a.length).sum()
+    }
+
+    /// All words touched, flattened in issue order (pairing ignored).
+    pub fn words(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.accesses
+            .iter()
+            .flat_map(|a| a.words().map(move |w| (w, a.stream)))
+    }
+}
+
+impl Extend<VectorAccess> for Program {
+    fn extend<T: IntoIterator<Item = VectorAccess>>(&mut self, iter: T) {
+        self.accesses.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_addressing_forward_and_backward() {
+        let a = VectorAccess::single(100, 3, 4, 0);
+        assert_eq!(a.words().collect::<Vec<_>>(), vec![100, 103, 106, 109]);
+        let b = VectorAccess::single(100, -3, 3, 0);
+        assert_eq!(b.words().collect::<Vec<_>>(), vec![100, 97, 94]);
+    }
+
+    #[test]
+    fn program_totals_and_flatten() {
+        let p = Program::new(
+            "t",
+            vec![
+                VectorAccess::single(0, 1, 3, 0),
+                VectorAccess::single(10, 2, 2, 1),
+            ],
+        );
+        assert_eq!(p.total_elements(), 5);
+        let words: Vec<_> = p.words().collect();
+        assert_eq!(words, vec![(0, 0), (1, 0), (2, 0), (10, 1), (12, 1)]);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut p = Program::new("t", vec![]);
+        p.extend([VectorAccess::single(0, 1, 1, 0)]);
+        assert_eq!(p.accesses.len(), 1);
+    }
+}

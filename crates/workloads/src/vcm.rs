@@ -1,0 +1,331 @@
+//! The paper's generic Vector Computational Model (VCM, §3.1) and the
+//! stochastic trace generator realising it.
+//!
+//! `VCM = [B, R, P_ds, s1, s2, P_stride1(s1), P_stride1(s2)]`: programs are
+//! blocked into segments of `B` elements reused `R` times; during each
+//! vector operation the processor loads two streams with probability
+//! `P_ds` (the second of length `B·P_ds`), one otherwise; strides are 1
+//! with probability `P_stride1` and uniform on `[2, max]` otherwise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::program::{Program, VectorAccess};
+
+/// Distribution of one vector's access stride.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrideDistribution {
+    /// Always the same stride.
+    Fixed(u64),
+    /// Stride 1 with probability `p_unit`, else uniform on `[2, max]`
+    /// (the paper's assumption, with `max = M` banks or `C` lines).
+    UnitOrUniform {
+        /// Probability of stride 1 (`P_stride1`).
+        p_unit: f64,
+        /// Upper bound of the non-unit range.
+        max: u64,
+    },
+}
+
+impl StrideDistribution {
+    /// Draws a stride.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            Self::Fixed(s) => s,
+            Self::UnitOrUniform { p_unit, max } => {
+                if rng.random::<f64>() < p_unit || max < 2 {
+                    1
+                } else {
+                    rng.random_range(2..=max)
+                }
+            }
+        }
+    }
+
+    /// The paper's `P_stride1` for this distribution.
+    #[must_use]
+    pub fn p_unit(&self) -> f64 {
+        match *self {
+            Self::Fixed(1) => 1.0,
+            Self::Fixed(_) => 0.0,
+            Self::UnitOrUniform { p_unit, .. } => p_unit,
+        }
+    }
+}
+
+/// The seven-tuple of the paper's §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vcm {
+    /// Blocking factor `B`: elements per program segment.
+    pub blocking_factor: u64,
+    /// Reuse factor `R`: times each block is swept.
+    pub reuse_factor: u64,
+    /// Probability a vector operation loads two streams (`P_ds`).
+    pub p_ds: f64,
+    /// Stride distribution of the first stream.
+    pub stride1: StrideDistribution,
+    /// Stride distribution of the second stream.
+    pub stride2: StrideDistribution,
+}
+
+impl Vcm {
+    /// Blocked matrix multiply on `b × b` sub-matrices (paper §3.1):
+    /// `B = b²`, `R = b`, one double-stream access per `b` operations.
+    #[must_use]
+    pub fn blocked_matmul(b: u64) -> Self {
+        Self {
+            blocking_factor: b * b,
+            reuse_factor: b.max(1),
+            p_ds: 1.0 / b.max(1) as f64,
+            stride1: StrideDistribution::Fixed(1),
+            stride2: StrideDistribution::Fixed(1),
+        }
+    }
+
+    /// Blocked LU decomposition with blocking factor `b²` and the paper's
+    /// average reuse factor `3b/2`.
+    #[must_use]
+    pub fn blocked_lu(b: u64) -> Self {
+        Self {
+            blocking_factor: b * b,
+            reuse_factor: (3 * b / 2).max(1),
+            p_ds: 1.0 / b.max(1) as f64,
+            stride1: StrideDistribution::Fixed(1),
+            stride2: StrideDistribution::Fixed(1),
+        }
+    }
+
+    /// Blocked FFT with blocking factor `b` and reuse `log2 b`.
+    #[must_use]
+    pub fn blocked_fft(b: u64) -> Self {
+        Self {
+            blocking_factor: b,
+            reuse_factor: u64::from(b.max(2).ilog2()).max(1),
+            p_ds: 0.0,
+            stride1: StrideDistribution::Fixed(1),
+            stride2: StrideDistribution::Fixed(1),
+        }
+    }
+
+    /// The paper's random-multistride configuration for a machine with
+    /// `modulus` banks (MM-model) or lines (CC-model): `P_stride1 = 0.25`
+    /// by default (the Fu & Patel average the paper adopts).
+    #[must_use]
+    pub fn random_multistride(
+        blocking_factor: u64,
+        reuse_factor: u64,
+        p_ds: f64,
+        modulus: u64,
+    ) -> Self {
+        Self {
+            blocking_factor,
+            reuse_factor,
+            p_ds,
+            stride1: StrideDistribution::UnitOrUniform {
+                p_unit: 0.25,
+                max: modulus,
+            },
+            stride2: StrideDistribution::UnitOrUniform {
+                p_unit: 0.25,
+                max: modulus,
+            },
+        }
+    }
+
+    /// Row-and-column access to a `p × q` matrix (paper Fig. 11): the first
+    /// stream is a unit-stride column, the second a stride-`p` row.
+    #[must_use]
+    pub fn row_column(p: u64, b: u64, r: u64, p_ds: f64) -> Self {
+        Self {
+            blocking_factor: b,
+            reuse_factor: r,
+            p_ds,
+            stride1: StrideDistribution::Fixed(1),
+            stride2: StrideDistribution::Fixed(p),
+        }
+    }
+}
+
+/// Generates a concrete trace realising `vcm` over `total_elements` data
+/// elements (the paper's `N`), deterministically from `seed`.
+///
+/// Every block of `B` elements is swept `R` times. Within a sweep,
+/// operations are single-stream except that each group of
+/// `P_ss / P_ds` single-stream column accesses is followed by one
+/// double-stream access whose second vector has length `B · P_ds`,
+/// mirroring the paper's "imagined matrix" construction.
+#[must_use]
+pub fn generate_program(vcm: &Vcm, total_elements: u64, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = vcm.blocking_factor.max(1);
+    let blocks = total_elements.div_ceil(b);
+    let mut accesses = Vec::new();
+
+    // Second-stream length per the model: B · P_ds (at least 1 when P_ds > 0).
+    let second_len = ((b as f64 * vcm.p_ds).round() as u64).max(u64::from(vcm.p_ds > 0.0));
+    // One double-stream event per ⌈1/P_ds⌉ operations.
+    let ops_per_ds = if vcm.p_ds > 0.0 {
+        (1.0 / vcm.p_ds).round().max(1.0) as u64
+    } else {
+        0
+    };
+
+    // Blocks occupy disjoint memory regions sized by their actual strided
+    // span (a blocked program reads a B-element slice of some array; the
+    // slice spans B·s words for stride s).
+    let mut cursor = 0u64;
+    for _block in 0..blocks {
+        let s1 = vcm.stride1.sample(&mut rng);
+        let s2 = vcm.stride2.sample(&mut rng);
+        let block_base = cursor;
+        cursor += b * s1 + 1;
+        let second_base = cursor.wrapping_add(rng.random_range(0..b.max(2)));
+        cursor += second_len * s2 + b;
+        for sweep in 0..vcm.reuse_factor.max(1) {
+            let is_ds_sweep = ops_per_ds != 0 && (sweep + 1) % ops_per_ds == 0;
+            if is_ds_sweep {
+                accesses.push(VectorAccess {
+                    base: block_base,
+                    stride: s1 as i64,
+                    length: b,
+                    stream: 0,
+                    paired_with_next: true,
+                });
+                accesses.push(VectorAccess::single(second_base, s2 as i64, second_len, 1));
+            } else {
+                accesses.push(VectorAccess::single(block_base, s1 as i64, b, 0));
+            }
+        }
+    }
+
+    Program::new(
+        format!(
+            "vcm[B={}, R={}, Pds={:.2}]",
+            vcm.blocking_factor, vcm.reuse_factor, vcm.p_ds
+        ),
+        accesses,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_distribution_sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = StrideDistribution::UnitOrUniform {
+            p_unit: 0.25,
+            max: 32,
+        };
+        let mut saw_unit = false;
+        let mut saw_other = false;
+        for _ in 0..500 {
+            let s = d.sample(&mut rng);
+            assert!((1..=32).contains(&s));
+            if s == 1 {
+                saw_unit = true;
+            } else {
+                saw_other = true;
+            }
+        }
+        assert!(saw_unit && saw_other);
+        assert_eq!(StrideDistribution::Fixed(7).sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn p_unit_accessor() {
+        assert_eq!(StrideDistribution::Fixed(1).p_unit(), 1.0);
+        assert_eq!(StrideDistribution::Fixed(9).p_unit(), 0.0);
+        assert_eq!(
+            StrideDistribution::UnitOrUniform {
+                p_unit: 0.25,
+                max: 8
+            }
+            .p_unit(),
+            0.25
+        );
+    }
+
+    #[test]
+    fn degenerate_uniform_max_falls_back_to_unit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = StrideDistribution::UnitOrUniform {
+            p_unit: 0.0,
+            max: 1,
+        };
+        assert_eq!(d.sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let mm = Vcm::blocked_matmul(8);
+        assert_eq!(mm.blocking_factor, 64);
+        assert_eq!(mm.reuse_factor, 8);
+        assert!((mm.p_ds - 0.125).abs() < 1e-12);
+
+        let lu = Vcm::blocked_lu(8);
+        assert_eq!(lu.reuse_factor, 12); // 3b/2
+
+        let fft = Vcm::blocked_fft(1024);
+        assert_eq!(fft.reuse_factor, 10); // log2 1024
+
+        let rc = Vcm::row_column(100, 64, 4, 0.5);
+        assert_eq!(rc.stride2, StrideDistribution::Fixed(100));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let vcm = Vcm::random_multistride(64, 4, 0.25, 32);
+        let a = generate_program(&vcm, 512, 99);
+        let b = generate_program(&vcm, 512, 99);
+        assert_eq!(a, b);
+        let c = generate_program(&vcm, 512, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generator_covers_all_blocks_with_reuse() {
+        let vcm = Vcm {
+            blocking_factor: 16,
+            reuse_factor: 3,
+            p_ds: 0.0,
+            stride1: StrideDistribution::Fixed(1),
+            stride2: StrideDistribution::Fixed(1),
+        };
+        let p = generate_program(&vcm, 64, 1);
+        // 4 blocks × 3 sweeps, single-stream only.
+        assert_eq!(p.accesses.len(), 12);
+        assert!(p
+            .accesses
+            .iter()
+            .all(|a| a.length == 16 && !a.paired_with_next));
+    }
+
+    #[test]
+    fn double_stream_events_are_paired() {
+        let vcm = Vcm {
+            blocking_factor: 32,
+            reuse_factor: 8,
+            p_ds: 0.25,
+            stride1: StrideDistribution::Fixed(1),
+            stride2: StrideDistribution::Fixed(5),
+        };
+        let p = generate_program(&vcm, 32, 3);
+        let paired: Vec<usize> = p
+            .accesses
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.paired_with_next)
+            .map(|(i, _)| i)
+            .collect();
+        // 8 sweeps, one DS event every 4 ops → 2 paired ops per block.
+        assert_eq!(paired.len(), 2);
+        for i in paired {
+            let second = &p.accesses[i + 1];
+            assert_eq!(second.stream, 1);
+            assert_eq!(second.length, 8); // B * P_ds
+        }
+    }
+}

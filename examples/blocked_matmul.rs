@@ -1,0 +1,70 @@
+//! Blocked matrix multiply — the paper's motivating workload (§1, citing
+//! Lam et al.): sweeps the blocking factor and shows how the direct-mapped
+//! cache's usable fraction collapses while the prime-mapped cache tracks
+//! the conflict-free ideal.
+//!
+//! Two parts:
+//!  1. trace-driven: the actual blocked-matmul access trace through both
+//!     cache simulators, miss ratios per blocking factor;
+//!  2. machine-level: end-to-end cycles per result on the CC-model
+//!     machines for the same traces.
+//!
+//! Run with: `cargo run --release --example blocked_matmul`
+
+use prime_cache::cache::{CacheSim, StreamId, WordAddr};
+use prime_cache::machine::{CacheSpec, CcMachine, MachineConfig};
+use prime_cache::workloads::blocked_matmul_trace;
+
+fn drive(cache: &mut CacheSim, trace: &prime_cache::workloads::Program) {
+    for (word, stream) in trace.words() {
+        cache.access(WordAddr::new(word), StreamId::new(stream));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Blocked matrix multiply: C += A*B on n x n, blocked b x b");
+    println!("# 8192-line direct-mapped vs 8191-line prime-mapped cache\n");
+
+    let n = 128;
+    println!(
+        "{:>4} {:>14} {:>14} {:>16} {:>16}",
+        "b", "direct miss%", "prime miss%", "direct conflicts", "prime conflicts"
+    );
+    for b in [8u64, 16, 32, 64] {
+        let trace = blocked_matmul_trace(n, b);
+        let mut direct = CacheSim::direct_mapped(8192, 1)?;
+        let mut prime = CacheSim::prime_mapped(13, 1)?;
+        drive(&mut direct, &trace);
+        drive(&mut prime, &trace);
+        println!(
+            "{:>4} {:>13.2}% {:>13.2}% {:>16} {:>16}",
+            b,
+            100.0 * direct.stats().miss_ratio(),
+            100.0 * prime.stats().miss_ratio(),
+            direct.stats().conflict_misses(),
+            prime.stats().conflict_misses(),
+        );
+    }
+
+    println!("\n# End-to-end on the CC-model machine (t_m = 32, M = 64)");
+    println!(
+        "{:>4} {:>22} {:>22}",
+        "b", "direct cycles/result", "prime cycles/result"
+    );
+    let base = MachineConfig::paper_section4(32);
+    for b in [16u64, 32, 64] {
+        let trace = blocked_matmul_trace(n, b);
+        let d = CcMachine::new(base.with_cache(CacheSpec::direct(8192)))?
+            .execute(&trace)
+            .cycles_per_result();
+        let p = CcMachine::new(base.with_cache(CacheSpec::prime(13)))?
+            .execute(&trace)
+            .cycles_per_result();
+        println!("{b:>4} {d:>22.3} {p:>22.3}");
+    }
+
+    println!("\nUnit-stride blocks keep both caches close here; the gap widens");
+    println!("when the matrix dimension collides with the mapping — try a");
+    println!("leading dimension of 1024 in the subblock example.");
+    Ok(())
+}

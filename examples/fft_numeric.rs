@@ -1,0 +1,67 @@
+//! A *real* FFT through both caches: computes a radix-2 Cooley–Tukey FFT
+//! on traced `f64` buffers (verified against a direct DFT), then replays
+//! the exact access trace of the computation through the direct-mapped
+//! and prime-mapped cache simulators.
+//!
+//! This is the strongest form of the paper's §4 FFT claim available to a
+//! simulator: the trace is not a synthetic pattern but the memory
+//! behaviour of working numerical code.
+//!
+//! Run with: `cargo run --release --example fft_numeric`
+
+use prime_cache::cache::{CacheSim, StreamId, WordAddr};
+use prime_cache::workloads::numeric::{dft_reference, fft_radix2, TracedBuffer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Correctness at a checkable size.
+    let n_check = 256;
+    let re_vals: Vec<f64> = (0..n_check).map(|i| (i as f64 * 0.11).cos()).collect();
+    let im_vals: Vec<f64> = vec![0.0; n_check];
+    let (want_re, _) = dft_reference(&re_vals, &im_vals);
+    let mut re = TracedBuffer::from_values(0, re_vals, 0);
+    let mut im = TracedBuffer::from_values(1 << 24, im_vals, 1);
+    fft_radix2(&mut re, &mut im);
+    let max_err = re
+        .as_slice()
+        .iter()
+        .zip(&want_re)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("FFT({n_check}) vs direct DFT: max |error| = {max_err:.2e}");
+    assert!(max_err < 1e-8, "FFT must be numerically correct");
+
+    // 2. Cache behaviour at working-set scale: n = 4096 complex points,
+    //    re + im = 8192 words — exactly the size of the caches under test.
+    let n = 4096;
+    let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.002).sin()).collect();
+    let mut re = TracedBuffer::from_values(0, signal, 0);
+    let mut im = TracedBuffer::from_values(1 << 24, vec![0.0; n], 1);
+    let log = fft_radix2(&mut re, &mut im);
+    println!(
+        "\nFFT({n}): {} traced scalar accesses over {} stages",
+        log.accesses().len(),
+        n.ilog2()
+    );
+
+    let mut direct = CacheSim::direct_mapped(8192, 1)?;
+    let mut prime = CacheSim::prime_mapped(13, 1)?;
+    for t in log.accesses() {
+        direct.access(WordAddr::new(t.word), StreamId::new(t.stream));
+        prime.access(WordAddr::new(t.word), StreamId::new(t.stream));
+    }
+    println!("  direct 8192: {}", direct.stats());
+    println!("  prime  8191: {}", prime.stats());
+    let (d, p) = (direct.stats().miss_ratio(), prime.stats().miss_ratio());
+    println!(
+        "  miss ratios: direct {:.2}% vs prime {:.2}% ({:.2}x)",
+        100.0 * d,
+        100.0 * p,
+        d / p.max(1e-12)
+    );
+
+    println!("\nThe im buffer sits at 2^24, which is ≡ 0 (mod 8192): in the");
+    println!("direct-mapped cache the real and imaginary arrays fight for the");
+    println!("same lines on every butterfly, while the prime cache separates");
+    println!("them (2^24 mod 8191 = {}).", (1u64 << 24) % 8191);
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Quickstart: the prime-mapped cache in five minutes.
+//!
+//! Builds the paper's 8191-line prime-mapped cache and the 8192-line
+//! direct-mapped baseline, drives both with the stride patterns from the
+//! paper's introduction (unit, power-of-two, row + diagonal), and prints
+//! the miss breakdowns side by side.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use prime_cache::cache::{CacheSim, CacheStats, StreamId, WordAddr};
+use prime_cache::core::PrimeVectorCache;
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn show(name: &str, stats: &CacheStats) {
+    println!(
+        "  {name:<14} hits {:>6}  misses {:>6}  (compulsory {:>5}, self {:>5}, cross {:>5}, capacity {:>4})",
+        stats.hits,
+        stats.misses(),
+        stats.compulsory_misses,
+        stats.self_interference_misses,
+        stats.cross_interference_misses,
+        stats.capacity_misses,
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running configuration: c = 13 → 8191 lines, 1-word lines.
+    let mut prime = PrimeVectorCache::new(13, 1)?;
+    let mut direct = CacheSim::direct_mapped(8192, 1)?;
+
+    banner("Unit stride, two sweeps of 4096 words (both caches are happy)");
+    for _ in 0..2 {
+        prime.load_vector(0, 1, 4096, 0);
+        direct.access_stream(WordAddr::new(0), 1, 4096, StreamId::new(0));
+    }
+    show("direct 8192", &direct.stats());
+    show("prime 8191", &prime.stats());
+
+    banner("Stride 1024 (FFT-style), two sweeps of 4096 elements");
+    prime.reset();
+    direct.reset();
+    for _ in 0..2 {
+        prime.load_vector(0, 1024, 4096, 0);
+        direct.access_stream(WordAddr::new(0), 1024, 4096, StreamId::new(0));
+    }
+    show("direct 8192", &direct.stats());
+    show("prime 8191", &prime.stats());
+    println!(
+        "  -> the direct-mapped cache folds the vector onto 8192/gcd(8192,1024) = {} lines",
+        8192 / prime_cache::mersenne::numtheory::gcd(8192, 1024)
+    );
+
+    banner("Row (stride 1024) + diagonal (stride 1025) of one matrix, interleaved");
+    prime.reset();
+    direct.reset();
+    for _ in 0..2 {
+        prime.load_vector(0, 1024, 2048, 0);
+        prime.load_vector(0, 1025, 2048, 1);
+        direct.access_stream(WordAddr::new(0), 1024, 2048, StreamId::new(0));
+        direct.access_stream(WordAddr::new(0), 1025, 2048, StreamId::new(1));
+    }
+    show("direct 8192", &direct.stats());
+    show("prime 8191", &prime.stats());
+    println!("  -> no power-of-two cache avoids self-interference for both strides;");
+    println!("     the prime cache eliminates it entirely (remaining misses are the");
+    println!("     cross-stream footprint overlap the paper's Figure 10 discusses).");
+
+    banner("Hardware cost of the prime mapping (the §2.3 argument)");
+    let adders = prime.adder_stats();
+    println!(
+        "  {} c-bit additions performed, {} needed an end-around carry fold",
+        adders.additions, adders.end_around_carries
+    );
+    println!("  (each is one 13-bit add — narrower than the 64-bit memory-address add)");
+
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Conflict-free submatrix blocking (§4 "Sub-block Accesses").
+//!
+//! Takes matrices of awkward leading dimensions — including the
+//! power-of-two dimensions that defeat every direct-mapped cache — plans
+//! the paper's conflict-free `b1 × b2` sub-block for each, verifies the
+//! plan in the cache simulator, and prints the achieved utilization.
+//!
+//! Run with: `cargo run --release --example subblock_planner`
+
+use prime_cache::cache::{CacheSim, StreamId, WordAddr};
+use prime_cache::core::blocking::{conflict_free_subblock, is_conflict_free_pow2};
+use prime_cache::mersenne::MersenneModulus;
+use prime_cache::workloads::subblock_trace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let modulus = MersenneModulus::new(13)?;
+    println!("# Conflict-free sub-blocks on the 8191-line prime-mapped cache");
+    println!("# (column-major P x Q matrices; b1 = min(P mod C, C - P mod C), b2 = C/b1)\n");
+    println!(
+        "{:>8} {:>6} {:>6} {:>12} {:>15} {:>22}",
+        "P", "b1", "b2", "utilization", "measured miss%", "direct could do this?"
+    );
+
+    for p in [640u64, 1000, 1024, 2048, 4096, 8192, 16384, 99_991] {
+        let plan = conflict_free_subblock(p, u64::MAX, modulus);
+        let (b1, b2) = (plan.b1.min(p), plan.b2);
+
+        // Verify by simulation: sweep the sub-block twice; the second pass
+        // must be 100% hits (i.e. miss ratio exactly b1*b2 / (2*b1*b2)).
+        let mut cache = CacheSim::prime_mapped(13, 1)?;
+        let trace = subblock_trace(0, p, b2, (0, 0), (b1, b2), 0);
+        for _ in 0..2 {
+            for (word, stream) in trace.words() {
+                cache.access(WordAddr::new(word), StreamId::new(stream));
+            }
+        }
+        let stats = cache.stats();
+        println!(
+            "{:>8} {:>6} {:>6} {:>12.4} {:>14.2}% {:>22}",
+            p,
+            b1,
+            b2,
+            plan.utilization(),
+            100.0 * stats.miss_ratio(),
+            is_conflict_free_pow2(p, b1, b2, 8192),
+        );
+        assert_eq!(
+            stats.conflict_misses(),
+            0,
+            "planner must be conflict-free for P = {p}"
+        );
+    }
+
+    println!("\nEvery row measures 50% misses exactly: the first sweep's compulsory");
+    println!("loads and nothing else — conflict-free reuse at up to 100% utilization.");
+    println!("The last column shows whether an 8192-line direct-mapped cache could");
+    println!("hold the same sub-block without conflicts (it usually cannot).");
+    Ok(())
+}

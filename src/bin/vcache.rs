@@ -1,0 +1,291 @@
+//! `vcache` — command-line front end for the prime-mapped cache toolkit.
+//!
+//! ```text
+//! vcache simulate --cache prime:13 --stride 1024 --length 4096 --sweeps 2
+//! vcache plan-subblock --rows 10000 [--exponent 13]
+//! vcache plan-fft --points 1048576 [--exponent 13]
+//! vcache compare --tm 64 --blocking 4096
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free: flags are
+//! `--name value` pairs; unknown flags are errors.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use prime_cache::cache::{CacheSim, ReplacementPolicy, StreamId, WordAddr};
+use prime_cache::core::blocking::conflict_free_subblock;
+use prime_cache::core::fft::{plan_fft, plan_is_conflict_free};
+use prime_cache::mersenne::MersenneModulus;
+use prime_cache::model::{cycles_per_result, Machine, MachineKind, Workload};
+
+const USAGE: &str = "\
+vcache — prime-mapped vector cache toolkit (Yang & Wu, ISCA 1992)
+
+USAGE:
+  vcache simulate --cache <SPEC> --stride <S> --length <N> [--sweeps <K>] [--base <A>]
+      Run a strided vector through a cache simulator and print the stats.
+      <SPEC> is one of:
+        prime:<c>          2^c - 1 lines, prime-mapped (c in {2,3,5,7,13,17,19,31})
+        direct:<lines>     direct-mapped, power-of-two lines
+        assoc:<lines>:<ways>  set-associative LRU
+  vcache plan-subblock --rows <P> [--exponent <c>]
+      Print the conflict-free b1 x b2 sub-block for leading dimension P.
+  vcache plan-fft --points <N> [--exponent <c>]
+      Print the conflict-free B1 x B2 factorization of an N-point FFT.
+  vcache compare --tm <T> [--blocking <B>] [--pds <F>] [--pstride1 <F>]
+      Evaluate the paper's analytical model for all three machine models.
+  vcache help
+      Show this message.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("no command given".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "simulate" => simulate(&flags),
+        "plan-subblock" => plan_subblock(&flags),
+        "plan-fft" => plan_fft_cmd(&flags),
+        "compare" => compare(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str) -> Result<T, String> {
+    flags
+        .get(name)
+        .ok_or_else(|| format!("missing required flag --{name}"))?
+        .parse()
+        .map_err(|_| format!("invalid value for --{name}"))
+}
+
+fn get_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}")),
+    }
+}
+
+fn build_cache(spec: &str) -> Result<CacheSim, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let cache = match parts.as_slice() {
+        ["prime", c] => {
+            let c: u32 = c.parse().map_err(|_| "bad exponent".to_string())?;
+            CacheSim::prime_mapped(c, 1)
+        }
+        ["direct", lines] => {
+            let lines: u64 = lines.parse().map_err(|_| "bad line count".to_string())?;
+            CacheSim::direct_mapped(lines, 1)
+        }
+        ["assoc", lines, ways] => {
+            let lines: u64 = lines.parse().map_err(|_| "bad line count".to_string())?;
+            let ways: u64 = ways.parse().map_err(|_| "bad way count".to_string())?;
+            CacheSim::set_associative(lines, ways, 1, ReplacementPolicy::Lru)
+        }
+        _ => return Err(format!("unrecognised cache spec `{spec}`")),
+    };
+    cache.map_err(|e| e.to_string())
+}
+
+fn simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec: String = get(flags, "cache")?;
+    let stride: u64 = get(flags, "stride")?;
+    let length: u64 = get(flags, "length")?;
+    let sweeps: u64 = get_or(flags, "sweeps", 2)?;
+    let base: u64 = get_or(flags, "base", 0)?;
+    let mut cache = build_cache(&spec)?;
+    for _ in 0..sweeps {
+        cache.access_stream(WordAddr::new(base), stride, length, StreamId::new(0));
+    }
+    println!(
+        "{} cache, {} sets x {} ways: {}",
+        cache.scheme_name(),
+        cache.geometry().sets(),
+        cache.geometry().ways(),
+        cache.stats()
+    );
+    Ok(())
+}
+
+fn modulus_from(flags: &HashMap<String, String>) -> Result<MersenneModulus, String> {
+    let exponent: u32 = get_or(flags, "exponent", 13)?;
+    MersenneModulus::new(exponent).map_err(|e| e.to_string())
+}
+
+fn plan_subblock(flags: &HashMap<String, String>) -> Result<(), String> {
+    let p: u64 = get(flags, "rows")?;
+    let modulus = modulus_from(flags)?;
+    if p == 0 {
+        return Err("--rows must be positive".into());
+    }
+    let plan = conflict_free_subblock(p, u64::MAX, modulus);
+    println!(
+        "P = {p}, C = {}: b1 = {}, b2 = {} ({} elements, utilization {:.4})",
+        modulus.value(),
+        plan.b1,
+        plan.b2,
+        plan.blocking_factor(),
+        plan.utilization()
+    );
+    Ok(())
+}
+
+fn plan_fft_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let n: u64 = get(flags, "points")?;
+    let modulus = modulus_from(flags)?;
+    match plan_fft(n, modulus) {
+        Some(plan) => {
+            println!(
+                "N = {n}: B1 = {}, B2 = {} (conflict-free on {} lines: {})",
+                plan.b1,
+                plan.b2,
+                modulus.value(),
+                plan_is_conflict_free(plan, modulus)
+            );
+            Ok(())
+        }
+        None => Err(format!(
+            "N = {n} is not blockable (need a power of two >= 4 with a factor below {})",
+            modulus.value()
+        )),
+    }
+}
+
+fn compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let t_m: u64 = get(flags, "tm")?;
+    let b: u64 = get_or(flags, "blocking", 4096)?;
+    let p_ds: f64 = get_or(flags, "pds", 0.1)?;
+    let p1: f64 = get_or(flags, "pstride1", 0.25)?;
+    if t_m == 0 || b == 0 {
+        return Err("--tm and --blocking must be positive".into());
+    }
+    let machine = Machine {
+        mvl: 64,
+        banks: 64,
+        t_m,
+        cache_lines: 8192,
+    };
+    let n = 1u64 << 20;
+    let mm = cycles_per_result(
+        &machine,
+        &Workload::random_strides(n, b, p_ds, p1, machine.banks),
+        MachineKind::MmModel,
+    );
+    let direct = cycles_per_result(
+        &machine,
+        &Workload::random_strides(n, b, p_ds, p1, 8192),
+        MachineKind::CcDirect,
+    );
+    let prime = cycles_per_result(
+        &machine.with_prime_cache(13),
+        &Workload::random_strides(n, b, p_ds, p1, 8191),
+        MachineKind::CcPrime,
+    );
+    println!("cycles per result at t_m = {t_m}, B = {b}, P_ds = {p_ds}, P_stride1 = {p1}:");
+    println!("  MM-model (no cache):     {mm:.3}");
+    println!("  CC-model, direct-mapped: {direct:.3}");
+    println!("  CC-model, prime-mapped:  {prime:.3}");
+    println!("  speedup prime vs direct: {:.2}x", direct / prime);
+    println!("  speedup prime vs MM:     {:.2}x", mm / prime);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--a", "1", "--b", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f["a"], "1");
+        assert_eq!(f["b"], "x");
+        assert!(parse_flags(&["--a".to_string()]).is_err());
+        assert!(parse_flags(&["a".to_string(), "1".to_string()]).is_err());
+    }
+
+    #[test]
+    fn cache_spec_parsing() {
+        assert!(build_cache("prime:13").is_ok());
+        assert!(build_cache("direct:8192").is_ok());
+        assert!(build_cache("assoc:8192:4").is_ok());
+        assert!(build_cache("prime:12").is_err());
+        assert!(build_cache("bogus").is_err());
+        assert!(build_cache("direct:notanumber").is_err());
+    }
+
+    #[test]
+    fn commands_run() {
+        assert!(simulate(&flags(&[
+            ("cache", "prime:5"),
+            ("stride", "8"),
+            ("length", "31"),
+        ]))
+        .is_ok());
+        assert!(plan_subblock(&flags(&[("rows", "1000")])).is_ok());
+        assert!(plan_fft_cmd(&flags(&[("points", "1048576")])).is_ok());
+        assert!(compare(&flags(&[("tm", "32")])).is_ok());
+    }
+
+    #[test]
+    fn command_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["bogus".to_string()]).is_err());
+        assert!(plan_subblock(&flags(&[("rows", "0")])).is_err());
+        assert!(plan_fft_cmd(&flags(&[("points", "1000")])).is_err());
+        assert!(compare(&flags(&[("tm", "0")])).is_err());
+        assert!(simulate(&flags(&[("cache", "prime:13")])).is_err()); // missing stride
+    }
+
+    #[test]
+    fn help_runs() {
+        assert!(run(&["help".to_string()]).is_ok());
+    }
+}

@@ -1,0 +1,66 @@
+//! # prime-cache
+//!
+//! A complete reproduction of *“A Novel Cache Design for Vector
+//! Processing”* (Qing Yang & Liping Wu, ISCA 1992): the **prime-mapped
+//! vector cache**, every substrate it depends on, the paper's analytical
+//! performance model, trace-driven simulators of both machine models, and
+//! a benchmark harness regenerating every figure of the evaluation.
+//!
+//! ## The idea
+//!
+//! Conventional caches index with the low address bits — a modulus of
+//! `2^c`. Vector programs access memory with strides, and any stride
+//! sharing a factor with `2^c` folds a long vector onto a handful of cache
+//! lines, producing *self-interference* conflict misses that make vector
+//! caches nearly useless. The paper's design gives the cache `2^c − 1`
+//! lines instead, a **Mersenne prime**: now every stride that is not a
+//! multiple of the cache size walks all lines before wrapping, and because
+//! `2^c ≡ 1 (mod 2^c − 1)` the index is computed by a narrow
+//! end-around-carry adder *in parallel* with normal address generation —
+//! zero added latency.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`mersenne`] | Mersenne arithmetic, folding adder, number theory |
+//! | [`mem`] | interleaved memory-bank simulator |
+//! | [`cache`] | cache organizations, mappers, miss classification |
+//! | [`core`] | the prime-mapped cache, datapath, blocking planners |
+//! | [`machine`] | MM-/CC-model trace-driven machine simulators |
+//! | [`model`] | the paper's analytical model (Equations 1–8, FFT) |
+//! | [`workloads`] | VCM traces, sub-block / FFT / matmul / LU kernels |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use prime_cache::core::PrimeVectorCache;
+//! use prime_cache::cache::CacheSim;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Paper configuration: 8191-line prime cache vs 8192-line direct cache.
+//! let mut prime = PrimeVectorCache::new(13, 1)?;
+//! let mut direct = CacheSim::direct_mapped(8192, 1)?;
+//!
+//! // Sweep a vector with stride 1024 twice (FFT-style power-of-two stride).
+//! use prime_cache::cache::{StreamId, WordAddr};
+//! for _ in 0..2 {
+//!     prime.load_vector(0, 1024, 4096, 0);
+//!     direct.access_stream(WordAddr::new(0), 1024, 4096, StreamId::new(0));
+//! }
+//! assert_eq!(prime.stats().hits, 4096);  // full reuse
+//! assert_eq!(direct.stats().hits, 0);    // 8 lines thrash
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vcache_cache as cache;
+pub use vcache_core as core;
+pub use vcache_machine as machine;
+pub use vcache_mem as mem;
+pub use vcache_mersenne as mersenne;
+pub use vcache_model as model;
+pub use vcache_workloads as workloads;

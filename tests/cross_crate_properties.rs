@@ -1,0 +1,114 @@
+//! Property-based integration tests spanning crates: the hardware datapath
+//! vs the architectural mapping, planners vs simulators, model vs machines.
+
+use prime_cache::cache::{CacheSim, StreamId, WordAddr};
+use prime_cache::core::blocking::{conflict_free_subblock, is_conflict_free};
+use prime_cache::core::AddressGenerator;
+use prime_cache::machine::{CacheSpec, CcMachine, MachineConfig};
+use prime_cache::mersenne::{MersenneModulus, MERSENNE_EXPONENTS};
+use prime_cache::workloads::{generate_program, StrideDistribution, Vcm};
+use proptest::prelude::*;
+
+fn arb_exponent() -> impl Strategy<Value = u32> {
+    prop::sample::select(
+        MERSENNE_EXPONENTS
+            .iter()
+            .copied()
+            .filter(|&c| c <= 17)
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    /// The Figure-1 datapath and the architectural definition
+    /// `line mod (2^c − 1)` agree on every element of every vector.
+    #[test]
+    fn datapath_equals_architecture(
+        c in arb_exponent(),
+        base in any::<u64>(),
+        stride in -100_000i64..100_000,
+        length in 1u64..300,
+    ) {
+        let modulus = (1u64 << c) - 1;
+        let mut gen = AddressGenerator::new(c, 1, 64).expect("valid exponent");
+        gen.set_stride(stride);
+        let first = gen.start_vector(base);
+        prop_assert_eq!(first.index, base % modulus);
+        let mut addr = base;
+        for _ in 1..length {
+            let next = gen.next_element();
+            addr = addr.wrapping_add_signed(stride);
+            prop_assert_eq!(next.index, addr % modulus);
+        }
+    }
+
+    /// The §4 planner's sub-blocks are conflict-free both by the mapping
+    /// predicate and when replayed through the cache simulator.
+    #[test]
+    fn planner_survives_simulation(
+        c in arb_exponent(),
+        p in 1u64..200_000,
+    ) {
+        let modulus = MersenneModulus::new(c).expect("valid exponent");
+        let plan = conflict_free_subblock(p, u64::MAX, modulus);
+        prop_assert!(is_conflict_free(p, plan.b1.min(p), plan.b2, modulus));
+
+        // Replay (bounded) through the simulator.
+        let b1 = plan.b1.min(p).min(512);
+        let b2 = plan.b2.min(64);
+        let mut cache = CacheSim::prime_mapped(c, 1).expect("valid cache");
+        for _ in 0..2 {
+            for j in 0..b2 {
+                for i in 0..b1 {
+                    cache.access(WordAddr::new(j * p + i), StreamId::new(0));
+                }
+            }
+        }
+        prop_assert_eq!(cache.stats().conflict_misses(), 0);
+    }
+
+    /// Single-stream unit-stride blocked programs with any reuse run
+    /// conflict-free on the prime CC machine, and every post-load sweep
+    /// hits entirely.
+    #[test]
+    fn unit_stride_blocked_programs_fully_reuse(
+        b in 64u64..2048,
+        r in 1u64..6,
+    ) {
+        let vcm = Vcm {
+            blocking_factor: b,
+            reuse_factor: r,
+            p_ds: 0.0,
+            stride1: StrideDistribution::Fixed(1),
+            stride2: StrideDistribution::Fixed(1),
+        };
+        let program = generate_program(&vcm, b, 0);
+        let mut machine = CcMachine::new(
+            MachineConfig::paper_section4(16).with_cache(CacheSpec::prime(13)),
+        )
+        .expect("valid machine");
+        let report = machine.execute(&program);
+        let stats = report.cache_stats.expect("CC stats");
+        prop_assert_eq!(stats.compulsory_misses, b.min(8191));
+        prop_assert_eq!(stats.conflict_misses(), 0);
+        prop_assert_eq!(report.cache_stall_cycles, 0);
+    }
+
+    /// Any stride coprime with the line count reuses perfectly across two
+    /// sweeps on the assembled PrimeVectorCache, for any Mersenne geometry.
+    #[test]
+    fn two_sweeps_always_reuse(
+        c in arb_exponent(),
+        stride in 1u64..100_000,
+        base in 0u64..1_000_000,
+    ) {
+        let lines = (1u64 << c) - 1;
+        prop_assume!(stride % lines != 0);
+        let length = lines.min(1024);
+        let mut cache = prime_cache::core::PrimeVectorCache::new(c, 1)
+            .expect("valid cache");
+        cache.load_vector(base, stride as i64, length, 0);
+        let second = cache.load_vector(base, stride as i64, length, 0);
+        prop_assert_eq!(second.misses, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration tests pinning the paper's headline claims, exercised
+//! end-to-end across the crates (model + machines + caches + planners).
+
+use prime_cache::cache::{CacheSim, StreamId, WordAddr};
+use prime_cache::core::blocking::conflict_free_subblock;
+use prime_cache::core::PrimeVectorCache;
+use prime_cache::machine::{CacheSpec, CcMachine, MachineConfig, MmMachine};
+use prime_cache::mersenne::MersenneModulus;
+use prime_cache::model::{cycles_per_result, Machine, MachineKind, Workload};
+use prime_cache::workloads::{generate_program, Vcm};
+
+/// Abstract claim: "a factor of 2 to 3 performance improvement over the
+/// conventional direct-mapped cache" — checked on the analytical model at
+/// the paper's own operating point (Fig. 7, t_m = M = 64).
+#[test]
+fn abstract_claim_two_to_three_x_over_direct() {
+    let machine = Machine {
+        mvl: 64,
+        banks: 64,
+        t_m: 64,
+        cache_lines: 8192,
+    };
+    let wl_direct = Workload::random_strides(1 << 20, 4096, 0.1, 0.25, 8192);
+    let wl_prime = Workload::random_strides(1 << 20, 4096, 0.1, 0.25, 8191);
+    let direct = cycles_per_result(&machine, &wl_direct, MachineKind::CcDirect);
+    let prime = cycles_per_result(
+        &machine.with_prime_cache(13),
+        &wl_prime,
+        MachineKind::CcPrime,
+    );
+    let ratio = direct / prime;
+    assert!(
+        ratio > 2.0,
+        "paper claims 2-3x; model gives {ratio:.2}x ({direct:.2} vs {prime:.2})"
+    );
+}
+
+/// §4: "runs three times faster than the direct-mapped CC-model and almost
+/// five times faster than the MM-model" at t_m = M = 64.
+#[test]
+fn section4_fig7_headline_ratios() {
+    let machine = Machine {
+        mvl: 64,
+        banks: 64,
+        t_m: 64,
+        cache_lines: 8192,
+    };
+    let wl = |modulus| Workload::random_strides(1 << 20, 4096, 0.1, 0.25, modulus);
+    let mm = cycles_per_result(&machine, &wl(64), MachineKind::MmModel);
+    let direct = cycles_per_result(&machine, &wl(8192), MachineKind::CcDirect);
+    let prime = cycles_per_result(
+        &machine.with_prime_cache(13),
+        &wl(8191),
+        MachineKind::CcPrime,
+    );
+    assert!(direct / prime > 2.5, "direct/prime = {:.2}", direct / prime);
+    assert!(mm / prime > 3.5, "mm/prime = {:.2}", mm / prime);
+}
+
+/// §1: "the stride required to access the major diagonal is one greater
+/// than the stride required to access a row … not possible to make both
+/// efficient" in any power-of-two cache — but the prime cache does both.
+#[test]
+fn row_and_diagonal_both_efficient_end_to_end() {
+    let p = 1024u64; // leading dimension, the hard case
+    let mut prime = PrimeVectorCache::new(13, 1).expect("valid cache");
+    let mut direct = CacheSim::direct_mapped(8192, 1).expect("valid cache");
+
+    for _ in 0..3 {
+        prime.load_vector(0, p as i64, 2048, 0); // row
+        prime.load_vector(0, (p + 1) as i64, 2048, 1); // diagonal
+        direct.access_stream(WordAddr::new(0), p, 2048, StreamId::new(0));
+        direct.access_stream(WordAddr::new(0), p + 1, 2048, StreamId::new(1));
+    }
+    // Prime: zero self-interference; direct: the row stride folds 2048
+    // elements onto 8 lines and thrashes.
+    assert_eq!(prime.stats().self_interference_misses, 0);
+    assert!(direct.stats().self_interference_misses > 1000);
+    assert!(prime.stats().hit_ratio() > direct.stats().hit_ratio());
+}
+
+/// §4 sub-block: conflict-free at utilization ≈ 1 for arbitrary leading
+/// dimensions — verified in the cache simulator via the planner.
+#[test]
+fn subblock_utilization_close_to_one_and_conflict_free() {
+    let modulus = MersenneModulus::new(13).expect("valid exponent");
+    for p in [1000u64, 4096, 12_345] {
+        let plan = conflict_free_subblock(p, u64::MAX, modulus);
+        assert!(plan.utilization() > 0.8, "P = {p}: {}", plan.utilization());
+        let mut cache = CacheSim::prime_mapped(13, 1).expect("valid cache");
+        for sweep in 0..2 {
+            for j in 0..plan.b2 {
+                for i in 0..plan.b1.min(p) {
+                    cache.access(WordAddr::new(j * p + i), StreamId::new(0));
+                }
+            }
+            let _ = sweep;
+        }
+        assert_eq!(cache.stats().conflict_misses(), 0, "P = {p}");
+    }
+}
+
+/// The machines agree with the model on *ordering* at the paper's
+/// operating point: prime CC < MM when memory is slow and reuse is real.
+#[test]
+fn trace_driven_ordering_matches_model() {
+    let program = generate_program(&Vcm::random_multistride(1024, 16, 0.1, 64), 1 << 13, 3);
+    let base = MachineConfig::paper_section4(64);
+    let mm = MmMachine::new(base.clone())
+        .expect("valid machine")
+        .execute(&program);
+    let direct = CcMachine::new(base.with_cache(CacheSpec::direct(8192)))
+        .expect("valid machine")
+        .execute(&program);
+    let prime = CcMachine::new(base.with_cache(CacheSpec::prime(13)))
+        .expect("valid machine")
+        .execute(&program);
+    assert!(prime.cycles_per_result() < mm.cycles_per_result());
+    assert!(prime.cycles_per_result() <= direct.cycles_per_result() * 1.01);
+}
+
+/// §2.3: the cache-address datapath adds no per-element work beyond one
+/// c-bit addition — verified by counting adder passes across a long load.
+#[test]
+fn datapath_one_addition_per_element() {
+    let mut cache = PrimeVectorCache::new(13, 1).expect("valid cache");
+    let before = cache.adder_stats().additions;
+    let out = cache.load_vector(0xABCD_EF00, 7, 10_000, 0);
+    let per_element = (cache.adder_stats().additions - before - u64::from(out.startup_adder_passes))
+        as f64
+        / 10_000.0;
+    assert!(
+        per_element <= 1.0 + 1e-9,
+        "expected <= 1 addition per element, got {per_element}"
+    );
+}

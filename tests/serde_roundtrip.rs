@@ -1,0 +1,109 @@
+//! Serde round-trips for every serializable data structure in the public
+//! API (C-SERDE): configurations, workload specs, statistics, and results
+//! must survive JSON serialization unchanged, so experiment records can be
+//! stored and replayed.
+
+use prime_cache::cache::{CacheStats, Geometry, LineAddr, MissKind, ReplacementPolicy, WordAddr};
+use prime_cache::machine::{CacheSpec, MachineConfig};
+use prime_cache::mem::{BankingScheme, MemoryConfig, StreamSpec};
+use prime_cache::mersenne::MersenneModulus;
+use prime_cache::model::{Machine, MachineKind, StrideModel, Workload};
+use prime_cache::workloads::{
+    FftLayout, MatrixSweep, Program, StrideDistribution, Vcm, VectorAccess,
+};
+
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, value, "round-trip changed the value: {json}");
+}
+
+#[test]
+fn mersenne_types() {
+    let m = MersenneModulus::new(13).unwrap();
+    roundtrip(&m);
+    roundtrip(&m.residue(12345));
+}
+
+#[test]
+fn memory_types() {
+    roundtrip(&MemoryConfig::new(64, 32, BankingScheme::LowOrderInterleave).unwrap());
+    roundtrip(&MemoryConfig::new(61, 8, BankingScheme::PrimeBanked).unwrap());
+    roundtrip(&StreamSpec {
+        base: 7,
+        stride: 1024,
+        length: 4096,
+    });
+}
+
+#[test]
+fn cache_types() {
+    roundtrip(&WordAddr::new(0xDEAD));
+    roundtrip(&LineAddr::new(0xBEEF));
+    roundtrip(&Geometry::new(8191, 1, 2));
+    roundtrip(&ReplacementPolicy::Random);
+    roundtrip(&MissKind::ConflictCross);
+    let stats = CacheStats {
+        accesses: 10,
+        hits: 4,
+        compulsory_misses: 6,
+        ..Default::default()
+    };
+    roundtrip(&stats);
+}
+
+#[test]
+fn machine_types() {
+    roundtrip(&MachineConfig::paper_section4(32).with_cache(CacheSpec::prime(13)));
+    roundtrip(&MachineConfig::paper_default(8).with_prime_banks(61));
+    roundtrip(&CacheSpec::SetAssociative {
+        lines: 8192,
+        ways: 4,
+        line_words: 1,
+        policy: ReplacementPolicy::Fifo,
+    });
+}
+
+#[test]
+fn model_types() {
+    roundtrip(&Machine {
+        mvl: 64,
+        banks: 64,
+        t_m: 32,
+        cache_lines: 8191,
+    });
+    roundtrip(&MachineKind::CcPrime);
+    roundtrip(&StrideModel::Random {
+        p_unit: 0.25,
+        modulus: 8191,
+    });
+    roundtrip(&Workload::random_strides(1 << 20, 4096, 0.1, 0.25, 8191));
+}
+
+#[test]
+fn workload_types() {
+    roundtrip(&Vcm::blocked_matmul(16));
+    roundtrip(&StrideDistribution::UnitOrUniform {
+        p_unit: 0.25,
+        max: 64,
+    });
+    roundtrip(&MatrixSweep::Column(3));
+    roundtrip(&FftLayout { b1: 256, b2: 128 });
+    roundtrip(&VectorAccess::single(0, -7, 31, 2));
+    roundtrip(&Program::new(
+        "test",
+        vec![VectorAccess::single(0, 1, 4, 0)],
+    ));
+}
+
+#[test]
+fn figure_types() {
+    // Figures are serializable too, so CSVs are not the only export path.
+    let fig = vcache_bench::fig9();
+    let json = serde_json::to_string(&fig).expect("serialize figure");
+    let back: vcache_bench::Figure = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, fig);
+}
