@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 use vcache_cache::{CacheSim, ReplacementPolicy, StreamId, WordAddr};
-use vcache_mem::{simulate_single_stream, BankingScheme, MemoryConfig};
+use vcache_mem::{
+    simulate_single_stream, simulate_single_stream_traced, BankingScheme, MemoryConfig,
+};
+use vcache_trace::{NullSink, RingSink};
 
 const ACCESSES: u64 = 8192;
 
@@ -56,5 +59,70 @@ fn bench_memory_streams(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache_orgs, bench_memory_streams);
+/// Tracing overhead: the untraced paths above are the baselines; these
+/// measure the traced wrappers with a `NullSink` (the no-sink
+/// configuration every default code path uses) and with a bounded
+/// `RingSink` (the cheapest real sink). README's "Observability" section
+/// quotes the expectation: NullSink must be indistinguishable from the
+/// untraced baseline.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.throughput(Throughput::Elements(ACCESSES));
+    group.bench_function("cache_prime_8191_nullsink", |b| {
+        b.iter_batched(
+            || CacheSim::prime_mapped(13, 1).expect("valid"),
+            |mut cache| {
+                let mut sink = NullSink;
+                let mut misses = 0;
+                for i in 0..ACCESSES {
+                    let addr = WordAddr::new(i.wrapping_mul(769));
+                    if !cache
+                        .access_traced(black_box(addr), StreamId::new(0), &mut sink)
+                        .is_hit()
+                    {
+                        misses += 1;
+                    }
+                }
+                misses
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("cache_prime_8191_ringsink", |b| {
+        b.iter_batched(
+            || {
+                (
+                    CacheSim::prime_mapped(13, 1).expect("valid"),
+                    RingSink::new(1024),
+                )
+            },
+            |(mut cache, mut sink)| {
+                let mut misses = 0;
+                for i in 0..ACCESSES {
+                    let addr = WordAddr::new(i.wrapping_mul(769));
+                    if !cache
+                        .access_traced(black_box(addr), StreamId::new(0), &mut sink)
+                        .is_hit()
+                    {
+                        misses += 1;
+                    }
+                }
+                misses
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let cfg = MemoryConfig::new(64, 32, BankingScheme::LowOrderInterleave).expect("valid");
+    group.bench_function("single_stream_64banks_nullsink", |b| {
+        b.iter(|| simulate_single_stream_traced(black_box(&cfg), 0, 7, ACCESSES, &mut NullSink))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_orgs,
+    bench_memory_streams,
+    bench_trace_overhead
+);
 criterion_main!(benches);

@@ -1,16 +1,23 @@
-//! Regenerates every figure table and CSV in one run.
+//! Regenerates every figure table and CSV in one run, timing each figure
+//! with a [`vcache_trace::ScopeTimer`] (reported on stderr).
+
+fn timed(label: &str, f: impl FnOnce() -> vcache_bench::Figure) -> vcache_bench::Figure {
+    let _t = vcache_trace::ScopeTimer::new(label);
+    f()
+}
 
 fn main() {
+    let _total = vcache_trace::ScopeTimer::new("run_all");
     let figures = [
-        vcache_bench::fig4(),
-        vcache_bench::fig5(),
-        vcache_bench::fig6(),
-        vcache_bench::fig7(),
-        vcache_bench::fig8(),
-        vcache_bench::fig9(),
-        vcache_bench::fig10(),
-        vcache_bench::fig11(),
-        vcache_bench::fig12(),
+        timed("fig4", vcache_bench::fig4),
+        timed("fig5", vcache_bench::fig5),
+        timed("fig6", vcache_bench::fig6),
+        timed("fig7", vcache_bench::fig7),
+        timed("fig8", vcache_bench::fig8),
+        timed("fig9", vcache_bench::fig9),
+        timed("fig10", vcache_bench::fig10),
+        timed("fig11", vcache_bench::fig11),
+        timed("fig12", vcache_bench::fig12),
     ];
     for fig in &figures {
         println!("{}", vcache_bench::render_table(fig));

@@ -5,6 +5,7 @@ use core::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use vcache_trace::{TraceEvent, TraceSink};
 
 use crate::addr::{Geometry, LineAddr, WordAddr};
 use crate::classify::{ShadowCache, ShadowVerdict};
@@ -399,6 +400,53 @@ impl CacheSim {
             miss: Some(kind),
             evicted: evicted.map(|e| e.line),
         }
+    }
+
+    /// Accesses `word` exactly like [`CacheSim::access`], additionally
+    /// emitting a [`TraceEvent::CacheAccess`] into `sink`.
+    ///
+    /// The untraced path stays untouched: this wrapper synthesizes the
+    /// event from the returned [`AccessResult`], so code that never
+    /// attaches a sink pays nothing.
+    pub fn access_traced(
+        &mut self,
+        word: WordAddr,
+        stream: StreamId,
+        sink: &mut dyn TraceSink,
+    ) -> AccessResult {
+        let result = self.access(word, stream);
+        sink.record(&TraceEvent::CacheAccess {
+            seq: self.clock,
+            word: word.value(),
+            stream: stream.value(),
+            set: result.set,
+            miss: result.miss.map(MissKind::trace_class),
+            evicted: result.evicted.map(|l| l.value()),
+        });
+        result
+    }
+
+    /// Runs a strided vector through the cache like
+    /// [`CacheSim::access_stream`], emitting one event per access.
+    /// Returns the number of misses.
+    pub fn access_stream_traced(
+        &mut self,
+        base: WordAddr,
+        stride: u64,
+        length: u64,
+        stream: StreamId,
+        sink: &mut dyn TraceSink,
+    ) -> u64 {
+        let mut misses = 0;
+        for i in 0..length {
+            if !self
+                .access_traced(base.offset(i, stride), stream, sink)
+                .is_hit()
+            {
+                misses += 1;
+            }
+        }
+        misses
     }
 
     /// Runs a strided vector through the cache: `length` words starting at

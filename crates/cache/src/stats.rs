@@ -27,6 +27,18 @@ impl MissKind {
     pub fn is_conflict(&self) -> bool {
         matches!(self, Self::ConflictSelf | Self::ConflictCross)
     }
+
+    /// The equivalent class in the tracing vocabulary (which lives in
+    /// `vcache-trace` so the tracing crate stays dependency-free).
+    #[must_use]
+    pub fn trace_class(self) -> vcache_trace::MissClass {
+        match self {
+            Self::Compulsory => vcache_trace::MissClass::Compulsory,
+            Self::Capacity => vcache_trace::MissClass::Capacity,
+            Self::ConflictSelf => vcache_trace::MissClass::ConflictSelf,
+            Self::ConflictCross => vcache_trace::MissClass::ConflictCross,
+        }
+    }
 }
 
 impl fmt::Display for MissKind {

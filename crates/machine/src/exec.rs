@@ -1,7 +1,11 @@
 //! The executors: MM-model and CC-model.
 
 use vcache_cache::{CacheSim, StreamId, WordAddr};
-use vcache_mem::{simulate_dual_stream, simulate_single_stream, MemoryConfig, StreamSpec};
+use vcache_mem::{
+    simulate_dual_stream, simulate_dual_stream_traced, simulate_single_stream,
+    simulate_single_stream_traced, MemoryConfig, StreamSpec,
+};
+use vcache_trace::{MeteringSink, MetricsRegistry, PhaseKind, TraceEvent, TraceSink};
 use vcache_workloads::{Program, VectorAccess};
 
 use crate::config::{MachineConfig, MachineError};
@@ -79,6 +83,87 @@ impl MmMachine {
                 i += 1;
             }
         }
+        report
+    }
+
+    /// [`execute`](Self::execute) with observability: every bank access is
+    /// streamed to `sink`, phase boundaries are marked, and the returned
+    /// report carries a [`MetricsSnapshot`](vcache_trace::MetricsSnapshot)
+    /// in `report.metrics`.
+    ///
+    /// The timing model must stay byte-identical to `execute`; a test
+    /// asserts the two produce the same report (modulo `metrics`). Keep the
+    /// loop bodies in sync when editing either.
+    #[must_use]
+    pub fn execute_traced(&self, program: &Program, sink: &mut dyn TraceSink) -> ExecutionReport {
+        let mut metrics = MetricsRegistry::new();
+        let mut report = ExecutionReport::default();
+        {
+            let mut meter = MeteringSink::new(sink, &mut metrics);
+            meter.record(&TraceEvent::PhaseBegin {
+                kind: PhaseKind::Program,
+                sweep: 0,
+                cycle: 0.0,
+            });
+            let mut i = 0;
+            let mut sweep = 0;
+            while i < program.accesses.len() {
+                let a = &program.accesses[i];
+                meter.record(&TraceEvent::PhaseBegin {
+                    kind: PhaseKind::Chime,
+                    sweep,
+                    cycle: report.cycles,
+                });
+                if a.paired_with_next && i + 1 < program.accesses.len() {
+                    let b = &program.accesses[i + 1];
+                    let dual = simulate_dual_stream_traced(
+                        &self.memory,
+                        to_spec(a),
+                        to_spec(b),
+                        &mut meter,
+                    );
+                    let stalls = dual.total_stalls();
+                    report.cycles += access_overhead(&self.config, a.length, 0)
+                        + a.length.max(b.length) as f64
+                        + stalls as f64;
+                    report.overhead_cycles += access_overhead(&self.config, a.length, 0);
+                    report.memory_stall_cycles += stalls;
+                    report.results += a.length;
+                    report.elements += a.length + b.length;
+                    i += 2;
+                } else {
+                    let single = simulate_single_stream_traced(
+                        &self.memory,
+                        a.base,
+                        a.stride as u64,
+                        a.length,
+                        &mut meter,
+                    );
+                    report.cycles += access_overhead(&self.config, a.length, 0)
+                        + a.length as f64
+                        + single.stall_cycles as f64;
+                    report.overhead_cycles += access_overhead(&self.config, a.length, 0);
+                    report.memory_stall_cycles += single.stall_cycles;
+                    report.results += a.length;
+                    report.elements += a.length;
+                    i += 1;
+                }
+                meter.record(&TraceEvent::PhaseEnd {
+                    kind: PhaseKind::Chime,
+                    sweep,
+                    cycle: report.cycles,
+                });
+                sweep += 1;
+            }
+            meter.record(&TraceEvent::PhaseEnd {
+                kind: PhaseKind::Program,
+                sweep: 0,
+                cycle: report.cycles,
+            });
+        }
+        metrics.gauge("machine.cycles", report.cycles);
+        metrics.gauge("machine.cycles_per_result", report.cycles_per_result());
+        report.metrics = Some(metrics.snapshot());
         report
     }
 }
@@ -211,6 +296,138 @@ impl CcMachine {
         report.cache_stats = Some(self.cache.stats());
         report
     }
+
+    /// [`execute`](Self::execute) with observability: every cache access and
+    /// every bank access of a full-miss load is streamed to `sink`, phase
+    /// boundaries are marked, and the returned report carries a
+    /// [`MetricsSnapshot`](vcache_trace::MetricsSnapshot) in
+    /// `report.metrics`.
+    ///
+    /// The timing model must stay byte-identical to `execute`; a test
+    /// asserts the two produce the same report (modulo `metrics`). Keep the
+    /// loop bodies in sync when editing either.
+    pub fn execute_traced(
+        &mut self,
+        program: &Program,
+        sink: &mut dyn TraceSink,
+    ) -> ExecutionReport {
+        let mut metrics = MetricsRegistry::new();
+        let mut report = ExecutionReport::default();
+        {
+            let mut meter = MeteringSink::new(sink, &mut metrics);
+            meter.record(&TraceEvent::PhaseBegin {
+                kind: PhaseKind::Program,
+                sweep: 0,
+                cycle: 0.0,
+            });
+            let mut i = 0;
+            let mut sweep = 0;
+            while i < program.accesses.len() {
+                let a = &program.accesses[i];
+                let paired = a.paired_with_next && i + 1 < program.accesses.len();
+                let (results, elements) = if paired {
+                    let b = &program.accesses[i + 1];
+                    (a.length, a.length + b.length)
+                } else {
+                    (a.length, a.length)
+                };
+                meter.record(&TraceEvent::PhaseBegin {
+                    kind: PhaseKind::Chime,
+                    sweep,
+                    cycle: report.cycles,
+                });
+
+                let run_access =
+                    |acc: &VectorAccess, cache: &mut CacheSim, sink: &mut MeteringSink| {
+                        let mut m = 0;
+                        for k in 0..acc.length {
+                            let word = WordAddr::new(acc.word(k));
+                            if !cache
+                                .access_traced(word, StreamId::new(acc.stream), sink)
+                                .is_hit()
+                            {
+                                m += 1;
+                            }
+                        }
+                        m
+                    };
+
+                let streams: &[&VectorAccess] = if paired {
+                    &[a, &program.accesses[i + 1]]
+                } else {
+                    &[a]
+                };
+                let mut full_miss = [false; 2];
+                let mut mem_stalls = 0u64;
+                let mut cache_stalls = 0u64;
+                let mut all_hit = true;
+                for (s, acc) in streams.iter().enumerate() {
+                    let misses = run_access(acc, &mut self.cache, &mut meter);
+                    if misses == acc.length && acc.length > 0 {
+                        all_hit = false;
+                        full_miss[s] = true;
+                    } else if misses > 0 {
+                        all_hit = false;
+                        cache_stalls += misses * self.config.t_m;
+                    }
+                }
+                match full_miss {
+                    [true, true] => {
+                        let b = &program.accesses[i + 1];
+                        mem_stalls = simulate_dual_stream_traced(
+                            &self.memory,
+                            to_spec(a),
+                            to_spec(b),
+                            &mut meter,
+                        )
+                        .total_stalls();
+                    }
+                    _ => {
+                        for (s, acc) in streams.iter().enumerate() {
+                            if full_miss[s] {
+                                mem_stalls += simulate_single_stream_traced(
+                                    &self.memory,
+                                    acc.base,
+                                    acc.stride as u64,
+                                    acc.length,
+                                    &mut meter,
+                                )
+                                .stall_cycles;
+                            }
+                        }
+                    }
+                }
+                let startup_reduction = if all_hit { self.config.t_m } else { 0 };
+
+                report.cycles += access_overhead(&self.config, a.length, startup_reduction)
+                    + results as f64
+                    + (mem_stalls + cache_stalls) as f64;
+                report.overhead_cycles +=
+                    access_overhead(&self.config, a.length, startup_reduction);
+                report.memory_stall_cycles += mem_stalls;
+                report.cache_stall_cycles += cache_stalls;
+                report.results += results;
+                report.elements += elements;
+                meter.record(&TraceEvent::PhaseEnd {
+                    kind: PhaseKind::Chime,
+                    sweep,
+                    cycle: report.cycles,
+                });
+                sweep += 1;
+                i += if paired { 2 } else { 1 };
+            }
+            meter.record(&TraceEvent::PhaseEnd {
+                kind: PhaseKind::Program,
+                sweep: 0,
+                cycle: report.cycles,
+            });
+        }
+        metrics.gauge("machine.cycles", report.cycles);
+        metrics.gauge("machine.cycles_per_result", report.cycles_per_result());
+        report.cache_stats = Some(self.cache.stats());
+        report.metrics = Some(metrics.snapshot());
+        report
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +543,55 @@ mod tests {
             CcMachine::new(MachineConfig::paper_default(8)),
             Err(MachineError::Cache(_))
         ));
+    }
+
+    #[test]
+    fn mm_traced_matches_untraced() {
+        use vcache_trace::{NullSink, RingSink, TraceEvent};
+        let m = MmMachine::new(MachineConfig::paper_default(16)).unwrap();
+        let program = saxpy_trace(0, 100_000, 300);
+        let plain = m.execute(&program);
+        let traced = m.execute_traced(&program, &mut NullSink);
+        assert_eq!(traced.cycles, plain.cycles);
+        assert_eq!(traced.results, plain.results);
+        assert_eq!(traced.elements, plain.elements);
+        assert_eq!(traced.memory_stall_cycles, plain.memory_stall_cycles);
+        assert_eq!(traced.overhead_cycles, plain.overhead_cycles);
+        let metrics = traced.metrics.expect("traced run collects metrics");
+        assert_eq!(metrics.counter("mem.accesses"), traced.elements);
+        assert_eq!(metrics.counter("machine.chimes"), 1); // saxpy: one paired group
+
+        let mut ring = RingSink::new(4096);
+        let _ = m.execute_traced(&program, &mut ring);
+        let banks = ring
+            .events()
+            .filter(|e| matches!(e, TraceEvent::BankAccess { .. }))
+            .count() as u64;
+        assert_eq!(banks, traced.elements);
+    }
+
+    #[test]
+    fn cc_traced_matches_untraced() {
+        use vcache_trace::NullSink;
+        let cfg = MachineConfig::paper_default(16).with_cache(CacheSpec::prime(13));
+        let program = program_unit_reuse(1024, 4);
+        let plain = CcMachine::new(cfg.clone()).unwrap().execute(&program);
+        let traced = CcMachine::new(cfg)
+            .unwrap()
+            .execute_traced(&program, &mut NullSink);
+        assert_eq!(traced.cycles, plain.cycles);
+        assert_eq!(traced.results, plain.results);
+        assert_eq!(traced.memory_stall_cycles, plain.memory_stall_cycles);
+        assert_eq!(traced.cache_stall_cycles, plain.cache_stall_cycles);
+        assert_eq!(traced.cache_stats, plain.cache_stats);
+        let metrics = traced.metrics.expect("traced run collects metrics");
+        let stats = traced.cache_stats.unwrap();
+        assert_eq!(metrics.counter("cache.accesses"), stats.accesses);
+        assert_eq!(metrics.counter("cache.hits"), stats.hits);
+        assert_eq!(
+            metrics.counter("cache.miss.compulsory"),
+            stats.compulsory_misses
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 use vcache_cache::CacheStats;
+use vcache_trace::MetricsSnapshot;
 
 /// What a machine did while executing a program.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -23,6 +24,9 @@ pub struct ExecutionReport {
     pub overhead_cycles: f64,
     /// Final cache counters (CC-model only).
     pub cache_stats: Option<CacheStats>,
+    /// Metrics collected during execution (`execute_traced` only; plain
+    /// `execute` leaves this `None`).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl ExecutionReport {
@@ -46,6 +50,12 @@ impl ExecutionReport {
         self.overhead_cycles += other.overhead_cycles;
         if let Some(stats) = other.cache_stats {
             self.cache_stats = Some(stats); // final counters win
+        }
+        if let Some(theirs) = &other.metrics {
+            self.metrics = Some(match &self.metrics {
+                Some(mine) => mine.merged(theirs),
+                None => theirs.clone(),
+            });
         }
     }
 }
@@ -84,6 +94,7 @@ mod tests {
             cache_stall_cycles: 2,
             overhead_cycles: 20.0,
             cache_stats: None,
+            metrics: None,
         };
         let b = ExecutionReport {
             cycles: 50.0,
@@ -93,6 +104,7 @@ mod tests {
             cache_stall_cycles: 0,
             overhead_cycles: 10.0,
             cache_stats: Some(CacheStats::default()),
+            metrics: None,
         };
         a.merge(&b);
         assert_eq!(a.cycles, 150.0);

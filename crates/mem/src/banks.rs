@@ -4,6 +4,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 use vcache_mersenne::numtheory::is_prime;
+use vcache_trace::{BankEventKind, TraceEvent, TraceSink};
 
 /// How word addresses are distributed over banks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -210,6 +211,33 @@ impl InterleavedMemory {
             complete_time,
             stall_cycles,
         }
+    }
+
+    /// Issues an access exactly like [`InterleavedMemory::access`],
+    /// additionally emitting a [`TraceEvent::BankAccess`] into `sink`.
+    ///
+    /// The untraced path stays untouched: the event is synthesized from
+    /// the returned [`AccessOutcome`], so code without a sink pays
+    /// nothing.
+    pub fn access_traced(
+        &mut self,
+        addr: u64,
+        requested_time: u64,
+        sink: &mut dyn TraceSink,
+    ) -> AccessOutcome {
+        let outcome = self.access(addr, requested_time);
+        sink.record(&TraceEvent::BankAccess {
+            bank: self.config.bank_of(addr),
+            addr,
+            requested: requested_time,
+            wait: outcome.stall_cycles,
+            state: if outcome.stall_cycles > 0 {
+                BankEventKind::Busy
+            } else {
+                BankEventKind::Free
+            },
+        });
+        outcome
     }
 
     /// The cycle at which the bank of `addr` becomes free.

@@ -44,5 +44,6 @@ pub use banks::{
     AccessOutcome, BankingScheme, InterleavedMemory, MemStats, MemoryConfig, MemoryConfigError,
 };
 pub use stream::{
-    simulate_dual_stream, simulate_single_stream, DualStreamOutcome, StreamOutcome, StreamSpec,
+    simulate_dual_stream, simulate_dual_stream_traced, simulate_single_stream,
+    simulate_single_stream_traced, DualStreamOutcome, StreamOutcome, StreamSpec,
 };

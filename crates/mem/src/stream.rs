@@ -7,6 +7,7 @@
 //! SAXPY-style access) ride the two read buses and contend for banks.
 
 use serde::{Deserialize, Serialize};
+use vcache_trace::{BankEventKind, NullSink, TraceEvent, TraceSink};
 
 use crate::banks::{InterleavedMemory, MemoryConfig};
 
@@ -80,6 +81,30 @@ pub fn simulate_single_stream(
     stride: u64,
     length: u64,
 ) -> StreamOutcome {
+    // Monomorphized over NullSink: the event plumbing folds away and this
+    // compiles to the same loop as before instrumentation existed.
+    run_single_stream(config, base, stride, length, &mut NullSink)
+}
+
+/// [`simulate_single_stream`] with every bank access emitted into `sink`
+/// as a [`TraceEvent::BankAccess`].
+pub fn simulate_single_stream_traced(
+    config: &MemoryConfig,
+    base: u64,
+    stride: u64,
+    length: u64,
+    sink: &mut dyn TraceSink,
+) -> StreamOutcome {
+    run_single_stream(config, base, stride, length, sink)
+}
+
+fn run_single_stream<S: TraceSink + ?Sized>(
+    config: &MemoryConfig,
+    base: u64,
+    stride: u64,
+    length: u64,
+    sink: &mut S,
+) -> StreamOutcome {
     let mut mem = InterleavedMemory::new(*config);
     let spec = StreamSpec {
         base,
@@ -90,11 +115,24 @@ pub fn simulate_single_stream(
     let mut stalls = 0u64;
     let mut finish = 0u64;
     for i in 0..length {
+        let addr = spec.address(i);
         let requested = next_free_slot.max(i);
-        let out = mem.access(spec.address(i), requested);
+        let out = mem.access(addr, requested);
         // Stall = time the bus sat idle waiting for the bank, beyond the
         // earliest cycle this element could have issued anyway.
-        stalls += out.issue_time - requested;
+        let wait = out.issue_time - requested;
+        sink.record(&TraceEvent::BankAccess {
+            bank: config.bank_of(addr),
+            addr,
+            requested,
+            wait,
+            state: if wait > 0 {
+                BankEventKind::Busy
+            } else {
+                BankEventKind::Free
+            },
+        });
+        stalls += wait;
         next_free_slot = out.issue_time + 1;
         finish = finish.max(out.complete_time);
     }
@@ -141,6 +179,27 @@ pub fn simulate_dual_stream(
     first: StreamSpec,
     second: StreamSpec,
 ) -> DualStreamOutcome {
+    run_dual_stream(config, first, second, &mut NullSink)
+}
+
+/// [`simulate_dual_stream`] with every bank access of the contended run
+/// emitted into `sink` (the solo re-runs used to isolate
+/// cross-interference are not traced).
+pub fn simulate_dual_stream_traced(
+    config: &MemoryConfig,
+    first: StreamSpec,
+    second: StreamSpec,
+    sink: &mut dyn TraceSink,
+) -> DualStreamOutcome {
+    run_dual_stream(config, first, second, sink)
+}
+
+fn run_dual_stream<S: TraceSink + ?Sized>(
+    config: &MemoryConfig,
+    first: StreamSpec,
+    second: StreamSpec,
+    sink: &mut S,
+) -> DualStreamOutcome {
     let mut mem = InterleavedMemory::new(*config);
     let mut cursor = [0u64; 2]; // next element index per stream
     let mut next_slot = [0u64; 2]; // next bus cycle per stream
@@ -165,9 +224,22 @@ pub fn simulate_dual_stream(
         }
         let Some((s, _)) = best else { break };
         let i = cursor[s];
+        let addr = specs[s].address(i);
         let requested = i.max(next_slot[s]);
-        let out = mem.access(specs[s].address(i), requested);
-        stalls[s] += out.issue_time - requested;
+        let out = mem.access(addr, requested);
+        let wait = out.issue_time - requested;
+        sink.record(&TraceEvent::BankAccess {
+            bank: config.bank_of(addr),
+            addr,
+            requested,
+            wait,
+            state: if wait > 0 {
+                BankEventKind::Busy
+            } else {
+                BankEventKind::Free
+            },
+        });
+        stalls[s] += wait;
         next_slot[s] = out.issue_time + 1;
         finish[s] = finish[s].max(out.complete_time);
         cursor[s] += 1;

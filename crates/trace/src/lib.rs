@@ -1,0 +1,15 @@
+//! vcache-trace: zero-dependency structured tracing and metrics for the
+//! simulator stack.
+
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod event;
+pub mod metrics;
+pub mod sink;
+pub mod timer;
+
+pub use event::{BankEventKind, MissClass, ParseError, PhaseKind, TraceEvent};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use sink::{JsonlSink, MeteringSink, NullSink, RingSink, TraceSink};
+pub use timer::ScopeTimer;

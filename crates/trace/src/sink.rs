@@ -1,0 +1,418 @@
+//! Event sinks: where trace events go.
+//!
+//! Instrumented code takes `&mut dyn TraceSink`; three implementations
+//! cover the use cases — [`NullSink`] (discard), [`RingSink`] (bounded
+//! in-memory tail for tests and post-mortem), [`JsonlSink`] (streaming
+//! JSONL file for `vcache analyze`).
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::{BankEventKind, PhaseKind, TraceEvent};
+use crate::metrics::MetricsRegistry;
+
+/// Receives trace events.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes buffered output, surfacing any deferred I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; in-memory sinks never fail.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards everything. Useful as a monomorphization target that
+/// optimizes instrumentation away entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in memory, dropping the
+/// oldest on overflow — a flight recorder.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (capacity 0 drops all).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+            dropped: 0,
+        }
+    }
+
+    /// The configured bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were discarded to stay within capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Drains the retained events, oldest first.
+    #[must_use]
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSON lines to a writer (typically a buffered
+/// file). I/O errors are deferred: recording never panics; the first
+/// error is reported by [`TraceSink::flush`] (also called on drop,
+/// where it is ignored).
+pub struct JsonlSink<W: Write = BufWriter<File>> {
+    /// `None` only transiently, after `into_inner` takes the writer.
+    out: Option<W>,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncates) `path` and streams events to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::from_writer(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Streams events to an arbitrary writer.
+    pub fn from_writer(out: W) -> Self {
+        Self {
+            out: Some(out),
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Events successfully written so far.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any deferred write error.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        TraceSink::flush(&mut self)?;
+        Ok(self.out.take().expect("writer present until into_inner"))
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_jsonl();
+        if let Err(e) = writeln!(out, "{line}") {
+            self.error = Some(e);
+        } else {
+            self.written += 1;
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        match self.out.as_mut() {
+            Some(out) => out.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Tees events to an inner sink while deriving standard metrics into a
+/// [`MetricsRegistry`]:
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `cache.accesses` / `cache.hits` / `cache.misses` | counter | cache events seen |
+/// | `cache.miss.<class>` | counter | misses by taxonomy class |
+/// | `cache.inter_miss_distance` | histogram | accesses between consecutive misses |
+/// | `mem.accesses` / `mem.bank_conflicts` | counter | bank events seen |
+/// | `mem.bank_wait_cycles` | histogram | wait per bank access |
+/// | `machine.chimes` | counter | chime phases completed |
+pub struct MeteringSink<'a> {
+    inner: &'a mut dyn TraceSink,
+    metrics: &'a mut MetricsRegistry,
+    last_miss_seq: Option<u64>,
+}
+
+impl<'a> MeteringSink<'a> {
+    /// Wraps `inner`, accumulating into `metrics`.
+    pub fn new(inner: &'a mut dyn TraceSink, metrics: &'a mut MetricsRegistry) -> Self {
+        Self {
+            inner,
+            metrics,
+            last_miss_seq: None,
+        }
+    }
+}
+
+impl TraceSink for MeteringSink<'_> {
+    fn record(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::CacheAccess { seq, miss, .. } => {
+                self.metrics.count("cache.accesses", 1);
+                match miss {
+                    Some(class) => {
+                        self.metrics.count("cache.misses", 1);
+                        self.metrics
+                            .count(&format!("cache.miss.{}", class.name()), 1);
+                        if let Some(prev) = self.last_miss_seq {
+                            self.metrics
+                                .observe("cache.inter_miss_distance", seq.saturating_sub(prev));
+                        }
+                        self.last_miss_seq = Some(*seq);
+                    }
+                    None => self.metrics.count("cache.hits", 1),
+                }
+            }
+            TraceEvent::BankAccess { wait, state, .. } => {
+                self.metrics.count("mem.accesses", 1);
+                self.metrics.observe("mem.bank_wait_cycles", *wait);
+                if *state == BankEventKind::Busy {
+                    self.metrics.count("mem.bank_conflicts", 1);
+                }
+            }
+            TraceEvent::PhaseEnd {
+                kind: PhaseKind::Chime,
+                ..
+            } => self.metrics.count("machine.chimes", 1),
+            TraceEvent::PhaseBegin { .. } | TraceEvent::PhaseEnd { .. } => {}
+        }
+        self.inner.record(event);
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MissClass;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent::CacheAccess {
+            seq,
+            word: seq * 10,
+            stream: 0,
+            set: seq % 7,
+            miss: seq.is_multiple_of(2).then_some(MissClass::Compulsory),
+            evicted: None,
+        }
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut s = NullSink;
+        for i in 0..10 {
+            s.record(&ev(i));
+        }
+        assert!(s.flush().is_ok());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut ring = RingSink::new(3);
+        for i in 0..10 {
+            ring.record(&ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let seqs: Vec<u64> = ring
+            .events()
+            .map(|e| match e {
+                TraceEvent::CacheAccess { seq, .. } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert_eq!(ring.into_events().len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_ring_holds_nothing() {
+        let mut ring = RingSink::new(0);
+        ring.record(&ev(1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.capacity(), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::from_writer(Vec::new());
+        let events = vec![
+            ev(1),
+            TraceEvent::BankAccess {
+                bank: 3,
+                addr: 11,
+                requested: 1,
+                wait: 3,
+                state: BankEventKind::Busy,
+            },
+        ];
+        for e in &events {
+            sink.record(e);
+        }
+        assert_eq!(sink.written(), 2);
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::from_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(parsed, events);
+    }
+
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk gone"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn metering_sink_tees_and_derives_metrics() {
+        let mut ring = RingSink::new(16);
+        let mut metrics = MetricsRegistry::new();
+        {
+            let mut meter = MeteringSink::new(&mut ring, &mut metrics);
+            meter.record(&ev(1)); // odd seq → hit
+            meter.record(&ev(2)); // even seq → compulsory miss
+            meter.record(&ev(3)); // hit
+            meter.record(&TraceEvent::BankAccess {
+                bank: 0,
+                addr: 0,
+                requested: 0,
+                wait: 5,
+                state: BankEventKind::Busy,
+            });
+            meter.record(&TraceEvent::PhaseEnd {
+                kind: PhaseKind::Chime,
+                sweep: 0,
+                cycle: 1.0,
+            });
+            assert!(meter.flush().is_ok());
+        }
+        assert_eq!(ring.len(), 5); // everything forwarded
+        assert_eq!(metrics.counter_value("cache.accesses"), 3);
+        assert_eq!(metrics.counter_value("cache.misses"), 1);
+        assert_eq!(metrics.counter_value("cache.hits"), 2);
+        assert_eq!(metrics.counter_value("cache.miss.compulsory"), 1);
+        assert_eq!(metrics.counter_value("mem.accesses"), 1);
+        assert_eq!(metrics.counter_value("mem.bank_conflicts"), 1);
+        assert_eq!(metrics.counter_value("machine.chimes"), 1);
+        let snap = metrics.snapshot();
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "mem.bank_wait_cycles" && h.total == 1));
+    }
+
+    #[test]
+    fn metering_sink_tracks_inter_miss_distance() {
+        let mut null = NullSink;
+        let mut metrics = MetricsRegistry::new();
+        let mut meter = MeteringSink::new(&mut null, &mut metrics);
+        for seq in [2u64, 4, 10] {
+            meter.record(&ev(seq)); // even seqs are misses
+        }
+        let snap = metrics.snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "cache.inter_miss_distance")
+            .unwrap();
+        assert_eq!(h.total, 2); // distances 2 and 6
+        assert_eq!(h.sum, 8);
+    }
+
+    #[test]
+    fn jsonl_sink_defers_io_errors_to_flush() {
+        let mut sink = JsonlSink::from_writer(FailingWriter);
+        sink.record(&ev(1));
+        sink.record(&ev(2)); // silently skipped after first error
+        assert_eq!(sink.written(), 0);
+        assert!(TraceSink::flush(&mut sink).is_err());
+        // Error consumed; subsequent flush succeeds.
+        assert!(TraceSink::flush(&mut sink).is_ok());
+    }
+}

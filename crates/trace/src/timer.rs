@@ -1,0 +1,113 @@
+//! Wall-clock scope timing for the bench binaries.
+
+use std::time::{Duration, Instant};
+
+/// Times a scope and reports on stop (or drop) to stderr:
+/// `[vcache-trace] <label>: 12.345 ms`.
+///
+/// # Example
+///
+/// ```
+/// use vcache_trace::ScopeTimer;
+///
+/// let timer = ScopeTimer::new("figure 7 grid");
+/// // ... work ...
+/// let elapsed = timer.stop(); // prints and returns the duration
+/// assert!(elapsed.as_nanos() > 0);
+/// ```
+#[derive(Debug)]
+pub struct ScopeTimer {
+    label: String,
+    start: Instant,
+    quiet: bool,
+    stopped: bool,
+}
+
+impl ScopeTimer {
+    /// Starts timing; reports to stderr when stopped or dropped.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            start: Instant::now(),
+            quiet: false,
+            stopped: false,
+        }
+    }
+
+    /// Starts timing without the stderr report (read with
+    /// [`ScopeTimer::elapsed`] or [`ScopeTimer::stop`]).
+    #[must_use]
+    pub fn quiet(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            start: Instant::now(),
+            quiet: true,
+            stopped: false,
+        }
+    }
+
+    /// The label under measurement.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Time elapsed so far, without stopping.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stops, reports (unless quiet), and returns the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        self.stopped = true;
+        let elapsed = self.start.elapsed();
+        if !self.quiet {
+            report(&self.label, elapsed);
+        }
+        elapsed
+    }
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        if !self.stopped && !self.quiet {
+            report(&self.label, self.start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, elapsed: Duration) {
+    eprintln!(
+        "[vcache-trace] {label}: {:.3} ms",
+        elapsed.as_secs_f64() * 1e3
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_returns_monotonic_elapsed() {
+        let t = ScopeTimer::quiet("work");
+        assert_eq!(t.label(), "work");
+        let early = t.elapsed();
+        let total = t.stop();
+        assert!(total >= early);
+    }
+
+    #[test]
+    fn drop_without_stop_is_fine() {
+        let _t = ScopeTimer::quiet("dropped");
+    }
+
+    #[test]
+    fn loud_timer_reports_on_stop() {
+        // Just exercises the stderr path.
+        let t = ScopeTimer::new("loud");
+        let _ = t.stop();
+        let _loud_drop = ScopeTimer::new("loud-drop");
+    }
+}

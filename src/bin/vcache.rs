@@ -11,20 +11,27 @@
 //! `--name value` pairs; unknown flags are errors.
 
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
 use std::process::ExitCode;
 
 use prime_cache::cache::{CacheSim, ReplacementPolicy, StreamId, WordAddr};
 use prime_cache::core::blocking::conflict_free_subblock;
 use prime_cache::core::fft::{plan_fft, plan_is_conflict_free};
+use prime_cache::machine::{CacheSpec, CcMachine, MachineConfig, MmMachine};
 use prime_cache::mersenne::MersenneModulus;
 use prime_cache::model::{cycles_per_result, Machine, MachineKind, Workload};
+use prime_cache::trace::{analyze, JsonlSink, TraceSink};
+use prime_cache::workloads::{generate_program, StrideDistribution, Vcm};
 
 const USAGE: &str = "\
 vcache — prime-mapped vector cache toolkit (Yang & Wu, ISCA 1992)
 
 USAGE:
   vcache simulate --cache <SPEC> --stride <S> --length <N> [--sweeps <K>] [--base <A>]
+                  [--trace <FILE>]
       Run a strided vector through a cache simulator and print the stats.
+      With --trace, write one JSONL event per access to FILE.
       <SPEC> is one of:
         prime:<c>          2^c - 1 lines, prime-mapped (c in {2,3,5,7,13,17,19,31})
         direct:<lines>     direct-mapped, power-of-two lines
@@ -33,8 +40,13 @@ USAGE:
       Print the conflict-free b1 x b2 sub-block for leading dimension P.
   vcache plan-fft --points <N> [--exponent <c>]
       Print the conflict-free B1 x B2 factorization of an N-point FFT.
-  vcache compare --tm <T> [--blocking <B>] [--pds <F>] [--pstride1 <F>]
+  vcache compare --tm <T> [--blocking <B>] [--pds <F>] [--pstride1 <F>] [--trace <FILE>]
       Evaluate the paper's analytical model for all three machine models.
+      With --trace, also run the trace-driven machine simulators on a
+      matching VCM program and write their event streams to FILE.
+  vcache analyze --trace <FILE> [--window <W>] [--top <N>]
+      Read a JSONL trace and print per-stream miss timelines (one row per
+      W-access window), bank occupancy, and the top N conflicting sets.
   vcache help
       Show this message.
 ";
@@ -61,6 +73,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "plan-subblock" => plan_subblock(&flags),
         "plan-fft" => plan_fft_cmd(&flags),
         "compare" => compare(&flags),
+        "analyze" => analyze_cmd(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -131,8 +144,28 @@ fn simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let sweeps: u64 = get_or(flags, "sweeps", 2)?;
     let base: u64 = get_or(flags, "base", 0)?;
     let mut cache = build_cache(&spec)?;
-    for _ in 0..sweeps {
-        cache.access_stream(WordAddr::new(base), stride, length, StreamId::new(0));
+    match flags.get("trace") {
+        Some(path) => {
+            let mut sink = JsonlSink::create(path)
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+            for _ in 0..sweeps {
+                cache.access_stream_traced(
+                    WordAddr::new(base),
+                    stride,
+                    length,
+                    StreamId::new(0),
+                    &mut sink,
+                );
+            }
+            sink.flush()
+                .map_err(|e| format!("cannot write trace file {path}: {e}"))?;
+            println!("trace: {} events -> {path}", sink.written());
+        }
+        None => {
+            for _ in 0..sweeps {
+                cache.access_stream(WordAddr::new(base), stride, length, StreamId::new(0));
+            }
+        }
     }
     println!(
         "{} cache, {} sets x {} ways: {}",
@@ -224,6 +257,95 @@ fn compare(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("  CC-model, prime-mapped:  {prime:.3}");
     println!("  speedup prime vs direct: {:.2}x", direct / prime);
     println!("  speedup prime vs MM:     {:.2}x", mm / prime);
+    if let Some(path) = flags.get("trace") {
+        compare_traced(path, t_m, b, p_ds, p1)?;
+    }
+    Ok(())
+}
+
+/// The trace-driven counterpart of `compare`: runs all three machine
+/// simulators on one VCM program (shorter than the analytical model's
+/// 2^20 elements to keep the trace file manageable) and streams every
+/// event to `path`.
+fn compare_traced(path: &str, t_m: u64, b: u64, p_ds: f64, p1: f64) -> Result<(), String> {
+    let vcm = Vcm {
+        blocking_factor: b,
+        reuse_factor: 4,
+        p_ds,
+        stride1: StrideDistribution::UnitOrUniform {
+            p_unit: p1,
+            max: 64,
+        },
+        stride2: StrideDistribution::Fixed(1),
+    };
+    let elements = (4 * b).max(1 << 14);
+    let program = generate_program(&vcm, elements, 1);
+    let base = MachineConfig::paper_section4(t_m);
+    let mm = MmMachine::new(base.clone()).map_err(|e| e.to_string())?;
+    let mut direct =
+        CcMachine::new(base.with_cache(CacheSpec::direct(8192))).map_err(|e| e.to_string())?;
+    let mut prime =
+        CcMachine::new(base.with_cache(CacheSpec::prime(13))).map_err(|e| e.to_string())?;
+
+    let mut sink =
+        JsonlSink::create(path).map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+    let mm_report = mm.execute_traced(&program, &mut sink);
+    let direct_report = direct.execute_traced(&program, &mut sink);
+    let prime_report = prime.execute_traced(&program, &mut sink);
+    sink.flush()
+        .map_err(|e| format!("cannot write trace file {path}: {e}"))?;
+
+    println!(
+        "trace-driven simulators ({elements} elements, R = {}):",
+        vcm.reuse_factor
+    );
+    println!(
+        "  MM-model (no cache):     {:.3}",
+        mm_report.cycles_per_result()
+    );
+    println!(
+        "  CC-model, direct-mapped: {:.3}",
+        direct_report.cycles_per_result()
+    );
+    println!(
+        "  CC-model, prime-mapped:  {:.3}",
+        prime_report.cycles_per_result()
+    );
+    println!("trace: {} events -> {path}", sink.written());
+    Ok(())
+}
+
+fn analyze_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path: String = get(flags, "trace")?;
+    let window: u64 = get_or(flags, "window", 1024)?;
+    let top: usize = get_or(flags, "top", 10)?;
+    if window == 0 {
+        return Err("--window must be positive".into());
+    }
+    let file = File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (events, errors) = analyze::read_jsonl(BufReader::new(file))
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    for (line, err) in &errors {
+        eprintln!("warning: {path}:{line}: skipping unparseable event: {err}");
+    }
+    if events.is_empty() {
+        return Err(format!("{path} contains no trace events"));
+    }
+    println!("{} events from {path}\n", events.len());
+    print!(
+        "{}",
+        analyze::render_timelines(&analyze::miss_timelines(&events, window))
+    );
+    println!();
+    print!(
+        "{}",
+        analyze::render_bank_table(&analyze::bank_occupancy(&events))
+    );
+    println!();
+    print!(
+        "{}",
+        analyze::render_conflict_sets(&analyze::top_conflict_sets(&events, top))
+    );
     Ok(())
 }
 
@@ -282,6 +404,48 @@ mod tests {
         assert!(plan_fft_cmd(&flags(&[("points", "1000")])).is_err());
         assert!(compare(&flags(&[("tm", "0")])).is_err());
         assert!(simulate(&flags(&[("cache", "prime:13")])).is_err()); // missing stride
+    }
+
+    #[test]
+    fn simulate_trace_then_analyze() {
+        let dir = std::env::temp_dir().join("vcache-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let path = path.to_str().unwrap();
+        assert!(simulate(&flags(&[
+            ("cache", "direct:16"),
+            ("stride", "8"),
+            ("length", "64"),
+            ("trace", path),
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.lines().count(), 128); // 2 sweeps x 64 accesses
+        assert!(text.lines().all(|l| l.starts_with("{\"ev\":\"cache\"")));
+        assert!(analyze_cmd(&flags(&[("trace", path)])).is_ok());
+        assert!(analyze_cmd(&flags(&[("trace", path), ("window", "0")])).is_err());
+        assert!(analyze_cmd(&flags(&[("trace", "/nonexistent/trace.jsonl")])).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn compare_trace_writes_machine_events() {
+        let dir = std::env::temp_dir().join("vcache-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compare.jsonl");
+        let path = path.to_str().unwrap();
+        assert!(compare(&flags(&[
+            ("tm", "32"),
+            ("blocking", "512"),
+            ("trace", path)
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"ev\":\"phase_begin\""));
+        assert!(text.contains("\"ev\":\"bank\""));
+        assert!(text.contains("\"ev\":\"cache\""));
+        assert!(analyze_cmd(&flags(&[("trace", path), ("window", "256")])).is_ok());
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! | [`machine`] | MM-/CC-model trace-driven machine simulators |
 //! | [`model`] | the paper's analytical model (Equations 1–8, FFT) |
 //! | [`workloads`] | VCM traces, sub-block / FFT / matmul / LU kernels |
+//! | [`trace`] | structured tracing, metrics, and trace analysis |
 //!
 //! ## Quick start
 //!
@@ -63,4 +64,5 @@ pub use vcache_machine as machine;
 pub use vcache_mem as mem;
 pub use vcache_mersenne as mersenne;
 pub use vcache_model as model;
+pub use vcache_trace as trace;
 pub use vcache_workloads as workloads;

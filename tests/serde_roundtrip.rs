@@ -100,6 +100,38 @@ fn workload_types() {
 }
 
 #[test]
+fn execution_report_with_metrics() {
+    use prime_cache::machine::{CcMachine, ExecutionReport, MmMachine};
+    use prime_cache::trace::NullSink;
+    use prime_cache::workloads::saxpy_trace;
+
+    // Plain execute: metrics stays None through the round-trip.
+    let mm = MmMachine::new(MachineConfig::paper_default(16)).unwrap();
+    let program = saxpy_trace(0, 100_000, 128);
+    let plain = mm.execute(&program);
+    assert!(plain.metrics.is_none());
+    roundtrip(&plain);
+
+    // Traced execute: a populated MetricsSnapshot (counters, gauges, and
+    // histograms) must survive unchanged.
+    let traced = mm.execute_traced(&program, &mut NullSink);
+    assert!(traced.metrics.is_some());
+    roundtrip(&traced);
+
+    let mut cc =
+        CcMachine::new(MachineConfig::paper_default(16).with_cache(CacheSpec::prime(13))).unwrap();
+    let cc_traced = cc.execute_traced(&program, &mut NullSink);
+    let snapshot = cc_traced.metrics.clone().expect("traced run has metrics");
+    assert!(!snapshot.counters.is_empty());
+    assert!(!snapshot.histograms.is_empty());
+    roundtrip(&cc_traced);
+    roundtrip(&snapshot);
+
+    // Defaulted report keeps the field optional on the wire.
+    roundtrip(&ExecutionReport::default());
+}
+
+#[test]
 fn figure_types() {
     // Figures are serializable too, so CSVs are not the only export path.
     let fig = vcache_bench::fig9();

@@ -1,0 +1,237 @@
+//! Workspace-local stand-in for the `criterion` benchmark API surface
+//! this workspace uses, hand-rolled on std only (no crates.io access in
+//! the build environment).
+//!
+//! Each `bench_function` runs a short warm-up, then `sample_size` timed
+//! samples, and prints the median time per iteration plus throughput
+//! when configured. There is no statistical analysis, HTML report, or
+//! baseline comparison — numbers are for relative, same-machine
+//! comparison only.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works like the real crate.
+pub use std::hint::black_box;
+
+/// How work is quantified for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched setup output is sized; accepted for API compatibility —
+/// this stand-in re-runs setup once per iteration regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to each `bench_function` closure.
+pub struct Bencher {
+    /// Accumulated measured time for the current sample.
+    elapsed: Duration,
+    /// Iterations the routine should run per sample.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for throughput lines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples to take (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Calibration: grow iteration count until a sample takes ≥ ~5 ms,
+        // so per-sample timer overhead is negligible.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    elapsed: Duration::ZERO,
+                    iters,
+                };
+                f(&mut b);
+                b.elapsed.as_secs_f64() / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+
+        let mut line = format!(
+            "{}/{}: {} ns/iter ({} samples x {} iters)",
+            self.name,
+            id,
+            format_args!("{:.1}", median * 1e9),
+            self.sample_size,
+            iters
+        );
+        if let Some(tp) = self.throughput {
+            let (units, label) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if median > 0.0 {
+                line.push_str(&format!(", {:.3e} {}", units / median, label));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (separator line, matching real criterion's API).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100)).sample_size(2);
+        let mut runs = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(3u64 + 4)
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(1);
+        group.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn macros_compile() {
+        fn bench_a(c: &mut Criterion) {
+            let mut g = c.benchmark_group("m");
+            g.sample_size(1);
+            g.bench_function("noop", |b| b.iter(|| black_box(1)));
+            g.finish();
+        }
+        criterion_group!(benches, bench_a);
+        benches();
+    }
+}

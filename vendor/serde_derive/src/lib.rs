@@ -1,0 +1,471 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the workspace's
+//! serde stand-in.
+//!
+//! crates.io is unreachable from this build environment, so there is no
+//! syn/quote: the input item is parsed directly from the proc-macro token
+//! stream and the impl is generated as a string. Supported shapes — which
+//! cover every type in this workspace — are non-generic structs with named
+//! fields, tuple structs, unit structs, and enums whose variants are unit,
+//! tuple, or struct-like. `#[serde(...)]` attributes are not supported.
+//!
+//! External representation matches real serde's defaults:
+//! * named-field struct → object
+//! * one-field tuple struct (newtype) → the inner value, transparently
+//! * n-field tuple struct → array
+//! * unit enum variant → `"Variant"`
+//! * newtype enum variant → `{"Variant": value}`
+//! * tuple enum variant → `{"Variant": [..]}`
+//! * struct enum variant → `{"Variant": {..}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes a field list can take.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives the stand-in `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the stand-in `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skips `#[...]` attribute groups (doc comments arrive in this form).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                    continue;
+                }
+            }
+            self.pos -= 1;
+            break;
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`")?;
+    let name = c.expect_ident("type name")?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Field names from `{ a: T, b: U, .. }`. Types are irrelevant to the
+/// generated code (trait dispatch recovers them), so they are skipped with
+/// angle-bracket awareness — a comma inside `HashMap<K, V>` is not a field
+/// separator.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("field name")?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&mut c);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping after the top-level `,` (if any).
+fn skip_type(c: &mut Cursor) {
+    let mut angle: i32 = 0;
+    while let Some(tok) = c.next() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        // skip_type consumes up to and including the next top-level comma;
+        // each pass over a non-empty remainder is one field.
+        skip_type(&mut c);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name")?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(tok) = c.next() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => obj_literal(names.iter().map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    arr_literal((0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")))
+                }
+            };
+            impl_serialize(name, &format!("match self {{ _ => {body} }}"))
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),\n"
+                    ),
+                    Fields::Named(names) => {
+                        let pat = names.join(", ");
+                        let inner =
+                            obj_literal(names.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
+                        format!("Self::{v} {{ {pat} }} => {},\n", tagged(v, &inner))
+                    }
+                    Fields::Tuple(1) => format!(
+                        "Self::{v}(x0) => {},\n",
+                        tagged(v, "::serde::Serialize::to_value(x0)")
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = arr_literal(
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})")),
+                        );
+                        format!(
+                            "Self::{v}({}) => {},\n",
+                            binds.join(", "),
+                            tagged(v, &inner)
+                        )
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+/// `{"Variant": inner}` — the externally-tagged representation.
+fn tagged(variant: &str, inner: &str) -> String {
+    format!("::serde::Value::Obj(::std::vec![(::std::string::String::from({variant:?}), {inner})])")
+}
+
+fn obj_literal(fields: impl Iterator<Item = (String, String)>) -> String {
+    let pairs: Vec<String> = fields
+        .map(|(k, expr)| format!("(::std::string::String::from({k:?}), {expr})"))
+        .collect();
+    format!("::serde::Value::Obj(::std::vec![{}])", pairs.join(", "))
+}
+
+fn arr_literal(items: impl Iterator<Item = String>) -> String {
+    let items: Vec<String> = items.collect();
+    format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(pairs, {f:?}, {name:?})?"))
+                        .collect();
+                    format!(
+                        "{{ let pairs = v.as_obj().ok_or_else(|| \
+                         ::serde::Error::expected(\"object\", {name:?}, v))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }}) }}",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let items = v.as_arr().ok_or_else(|| \
+                         ::serde::Error::expected(\"array\", {name:?}, v))?;\n\
+                         if items.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::msg(::std::format!(\
+                         \"expected {n} elements for {name}, found {{}}\", items.len()))); }}\n\
+                         ::std::result::Result::Ok({name}({})) }}",
+                        inits.join(", ")
+                    )
+                }
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok(Self::{v}),\n"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|(v, fields)| {
+                    let build = match fields {
+                        Fields::Unit => return None,
+                        Fields::Named(names) => {
+                            let inits: Vec<String> = names
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(pairs, {f:?}, {name:?})?"))
+                                .collect();
+                            format!(
+                                "{{ let pairs = inner.as_obj().ok_or_else(|| \
+                                 ::serde::Error::expected(\"object\", {name:?}, inner))?;\n\
+                                 ::std::result::Result::Ok(Self::{v} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok(Self::{v}(\
+                             ::serde::Deserialize::from_value(inner)?))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let items = inner.as_arr().ok_or_else(|| \
+                                 ::serde::Error::expected(\"array\", {name:?}, inner))?;\n\
+                                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::msg(::std::format!(\
+                                 \"expected {n} elements for {name}::{v}, found {{}}\", \
+                                 items.len()))); }}\n\
+                                 ::std::result::Result::Ok(Self::{v}({})) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    };
+                    Some(format!("{v:?} => {build},\n"))
+                })
+                .collect();
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Obj(tagged_pairs) if tagged_pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &tagged_pairs[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"enum representation\", {name:?}, other)),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,436 @@
+//! Workspace-local stand-in for `serde_json`.
+//!
+//! JSON text ⇄ [`serde::Value`] ⇄ user types, hand-rolled on std only
+//! because the build environment has no crates.io access. Floats are
+//! written with Rust's shortest-round-trip `Display` and parsed with
+//! `str::parse::<f64>`, so every finite `f64` survives a round-trip
+//! exactly (the `float_roundtrip` behaviour of the real crate). Integers
+//! are kept exact over the full `u64`/`i64` range.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+
+pub use serde::Error;
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Fails on non-finite floats, which JSON cannot represent.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse_value(s)?)
+}
+
+/// Parses JSON text into the generic [`Value`] model.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or trailing non-whitespace input.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at byte {} of JSON input",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error::msg(format!("cannot serialize {x} as JSON")));
+            }
+            out.push_str(&x.to_string());
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {} of JSON input",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at byte {} of JSON input",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: raw UTF-8 up to the next quote or escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::msg("invalid UTF-8 in JSON string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        other => {
+                            return Err(Error::msg(format!(
+                                "invalid escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "unterminated JSON string (found {:?} at byte {})",
+                        other.map(|b| b as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Parses the `XXXX` of a `\uXXXX` escape (cursor on the `u`),
+    /// including surrogate pairs. Leaves the cursor past the escape.
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        self.pos += 1; // 'u'
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require a following `\uXXXX` low surrogate.
+            if self.eat_keyword("\\u") {
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(cp)
+                        .ok_or_else(|| Error::msg("invalid surrogate pair in JSON string"));
+                }
+            }
+            return Err(Error::msg("lone surrogate in JSON string"));
+        }
+        char::from_u32(hi).ok_or_else(|| Error::msg("invalid \\u escape in JSON string"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut n = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::msg("non-hex digit in \\u escape"))?;
+            n = n * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(n)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans are ASCII");
+        if is_float {
+            return text
+                .parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")));
+        }
+        if let Some(stripped) = text.strip_prefix('-') {
+            // Negative integer; fall back to f64 on i64 overflow.
+            if stripped.parse::<u64>().is_ok() {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
+                }
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::U64(n));
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, val) in [
+            ("null", Value::Null),
+            ("true", Value::Bool(true)),
+            ("42", Value::U64(42)),
+            ("-7", Value::I64(-7)),
+            ("1.5", Value::F64(1.5)),
+            ("\"hi\"", Value::Str("hi".into())),
+        ] {
+            assert_eq!(parse_value(text).unwrap(), val, "{text}");
+        }
+        assert_eq!(
+            parse_value("18446744073709551615").unwrap(),
+            Value::U64(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn to_string_and_back() {
+        let v: Vec<(f64, f64)> = vec![(0.1, 0.2), (3.0, -4.5e-3)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(f64, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\none \"two\" \\ three\ttab\u{1}".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let got: String = from_str("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(got, "A😀");
+    }
+
+    #[test]
+    fn structure_errors() {
+        assert!(parse_value("[1,").is_err());
+        assert!(parse_value("{\"a\":}").is_err());
+        assert!(parse_value("12 34").is_err());
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn nested_containers() {
+        let json = "{\"a\":[1,2,{\"b\":null}],\"c\":false}";
+        let v = parse_value(json).unwrap();
+        let mut out = String::new();
+        super::write_value(&v, &mut out).unwrap();
+        assert_eq!(out, json);
+    }
+}
