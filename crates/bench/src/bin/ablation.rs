@@ -2,16 +2,16 @@
 //! LRU vs prime-mapped, all with the same 8K-line budget, trace-simulated
 //! on the random-multistride workload.
 
-use vcache_bench::validate::associativity_ablation;
+use vcache_bench::validate::{associativity_ablation, ExperimentError};
 
-fn main() {
+fn main() -> Result<(), ExperimentError> {
     for t_m in [16u64, 32, 64] {
         println!("\n# t_m = {t_m}");
         println!(
             "{:>16} {:>18} {:>12} {:>16}",
             "cache", "cycles/result", "miss ratio", "conflict misses"
         );
-        for row in associativity_ablation(t_m, 1 << 16, 42) {
+        for row in associativity_ablation(t_m, 1 << 16, 42)? {
             println!(
                 "{:>16} {:>18.3} {:>12.4} {:>16}",
                 row.label, row.cycles_per_result, row.miss_ratio, row.conflict_misses
@@ -20,4 +20,5 @@ fn main() {
     }
     println!("\nAssociativity shrinks conflicts but cannot remove stride pathologies;");
     println!("the prime mapping removes them at direct-mapped lookup cost (§2.1, §2.3).");
+    Ok(())
 }

@@ -17,7 +17,7 @@ fn replay(cache: &mut CacheSim, program: &Program, repeats: u64) {
     }
 }
 
-fn main() {
+fn main() -> Result<(), vcache_cache::CacheConfigError> {
     // Bases are chosen so paired arrays do not alias modulo 8192 — a
     // direct-mapped cache is exquisitely sensitive to array placement,
     // which is itself part of the §1 story.
@@ -39,8 +39,8 @@ fn main() {
         "kernel", "accesses", "direct miss%", "prime miss%", "advantage"
     );
     for (program, repeats) in &kernels {
-        let mut direct = CacheSim::direct_mapped(8192, 1).expect("valid");
-        let mut prime = CacheSim::prime_mapped(13, 1).expect("valid");
+        let mut direct = CacheSim::direct_mapped(8192, 1)?;
+        let mut prime = CacheSim::prime_mapped(13, 1)?;
         replay(&mut direct, program, *repeats);
         replay(&mut prime, program, *repeats);
         let (d, p) = (direct.stats().miss_ratio(), prime.stats().miss_ratio());
@@ -60,4 +60,5 @@ fn main() {
     println!("arrays to alias perfectly in a 2^c cache, the prime modulus");
     println!("scrambles that placement and cedes a percent or two — the cost of");
     println!("not needing placement discipline at all.");
+    Ok(())
 }

@@ -4,9 +4,9 @@
 //! Fixed line count (8192 direct vs 8191 prime), random multistride trace,
 //! line sizes 1–16 words: miss ratios and traffic per access for both mappings.
 
-use vcache_bench::validate::line_size_study;
+use vcache_bench::validate::{line_size_study, ExperimentError};
 
-fn main() {
+fn main() -> Result<(), ExperimentError> {
     println!(
         "# Line-size sweep at fixed line count (8192 direct vs 8191 prime), random multistride"
     );
@@ -14,7 +14,7 @@ fn main() {
         "{:>6} {:>14} {:>14} {:>16} {:>16}",
         "words", "direct miss%", "prime miss%", "direct traffic", "prime traffic"
     );
-    for r in line_size_study(1 << 16, 42) {
+    for r in line_size_study(1 << 16, 42)? {
         println!(
             "{:>6} {:>13.2}% {:>13.2}% {:>16.3} {:>16.3}",
             r.line_words,
@@ -27,4 +27,5 @@ fn main() {
     println!("\nTraffic = words fetched per access. With mostly non-unit strides,");
     println!("wider lines fetch words that are never used (cache pollution, §2.2):");
     println!("miss ratios barely move while traffic multiplies.");
+    Ok(())
 }

@@ -12,11 +12,10 @@ use vcache_machine::{MachineConfig, MmMachine};
 use vcache_mem::{simulate_single_stream, BankingScheme, MemoryConfig};
 use vcache_workloads::{generate_program, Vcm};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_m = 32;
-    let pow2 = MemoryConfig::new(64, t_m, BankingScheme::LowOrderInterleave)
-        .expect("64 is a power of two");
-    let prime = MemoryConfig::new(61, t_m, BankingScheme::PrimeBanked).expect("61 is prime");
+    let pow2 = MemoryConfig::new(64, t_m, BankingScheme::LowOrderInterleave)?;
+    let prime = MemoryConfig::new(61, t_m, BankingScheme::PrimeBanked)?;
 
     println!("# Per-stride stalls over a 256-element sweep (t_m = {t_m})");
     println!(
@@ -38,12 +37,10 @@ fn main() {
         let program = generate_program(&Vcm::random_multistride(1024, 1024, 0.1, 64), 1 << 16, 9);
         let pow2_cfg = MachineConfig::paper_section4(t_m);
         let prime_cfg = pow2_cfg.with_prime_banks(61);
-        let a = MmMachine::new(pow2_cfg)
-            .expect("valid configuration")
+        let a = MmMachine::new(pow2_cfg)?
             .execute(&program)
             .cycles_per_result();
-        let b = MmMachine::new(prime_cfg)
-            .expect("valid configuration")
+        let b = MmMachine::new(prime_cfg)?
             .execute(&program)
             .cycles_per_result();
         println!("{t_m:>6} {a:>16.3} {b:>16.3}");
@@ -53,4 +50,5 @@ fn main() {
     println!("prime-mapped cache fixes them in the cache — the paper's design");
     println!("gets the same effect without prime-modulus address hardware on");
     println!("the critical path.");
+    Ok(())
 }

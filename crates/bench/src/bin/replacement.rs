@@ -4,16 +4,16 @@
 //! Repeated unit-stride sweeps of one vector through a fully-associative
 //! cache of 1024 lines, under LRU / FIFO / random replacement.
 
-use vcache_bench::validate::replacement_study;
+use vcache_bench::validate::{replacement_study, ExperimentError};
 
-fn main() {
+fn main() -> Result<(), ExperimentError> {
     let capacity = 1024;
     println!("# Fully-associative {capacity}-line cache, 8 serial sweeps of one vector");
     println!(
         "{:>10} {:>12} {:>12} {:>12}",
         "length", "LRU hit%", "FIFO hit%", "random hit%"
     );
-    for r in replacement_study(capacity, 8) {
+    for r in replacement_study(capacity, 8)? {
         println!(
             "{:>10} {:>11.1}% {:>11.1}% {:>11.1}%",
             r.vector_length,
@@ -27,4 +27,5 @@ fn main() {
     println!("replacement degrades gracefully. This is why the paper expects");
     println!("no help from associativity-plus-LRU and keeps the cache");
     println!("direct-mapped (with a prime line count) instead.");
+    Ok(())
 }

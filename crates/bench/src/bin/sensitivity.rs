@@ -20,14 +20,14 @@ fn run(cache: &mut CacheSim, p: u64) -> f64 {
     cache.stats().hit_ratio()
 }
 
-fn main() {
+fn main() -> Result<(), vcache_cache::CacheConfigError> {
     println!("# 2048-element row swept twice; leading dimension P varies 1018..1032");
     println!("{:>6} {:>14} {:>14}", "P", "direct hit%", "prime hit%");
     let mut direct_ratios = Vec::new();
     let mut prime_ratios = Vec::new();
     for p in 1018..=1032u64 {
-        let mut direct = CacheSim::direct_mapped(8192, 1).expect("valid");
-        let mut prime = CacheSim::prime_mapped(13, 1).expect("valid");
+        let mut direct = CacheSim::direct_mapped(8192, 1)?;
+        let mut prime = CacheSim::prime_mapped(13, 1)?;
         let d = run(&mut direct, p);
         let pr = run(&mut prime, p);
         println!("{p:>6} {:>13.1}% {:>13.1}%", 100.0 * d, 100.0 * pr);
@@ -56,4 +56,5 @@ fn main() {
     println!("direct-mapped cache; padding the array \"fixes\" it — the tuning §1");
     println!("calls \"a burden of knowing architecture details of a machine\". The");
     println!("prime-mapped cache is flat at the ideal 50% across the whole band.");
+    Ok(())
 }

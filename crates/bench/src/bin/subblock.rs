@@ -3,9 +3,9 @@
 //! arbitrary leading dimensions — including the power-of-two dimensions
 //! that defeat any direct-mapped cache.
 
-use vcache_bench::validate::subblock_experiment;
+use vcache_bench::validate::{subblock_experiment, ExperimentError};
 
-fn main() {
+fn main() -> Result<(), ExperimentError> {
     let dims = [
         100u64, 999, 1000, 1024, 4096, 8190, 8191, 8192, 10_000, 123_457,
     ];
@@ -14,7 +14,7 @@ fn main() {
         "{:>8} {:>6} {:>6} {:>12} {:>16} {:>20}",
         "P", "b1", "b2", "utilization", "prime conflicts", "direct conflict-free?"
     );
-    for r in subblock_experiment(&dims) {
+    for r in subblock_experiment(&dims)? {
         println!(
             "{:>8} {:>6} {:>6} {:>12.4} {:>16} {:>20}",
             r.p, r.b1, r.b2, r.utilization, r.prime_conflicts, r.direct_conflict_free
@@ -22,4 +22,5 @@ fn main() {
     }
     println!("\nPrime conflicts are 0 by construction (§4 conditions);");
     println!("the direct-mapped column shows how rarely a 2^c cache can match it.");
+    Ok(())
 }

@@ -6,9 +6,9 @@
 //! expected because the paper's closed forms count one extra sweep per
 //! stride class (see `vcache_mem::sweep::single_stream_stalls_paper`).
 
-use vcache_bench::validate::{xval_mm, xval_prime};
+use vcache_bench::validate::{xval_mm, xval_prime, ExperimentError};
 
-fn main() {
+fn main() -> Result<(), ExperimentError> {
     let t_ms = [4u64, 8, 16, 24, 32, 48, 64];
     println!("# Analytical model vs trace simulator (cycles per result)");
     println!("\n## MM-model (M = 64, B = R = 1024, random strides)");
@@ -16,7 +16,7 @@ fn main() {
         "{:>6} {:>12} {:>12} {:>8}",
         "t_m", "model", "simulated", "ratio"
     );
-    for p in xval_mm(&t_ms, 1 << 16, 1024, 42) {
+    for p in xval_mm(&t_ms, 1 << 16, 1024, 42)? {
         println!(
             "{:>6} {:>12.3} {:>12.3} {:>8.3}",
             p.t_m,
@@ -30,7 +30,7 @@ fn main() {
         "{:>6} {:>12} {:>12} {:>8}",
         "t_m", "model", "simulated", "ratio"
     );
-    for p in xval_prime(&t_ms, 1 << 16, 1024, 42) {
+    for p in xval_prime(&t_ms, 1 << 16, 1024, 42)? {
         println!(
             "{:>6} {:>12.3} {:>12.3} {:>8.3}",
             p.t_m,
@@ -39,4 +39,5 @@ fn main() {
             p.ratio()
         );
     }
+    Ok(())
 }

@@ -92,7 +92,12 @@ impl ShadowCache {
     /// Enforces capacity, discarding stale queue entries along the way.
     fn evict_lru(&mut self) {
         while self.resident.len() > self.capacity {
-            let (line, gen) = self.queue.pop_front().expect("resident ⊆ queue");
+            // resident ⊆ queue, so the queue cannot drain first; if it
+            // somehow did, stopping (cache temporarily over capacity) is
+            // strictly safer than aborting the simulation.
+            let Some((line, gen)) = self.queue.pop_front() else {
+                break;
+            };
             if self.resident.get(&line) == Some(&gen) {
                 self.resident.remove(&line);
             }

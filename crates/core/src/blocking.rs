@@ -50,7 +50,7 @@ impl SubBlockPlan {
 #[must_use]
 pub fn max_conflict_free_b1(p: u64, modulus: MersenneModulus) -> u64 {
     let c = modulus.value();
-    let r = p % c;
+    let r = modulus.reduce(p);
     if r == 0 {
         // Column starts all map to the same line: any b1 up to C works for
         // a single column (b2 = 1).
@@ -163,7 +163,7 @@ pub fn max_conflict_free_b2(p: u64, b1: u64, modulus: MersenneModulus) -> u64 {
         let start = modulus.mul(b2, p);
         let collides = starts
             .iter()
-            .any(|&os| (start + c - os) % c < b1 || (os + c - start) % c < b1);
+            .any(|&os| modulus.sub(start, os) < b1 || modulus.sub(os, start) < b1);
         if collides {
             return b2;
         }

@@ -90,8 +90,14 @@ impl PrimeVectorCache {
     pub fn new(exponent: u32, line_words: u64) -> Result<Self, PrimeCacheError> {
         let data = CacheSim::prime_mapped(exponent, line_words)
             .map_err(|inner| PrimeCacheError { inner })?;
-        let generator = AddressGenerator::new(exponent, line_words, 64)
-            .expect("CacheSim::prime_mapped already validated the exponent");
+        // CacheSim::prime_mapped already validated the exponent, so this
+        // cannot fail in practice; propagate rather than assume.
+        let generator =
+            AddressGenerator::new(exponent, line_words, 64).map_err(|e| PrimeCacheError {
+                inner: vcache_cache::CacheConfigError::BadMersenneExponent {
+                    exponent: e.exponent(),
+                },
+            })?;
         Ok(Self { generator, data })
     }
 

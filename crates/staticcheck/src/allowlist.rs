@@ -1,0 +1,199 @@
+//! The committed allowlist: findings that are reviewed and accepted.
+//!
+//! Format (`staticcheck.allow` at the workspace root): one entry per
+//! line, four pipe-separated fields —
+//!
+//! ```text
+//! RULE | path-suffix | needle | justification
+//! ```
+//!
+//! An entry covers a finding when the rule matches exactly, the finding's
+//! path ends with `path-suffix`, and the finding's snippet contains
+//! `needle`. The justification is mandatory: an allowlist entry without a
+//! reason is itself a parse error. Entries that match no finding are
+//! reported as `VC006` (stale allowlist entry) so the file can never
+//! silently rot.
+
+use std::fmt;
+
+use crate::lint::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule identifier this entry suppresses (e.g. `VC001`).
+    pub rule: String,
+    /// Path suffix the finding's path must end with.
+    pub path_suffix: String,
+    /// Substring the finding's snippet must contain.
+    pub needle: String,
+    /// Why this finding is acceptable. Required.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for stale-entry reporting).
+    pub line: usize,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowParseError {
+    /// 1-based line number of the bad entry.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for AllowParseError {}
+
+/// Parses the allowlist file text.
+///
+/// # Errors
+///
+/// Returns the first malformed line: wrong field count or an empty
+/// rule/path/needle/justification field.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(AllowParseError {
+                line,
+                reason: format!(
+                    "expected 4 pipe-separated fields (rule | path | needle | justification), got {}",
+                    fields.len()
+                ),
+            });
+        }
+        for (name, value) in ["rule", "path-suffix", "needle", "justification"]
+            .iter()
+            .zip(&fields)
+        {
+            if value.is_empty() {
+                return Err(AllowParseError {
+                    line,
+                    reason: format!("empty {name} field"),
+                });
+            }
+        }
+        entries.push(AllowEntry {
+            rule: fields[0].to_owned(),
+            path_suffix: fields[1].to_owned(),
+            needle: fields[2].to_owned(),
+            justification: fields[3].to_owned(),
+            line,
+        });
+    }
+    Ok(entries)
+}
+
+impl AllowEntry {
+    /// Does this entry cover `finding`?
+    #[must_use]
+    pub fn covers(&self, finding: &Finding) -> bool {
+        finding.rule == self.rule
+            && finding.path.ends_with(&self.path_suffix)
+            && finding.snippet.contains(&self.needle)
+    }
+}
+
+/// Marks covered findings as `allowed` and appends a `VC006` finding for
+/// every entry that covered nothing (stale entries fail the gate too).
+pub fn apply(findings: &mut Vec<Finding>, entries: &[AllowEntry], allow_path: &str) {
+    let mut used = vec![false; entries.len()];
+    for finding in findings.iter_mut() {
+        for (entry, used) in entries.iter().zip(used.iter_mut()) {
+            if entry.covers(finding) {
+                finding.allowed = true;
+                *used = true;
+            }
+        }
+    }
+    for (entry, used) in entries.iter().zip(&used) {
+        if !used {
+            findings.push(Finding {
+                rule: "VC006".into(),
+                path: allow_path.to_owned(),
+                line: entry.line,
+                message: format!(
+                    "stale allowlist entry ({} | {} | {}) matches no finding",
+                    entry.rule, entry.path_suffix, entry.needle
+                ),
+                snippet: entry.needle.clone(),
+                allowed: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            path: path.into(),
+            line: 10,
+            message: "m".into(),
+            snippet: snippet.into(),
+            allowed: false,
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let text = "\
+# header comment
+
+VC001 | mersenne/src/numtheory.rs | a/g and m/g are coprime | g divides both by construction
+";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "VC001");
+        assert_eq!(entries[0].line, 3);
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        assert!(parse("VC001 | a.rs | unwrap | \n").is_err());
+        assert!(parse("VC001 | a.rs | unwrap\n").is_err());
+    }
+
+    #[test]
+    fn apply_marks_covered_and_reports_stale() {
+        let entries = parse(
+            "VC001 | src/a.rs | .expect(\"fine\") | infallible\nVC001 | src/gone.rs | .unwrap() | stale\n",
+        )
+        .unwrap();
+        let mut findings = vec![
+            finding("VC001", "crates/x/src/a.rs", "v.expect(\"fine\");"),
+            finding("VC001", "crates/x/src/b.rs", "w.unwrap();"),
+        ];
+        apply(&mut findings, &entries, "staticcheck.allow");
+        assert!(findings[0].allowed);
+        assert!(!findings[1].allowed);
+        let stale: Vec<&Finding> = findings.iter().filter(|f| f.rule == "VC006").collect();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].line, 2);
+        assert!(!stale[0].allowed);
+    }
+
+    #[test]
+    fn rule_must_match_exactly() {
+        let entries = parse("VC002 | src/a.rs | % | reviewed\n").unwrap();
+        let mut findings = vec![finding("VC001", "crates/x/src/a.rs", "a % b")];
+        apply(&mut findings, &entries, "allow");
+        assert!(!findings[0].allowed);
+        assert_eq!(findings.iter().filter(|f| f.rule == "VC006").count(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! `vcache-check`: two-layer static analysis for the prime-cache
+//! workspace.
+//!
+//! **Layer 1** ([`lint`]) scans the workspace's Rust sources with a small
+//! hand-rolled lexer ([`source`]) and enforces the repo's invariants as
+//! named rules `VC001`–`VC005` (no panicking calls in library code, no raw
+//! `%` in the mapped-cache crates, no truncating address casts, crate-root
+//! hygiene, traced/untraced API pairing). Accepted findings live in a
+//! committed [`allowlist`] with mandatory justifications; stale entries
+//! are themselves findings.
+//!
+//! **Layer 2** ([`conflict`]) is the interesting part: it applies the
+//! paper's number theory (orbit sizes `S / gcd(S, stride)`, Eq. 8, the §4
+//! sub-block rule) to *prove*, per (program, geometry) pair, whether a VCM
+//! program can take conflict misses — `ConflictFree`, `SelfInterfering`,
+//! or `CrossInterfering` — without simulating a single access. The
+//! committed [`suite`] pins canonical verdicts; drift is a `VC100`
+//! finding.
+//!
+//! Both layers are wired into `vcache check` and `scripts/ci.sh` as a
+//! failing gate. Property tests (see `tests/properties.rs`) check the
+//! static verdicts against the cycle-accurate [`CacheSim`] miss
+//! classification.
+//!
+//! [`CacheSim`]: https://docs.rs/vcache-cache
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod conflict;
+pub mod lint;
+pub mod report;
+pub mod source;
+pub mod suite;
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use conflict::{analyze_program, Geometry, ProgramAnalysis, Verdict};
+pub use lint::Finding;
+pub use report::Report;
+
+/// Name of the committed allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "staticcheck.allow";
+
+/// What `run_check` should do.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Run the Layer-1 source lints.
+    pub src: bool,
+    /// Run the Layer-2 canonical verdict suite.
+    pub programs: bool,
+}
+
+/// Error from [`run_check`].
+#[derive(Debug)]
+pub enum CheckError {
+    /// Reading the tree or the allowlist failed.
+    Io(io::Error),
+    /// The allowlist file is malformed.
+    Allowlist(allowlist::AllowParseError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Allowlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<io::Error> for CheckError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Runs the requested layers and returns the combined report.
+///
+/// The allowlist is read from [`ALLOWLIST_FILE`] under `options.root`; a
+/// missing file means an empty allowlist.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] on I/O failure or a malformed allowlist.
+pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
+    let mut findings = Vec::new();
+    let mut suite_results = Vec::new();
+
+    if options.src {
+        findings.extend(lint::scan_workspace(&options.root)?);
+    }
+    if options.programs {
+        let (results, drift) = suite::run();
+        suite_results = results;
+        findings.extend(drift);
+    }
+
+    // The allowlist only makes sense against a source scan: without one,
+    // every entry would look stale (VC006) in a `--programs`-only run.
+    if options.src {
+        let entries = read_allowlist(&options.root)?;
+        allowlist::apply(&mut findings, &entries, ALLOWLIST_FILE);
+    }
+
+    Ok(Report {
+        findings,
+        suite: suite_results,
+    })
+}
+
+fn read_allowlist(root: &Path) -> Result<Vec<allowlist::AllowEntry>, CheckError> {
+    let path = root.join(ALLOWLIST_FILE);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => allowlist::parse(&text).map_err(CheckError::Allowlist),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(CheckError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_only_run_needs_no_filesystem() {
+        let report = run_check(&CheckOptions {
+            root: PathBuf::from("/nonexistent-vcache-root"),
+            src: false,
+            programs: true,
+        })
+        .unwrap();
+        assert!(!report.suite.is_empty());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn missing_allowlist_is_empty() {
+        let entries = read_allowlist(Path::new("/nonexistent-vcache-root")).unwrap();
+        assert!(entries.is_empty());
+    }
+}

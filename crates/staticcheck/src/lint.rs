@@ -1,0 +1,449 @@
+//! Layer 1: source lints enforcing the workspace's coding invariants.
+//!
+//! Each rule has a stable identifier (`VC001`–`VC005`) so findings can be
+//! allowlisted and tracked across refactors:
+//!
+//! | Rule  | Invariant |
+//! |-------|-----------|
+//! | VC001 | No `unwrap`/`expect`/`panic!`-family calls outside `#[cfg(test)]` items and `tests/`/`benches/` trees. |
+//! | VC002 | No raw `%` reduction inside the mapped-cache crates (`vcache-cache`, `vcache-core`): all geometry reduction routes through `MersenneModulus`/bit masks. |
+//! | VC003 | No truncating `as` casts on address-typed values (identifiers mentioning `addr`/`word`/`line`/`base` cast to sub-`u64` integers). |
+//! | VC004 | Every workspace crate root carries `#![forbid(unsafe_code)]` and a `//!` doc header. |
+//! | VC005 | Every traced simulator entry point `fn x_traced` has an untraced sibling `fn x` in the same file. |
+//!
+//! The rules are lexical (see [`crate::source`]): `.expect(` is only
+//! flagged when its first argument is a string literal, so the model
+//! crate's `StrideModel::expect(|s| …)` expectation operator is not a
+//! finding. `vendor/` stand-in crates are third-party API surface and are
+//! checked only for VC004.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::source::SourceFile;
+
+/// All Layer-1 rule identifiers, with their one-line descriptions.
+pub const RULES: [(&str, &str); 5] = [
+    (
+        "VC001",
+        "no unwrap/expect/panic! outside #[cfg(test)] and tests/",
+    ),
+    (
+        "VC002",
+        "no raw % modular reduction in the mapped-cache crates (use MersenneModulus)",
+    ),
+    ("VC003", "no truncating casts on address-typed values"),
+    (
+        "VC004",
+        "crate roots carry #![forbid(unsafe_code)] and a //! doc header",
+    ),
+    (
+        "VC005",
+        "traced/untraced simulator entry points come in pairs",
+    ),
+];
+
+/// One lint (or semantic-suite) finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Stable rule identifier (`VC001`…).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// True when an allowlist entry covers this finding.
+    pub allowed: bool,
+}
+
+impl Finding {
+    fn new(rule: &str, path: &str, line: usize, message: String, snippet: &str) -> Self {
+        Self {
+            rule: rule.to_owned(),
+            path: path.to_owned(),
+            line,
+            message,
+            snippet: snippet.trim().to_owned(),
+            allowed: false,
+        }
+    }
+}
+
+/// Scans every workspace source tree under `root` and returns all
+/// findings (allowlist not yet applied).
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "vendor"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for path in &files {
+        let text = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = SourceFile::scan(rel, &text);
+        findings.extend(check_file(&file));
+    }
+    Ok(findings)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every applicable rule on one scanned file.
+#[must_use]
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let vendor = file.path.starts_with("vendor/");
+    // `tests/` and `benches/` trees are harness code: panicking on bad
+    // setup is idiomatic there, as in #[cfg(test)] items.
+    let test_tree = file.path.split('/').any(|c| c == "tests" || c == "benches");
+    let crate_root = is_crate_root(&file.path);
+
+    if crate_root {
+        findings.extend(vc004(file));
+    }
+    if vendor {
+        return findings; // third-party stand-ins: VC004 only
+    }
+    if !test_tree {
+        findings.extend(vc001(file));
+        findings.extend(vc003(file));
+        findings.extend(vc005(file));
+        if file.path.starts_with("crates/cache/src/") || file.path.starts_with("crates/core/src/") {
+            findings.extend(vc002(file));
+        }
+    }
+    findings
+}
+
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs"
+        || (path.ends_with("/src/lib.rs")
+            && (path.starts_with("crates/") || path.starts_with("vendor/")))
+}
+
+/// VC001: panic-prone calls in non-test code.
+fn vc001(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (line_no, raw, code) in file.non_test_lines() {
+        for needle in ["panic!(", "todo!(", "unimplemented!("] {
+            if code.contains(needle) {
+                findings.push(Finding::new(
+                    "VC001",
+                    &file.path,
+                    line_no,
+                    format!("`{}` in non-test code", &needle[..needle.len() - 1]),
+                    raw,
+                ));
+            }
+        }
+        if code.contains(".unwrap()") {
+            findings.push(Finding::new(
+                "VC001",
+                &file.path,
+                line_no,
+                "`.unwrap()` in non-test code".into(),
+                raw,
+            ));
+        }
+        // `.expect(` counts only with a string-literal argument; a closure
+        // argument is the model crate's expectation operator.
+        let mut rest = code;
+        while let Some(pos) = rest.find(".expect(") {
+            let after = rest[pos + ".expect(".len()..].trim_start();
+            if after.starts_with('"') {
+                findings.push(Finding::new(
+                    "VC001",
+                    &file.path,
+                    line_no,
+                    "`.expect(\"…\")` in non-test code".into(),
+                    raw,
+                ));
+                break;
+            }
+            rest = &rest[pos + ".expect(".len()..];
+        }
+    }
+    findings
+}
+
+/// VC002: raw `%` in the mapped-cache crates.
+fn vc002(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (line_no, raw, code) in file.non_test_lines() {
+        if code.contains('%') {
+            findings.push(Finding::new(
+                "VC002",
+                &file.path,
+                line_no,
+                "raw `%` reduction in a mapped-cache crate (route through MersenneModulus or a bit mask)".into(),
+                raw,
+            ));
+        }
+    }
+    findings
+}
+
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+const ADDR_MARKERS: [&str; 4] = ["addr", "word", "line", "base"];
+
+/// VC003: truncating casts on address-typed expressions.
+fn vc003(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (line_no, raw, code) in file.non_test_lines() {
+        let mut offset = 0;
+        while let Some(pos) = code[offset..].find(" as ") {
+            let abs = offset + pos;
+            let after = code[abs + 4..].trim_start();
+            let target = NARROW_INTS
+                .iter()
+                .find(|t| after.starts_with(**t) && !ident_continues(after, t.len()));
+            if let Some(target) = target {
+                // The expression token just before ` as `: the contiguous
+                // non-whitespace run, lowercased.
+                let before = code[..abs]
+                    .rsplit(char::is_whitespace)
+                    .next()
+                    .unwrap_or("")
+                    .to_ascii_lowercase();
+                if ADDR_MARKERS.iter().any(|m| before.contains(m)) {
+                    findings.push(Finding::new(
+                        "VC003",
+                        &file.path,
+                        line_no,
+                        format!("address-typed expression truncated by `as {target}`"),
+                        raw,
+                    ));
+                }
+            }
+            offset = abs + 4;
+        }
+    }
+    findings
+}
+
+fn ident_continues(s: &str, len: usize) -> bool {
+    s[len..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// VC004: crate-root hygiene.
+fn vc004(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let has_forbid = file
+        .raw_lines
+        .iter()
+        .any(|l| l.contains("#![forbid(unsafe_code)]"));
+    if !has_forbid {
+        findings.push(Finding::new(
+            "VC004",
+            &file.path,
+            0,
+            "crate root lacks `#![forbid(unsafe_code)]`".into(),
+            "",
+        ));
+    }
+    let first = file
+        .raw_lines
+        .iter()
+        .find(|l| !l.trim().is_empty())
+        .map(|l| l.trim())
+        .unwrap_or("");
+    if !first.starts_with("//!") {
+        findings.push(Finding::new(
+            "VC004",
+            &file.path,
+            1,
+            "crate root does not open with a `//!` doc header".into(),
+            first,
+        ));
+    }
+    findings
+}
+
+/// VC005: `fn x_traced` without a sibling `fn x` in the same file.
+fn vc005(file: &SourceFile) -> Vec<Finding> {
+    let mut names = Vec::new();
+    let mut traced = Vec::new();
+    for (line_no, raw, code) in file.non_test_lines() {
+        let mut rest = code;
+        while let Some(pos) = rest.find("fn ") {
+            let boundary = pos == 0
+                || rest[..pos]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+            let after = &rest[pos + 3..];
+            if boundary {
+                let name: String = after
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    if let Some(base) = name.strip_suffix("_traced") {
+                        traced.push((base.to_owned(), line_no, raw.trim().to_owned()));
+                    }
+                    names.push(name);
+                }
+            }
+            rest = after;
+        }
+    }
+    traced
+        .into_iter()
+        .filter(|(base, _, _)| !names.iter().any(|n| n == base))
+        .map(|(base, line_no, snippet)| {
+            Finding::new(
+                "VC005",
+                &file.path,
+                line_no,
+                format!("`fn {base}_traced` has no untraced sibling `fn {base}` in this file"),
+                &snippet,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> Vec<Finding> {
+        check_file(&SourceFile::scan(path, src))
+    }
+
+    #[test]
+    fn vc001_flags_unwrap_expect_panic_outside_tests() {
+        let src = "\
+fn f() {
+    a.unwrap();
+    b.expect(\"boom\");
+    panic!(\"no\");
+}
+#[cfg(test)]
+mod tests {
+    fn t() { c.unwrap(); d.expect(\"fine\"); panic!(\"ok\"); }
+}
+";
+        let f = scan("crates/x/src/a.rs", src);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, ["VC001", "VC001", "VC001"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn vc001_ignores_expectation_operator_and_comments() {
+        let src = "fn f() {\n    stride.expect(|s| g(s)); // .unwrap() in comment\n}\n";
+        assert!(scan("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vc001_exempts_tests_and_benches_trees() {
+        let src = "fn f() { a.unwrap(); }\n";
+        assert!(scan("tests/props.rs", src).is_empty());
+        assert!(scan("crates/x/tests/props.rs", src).is_empty());
+        assert!(scan("crates/x/benches/b.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vc002_scoped_to_mapped_cache_crates() {
+        let src = "//! d\nfn f(a: u64, m: u64) -> u64 { a % m }\n";
+        assert_eq!(scan("crates/cache/src/a.rs", src).len(), 1);
+        assert_eq!(scan("crates/core/src/a.rs", src).len(), 1);
+        assert!(scan("crates/model/src/a.rs", src).is_empty());
+        assert!(scan("crates/mem/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vc002_ignores_percent_in_strings_and_comments() {
+        let src = "fn f() { println!(\"{:>6.2}%\", x); } // 50%\n";
+        assert!(scan("crates/cache/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vc003_truncating_addr_casts() {
+        let bad = "fn f(addr: u64) -> u32 { addr as u32 }\n";
+        let f = scan("crates/x/src/a.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "VC003");
+        // Widening, non-address, and usize casts are fine.
+        for ok in [
+            "fn f(addr: u32) -> u64 { addr as u64 }\n",
+            "fn f(ways: u64) -> u32 { ways as u32 }\n",
+            "fn f(line: u64) -> usize { line as usize }\n",
+            "fn f(line_words: u64) -> f64 { line_words as f64 }\n",
+        ] {
+            assert!(scan("crates/x/src/a.rs", ok).is_empty(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn vc004_crate_root_requirements() {
+        let good = "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(scan("crates/x/src/lib.rs", good).is_empty());
+        let missing_both = "pub fn f() {}\n";
+        let f = scan("crates/x/src/lib.rs", missing_both);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "VC004"));
+        // Non-root files are not checked.
+        assert!(scan("crates/x/src/other.rs", missing_both).is_empty());
+        // Vendor roots are checked, but nothing else in vendor is.
+        assert_eq!(scan("vendor/x/src/lib.rs", missing_both).len(), 2);
+        assert!(scan("vendor/x/src/other.rs", "fn f() { a.unwrap() }\n").is_empty());
+    }
+
+    #[test]
+    fn vc005_traced_needs_untraced_sibling() {
+        let paired = "//! d\nfn run() {}\nfn run_traced() {}\n";
+        assert!(scan("crates/x/src/a.rs", paired).is_empty());
+        let lonely = "fn run_traced() {}\n";
+        let f = scan("crates/x/src/a.rs", lonely);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "VC005");
+        assert!(f[0].message.contains("fn run"));
+    }
+
+    #[test]
+    fn rule_table_is_complete() {
+        assert_eq!(RULES.len(), 5);
+        assert!(RULES
+            .iter()
+            .all(|(id, d)| id.starts_with("VC") && !d.is_empty()));
+    }
+}

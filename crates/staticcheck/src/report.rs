@@ -1,0 +1,140 @@
+//! Rendering check results as text (for terminals/CI logs) or JSON (for
+//! tooling), plus the pass/fail decision.
+
+use serde::Serialize;
+
+use crate::lint::Finding;
+use crate::suite::SuiteResult;
+
+/// The combined outcome of a `vcache check` run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// All findings, allowlisted ones included (marked `allowed`).
+    pub findings: Vec<Finding>,
+    /// Canonical suite rows (empty when `--programs` was not requested).
+    pub suite: Vec<SuiteResult>,
+}
+
+impl Report {
+    /// Findings that fail the gate (not covered by the allowlist).
+    pub fn failing(&self) -> impl Iterator<Item = &Finding> + '_ {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    /// True when nothing fails the gate.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failing().next().is_none()
+    }
+
+    /// Human-readable rendering.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let status = if f.allowed { "allow" } else { " FAIL" };
+            out.push_str(&format!(
+                "[{status}] {} {}:{} {}\n",
+                f.rule, f.path, f.line, f.message
+            ));
+            if !f.snippet.is_empty() {
+                out.push_str(&format!("        {}\n", f.snippet));
+            }
+        }
+        if !self.suite.is_empty() {
+            out.push_str("\ncanonical verdict suite:\n");
+            for r in &self.suite {
+                let mark = if r.ok { "ok  " } else { "FAIL" };
+                out.push_str(&format!(
+                    "  [{mark}] {:<28} {:<6} expected {:<9} got {}\n",
+                    r.program,
+                    r.geometry,
+                    format!("{:?}", r.expected),
+                    r.verdict
+                ));
+            }
+        }
+        let allowed = self.findings.iter().filter(|f| f.allowed).count();
+        let failing = self.findings.len() - allowed;
+        out.push_str(&format!(
+            "\n{failing} failing finding(s), {allowed} allowlisted",
+        ));
+        if !self.suite.is_empty() {
+            let bad = self.suite.iter().filter(|r| !r.ok).count();
+            out.push_str(&format!(
+                ", suite {}/{} ok",
+                self.suite.len() - bad,
+                self.suite.len()
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// JSON rendering (stable field names; see the `Finding` and
+    /// `SuiteResult` structs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (practically unreachable for these
+    /// types).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, allowed: bool) -> Finding {
+        Finding {
+            rule: rule.into(),
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            message: "m".into(),
+            snippet: "x.unwrap()".into(),
+            allowed,
+        }
+    }
+
+    #[test]
+    fn clean_only_when_all_failing_are_allowed() {
+        let report = Report {
+            findings: vec![finding("VC001", true)],
+            suite: vec![],
+        };
+        assert!(report.is_clean());
+        let report = Report {
+            findings: vec![finding("VC001", true), finding("VC002", false)],
+            suite: vec![],
+        };
+        assert!(!report.is_clean());
+        assert_eq!(report.failing().count(), 1);
+    }
+
+    #[test]
+    fn text_rendering_shows_status_and_totals() {
+        let report = Report {
+            findings: vec![finding("VC001", true), finding("VC002", false)],
+            suite: vec![],
+        };
+        let text = report.render_text();
+        assert!(text.contains("[allow] VC001"));
+        assert!(text.contains("[ FAIL] VC002"));
+        assert!(text.contains("1 failing finding(s), 1 allowlisted"));
+    }
+
+    #[test]
+    fn json_rendering_round_trips_fields() {
+        let report = Report {
+            findings: vec![finding("VC003", false)],
+            suite: vec![],
+        };
+        let json = report.to_json().unwrap();
+        let compact = json.replace(": ", ":");
+        assert!(compact.contains("\"rule\":\"VC003\""), "{json}");
+        assert!(compact.contains("\"line\":7"), "{json}");
+        assert!(compact.contains("\"allowed\":false"), "{json}");
+    }
+}

@@ -1,0 +1,333 @@
+//! A lightweight lexical view of one Rust source file.
+//!
+//! The lint rules of [`crate::lint`] are *token-shape* checks, not type
+//! checks, so all they need from a file is (a) the raw text, (b) the text
+//! with comments removed and string/char literal *contents* blanked out
+//! (delimiting quotes survive, so `.expect("msg")` is still recognisably
+//! an `expect` with a string argument), and (c) a per-line flag marking
+//! code under a `#[cfg(test)]` item. This module computes all three with a
+//! single character-level state machine — no syn, no rustc, std only.
+
+/// One scanned file: raw lines, comment/string-stripped lines, and
+/// per-line test-region flags.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path the file was read from, workspace-relative where possible.
+    pub path: String,
+    /// Original text split into lines.
+    pub raw_lines: Vec<String>,
+    /// Lines with comments removed and literal contents blanked. Line
+    /// count always equals `raw_lines` (multi-line literals and block
+    /// comments keep their newlines).
+    pub code_lines: Vec<String>,
+    /// `in_test[i]` is true when line `i` belongs to a `#[cfg(test)]`
+    /// item (attribute line included).
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LexState {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl SourceFile {
+    /// Scans `text` into its lexical view.
+    #[must_use]
+    pub fn scan(path: impl Into<String>, text: &str) -> Self {
+        let stripped = strip(text);
+        let raw_lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let mut code_lines: Vec<String> = stripped.lines().map(str::to_owned).collect();
+        // `str::lines` drops a trailing empty line; keep the two views the
+        // same length.
+        code_lines.resize(raw_lines.len(), String::new());
+        let in_test = mark_test_regions(&code_lines);
+        Self {
+            path: path.into(),
+            raw_lines,
+            code_lines,
+            in_test,
+        }
+    }
+
+    /// Iterates `(1-based line number, raw line, code line)` over lines
+    /// *outside* `#[cfg(test)]` regions.
+    pub fn non_test_lines(&self) -> impl Iterator<Item = (usize, &str, &str)> + '_ {
+        self.code_lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.in_test[*i])
+            .map(|(i, code)| (i + 1, self.raw_lines[i].as_str(), code.as_str()))
+    }
+}
+
+/// Removes comments and blanks literal contents, preserving newlines and
+/// the delimiting quotes of string/char literals.
+fn strip(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut state = LexState::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            LexState::Code => match c {
+                '/' if next == Some('/') => {
+                    state = LexState::LineComment;
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = LexState::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    out.push('"');
+                    state = LexState::Str;
+                    i += 1;
+                }
+                'r' if is_raw_string_start(&chars, i) => {
+                    let hashes = count_hashes(&chars, i + 1);
+                    out.push('"');
+                    state = LexState::RawStr(hashes);
+                    i += 1 + hashes as usize + 1; // r, #…#, "
+                }
+                '\'' => {
+                    // Char literal or lifetime. A char literal closes with
+                    // a quote one or two (escape) chars ahead; a lifetime
+                    // never closes.
+                    if next == Some('\\') {
+                        out.push('\'');
+                        state = LexState::Char;
+                        i += 2;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        out.push('\'');
+                        out.push('\'');
+                        i += 3;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            LexState::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    state = LexState::Code;
+                }
+                i += 1;
+            }
+            LexState::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                    i += 1;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        LexState::Code
+                    } else {
+                        LexState::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = LexState::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::Str => match c {
+                '\\' => i += 2,
+                '"' => {
+                    out.push('"');
+                    state = LexState::Code;
+                    i += 1;
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            LexState::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    out.push('"');
+                    state = LexState::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            LexState::Char => {
+                if c == '\'' {
+                    out.push('\'');
+                    state = LexState::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"` or `r#…#"`, and not part of a longer identifier (`for"` is not
+    // possible, but `var"` would be caught by the identifier check).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks lines belonging to `#[cfg(test)]` items by brace counting: the
+/// attribute arms a pending flag; the next `{` opens a region that closes
+/// when its brace balances.
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut close_at: Option<i64> = None;
+    for (idx, line) in code_lines.iter().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        if pending || close_at.is_some() {
+            in_test[idx] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        close_at = Some(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if close_at == Some(depth) {
+                        close_at = None;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let f = SourceFile::scan(
+            "t.rs",
+            "let x = 1; // unwrap()\n/* panic!() */ let y = 2;\n",
+        );
+        assert_eq!(f.code_lines[0], "let x = 1; ");
+        assert_eq!(f.code_lines[1], " let y = 2;");
+        assert_eq!(f.raw_lines.len(), f.code_lines.len());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = SourceFile::scan("t.rs", "a /* x /* y */ z */ b\n");
+        assert_eq!(f.code_lines[0], "a  b");
+    }
+
+    #[test]
+    fn blanks_string_contents_keeps_quotes() {
+        let f = SourceFile::scan("t.rs", "call(\"has unwrap() inside\", 'x');\n");
+        assert_eq!(f.code_lines[0], "call(\"\", '');");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let f = SourceFile::scan("t.rs", "a(r#\"panic!(\"inner\")\"#); b(\"\\\"quote\");\n");
+        assert_eq!(f.code_lines[0], "a(\"\"); b(\"\");");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::scan("t.rs", "fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert_eq!(f.code_lines[0], "fn f<'a>(x: &'a str) -> &'a str { x }");
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_count() {
+        let src = "let s = \"line one\nline two\";\nlet t = 3;\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert_eq!(f.code_lines.len(), 3);
+        assert_eq!(f.code_lines[2], "let t = 3;");
+    }
+
+    #[test]
+    fn cfg_test_region_detection() {
+        let src = "\
+fn real() { x.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+
+fn after() {}
+";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[2]); // attribute line
+        assert!(f.in_test[3]);
+        assert!(f.in_test[4]);
+        assert!(f.in_test[5]);
+        assert!(!f.in_test[7]);
+        let non_test: Vec<usize> = f.non_test_lines().map(|(n, _, _)| n).collect();
+        assert!(non_test.contains(&1));
+        assert!(!non_test.contains(&5));
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn() {
+        let src = "#[cfg(test)]\nfn helper() { a.unwrap() }\nfn real() {}\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(f.in_test[0]);
+        assert!(f.in_test[1]);
+        assert!(!f.in_test[2]);
+    }
+
+    #[test]
+    fn doc_comment_examples_are_stripped() {
+        let src = "//! let m = X::new(13).expect(\"ok\");\npub fn f() {}\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert_eq!(f.code_lines[0], "");
+        assert_eq!(f.code_lines[1], "pub fn f() {}");
+    }
+}

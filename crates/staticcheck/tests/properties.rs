@@ -1,0 +1,220 @@
+//! Cross-validation of the static conflict analyzer against the cache
+//! simulator: the whole point of layer 2 is that its verdicts are *proofs*,
+//! so every verdict must agree with what `CacheSim` actually observes.
+//!
+//! Oracle: replay the program twice ("double sweep"). On the second sweep
+//! a fully-associative cache of the same capacity hits everything the
+//! footprint can hold, so — whenever the footprint fits — every residual
+//! miss is a conflict miss. Therefore, for programs within capacity:
+//!
+//! `ConflictFree` ⟺ zero conflict misses in the simulator.
+//!
+//! The forward direction (conflict-free ⇒ zero conflict misses) holds even
+//! past capacity: if no set ever holds two distinct lines, nothing is ever
+//! evicted by the mapping.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcache_cache::{CacheSim, StreamId, WordAddr};
+use vcache_check::{analyze_program, Geometry, Verdict};
+use vcache_core::blocking::conflict_free_subblock;
+use vcache_mersenne::MersenneModulus;
+use vcache_workloads::{subblock_trace, Program, VectorAccess};
+
+/// Replays `program` twice and returns the simulator's conflict-miss count.
+fn double_sweep_conflicts(sim: &mut CacheSim, program: &Program) -> u64 {
+    for _ in 0..2 {
+        for (word, stream) in program.words() {
+            sim.access(WordAddr::new(word), StreamId::new(stream));
+        }
+    }
+    sim.stats().conflict_misses()
+}
+
+/// Checks the static verdict for `program` on `geometry` against the
+/// matching simulator; returns a description of the disagreement, if any.
+fn check_one(program: &Program, geometry: &Geometry, sim: &mut CacheSim) -> Result<(), String> {
+    let analysis = analyze_program(program, geometry)
+        .map_err(|e| format!("{}: analysis failed: {e}", program.name))?;
+    let conflicts = double_sweep_conflicts(sim, program);
+    let free = analysis.verdict.is_conflict_free();
+    if free && conflicts != 0 {
+        return Err(format!(
+            "{} on {}: statically conflict-free but simulator saw {conflicts} conflict misses",
+            program.name, geometry
+        ));
+    }
+    if !free && !analysis.exceeds_capacity && conflicts == 0 {
+        return Err(format!(
+            "{} on {}: statically {} but simulator saw no conflict misses",
+            program.name,
+            geometry,
+            analysis.verdict.label()
+        ));
+    }
+    Ok(())
+}
+
+/// One random (stride, c, line-words) case, checked on both mappers.
+fn check_stride_case(rng: &mut StdRng) -> Result<(), String> {
+    let exponent = *[5u32, 7, 13]
+        .get(rng.random_range(0..3u64) as usize)
+        .unwrap_or(&13);
+    let line_words = 1u64 << rng.random_range(0..4u64);
+    let stride = rng.random_range(1..100_000i64);
+    let stride = if rng.random_range(0..4u64) == 0 {
+        -stride
+    } else {
+        stride
+    };
+    let length = rng.random_range(1..2000u64);
+    // Keep negative-stride vectors inside the address space.
+    let base = rng.random_range(0..1_000_000u64) + 200_000_000;
+    let streams = rng.random_range(1..3u64) as u32;
+    let accesses = (0..streams)
+        .map(|s| {
+            VectorAccess::single(
+                base.wrapping_add(u64::from(s) * rng.random_range(0..500_000u64)),
+                stride,
+                length,
+                s,
+            )
+        })
+        .collect();
+    let program = Program::new(
+        format!("rand[s={stride}, n={length}, c={exponent}, w={line_words}]"),
+        accesses,
+    );
+
+    let pow2 = Geometry::pow2(1 << exponent, line_words).map_err(|e| e.to_string())?;
+    let mut pow2_sim =
+        CacheSim::direct_mapped(1 << exponent, line_words).map_err(|e| e.to_string())?;
+    check_one(&program, &pow2, &mut pow2_sim)?;
+
+    let prime = Geometry::prime(exponent, line_words).map_err(|e| e.to_string())?;
+    let mut prime_sim = CacheSim::prime_mapped(exponent, line_words).map_err(|e| e.to_string())?;
+    check_one(&program, &prime, &mut prime_sim)
+}
+
+/// One random sub-block case: the §4 planner's shape for a random leading
+/// dimension, checked on both mappers.
+fn check_subblock_case(rng: &mut StdRng) -> Result<(), String> {
+    let exponent = *[5u32, 7, 13]
+        .get(rng.random_range(0..3u64) as usize)
+        .unwrap_or(&13);
+    let modulus = MersenneModulus::new(exponent).map_err(|e| e.to_string())?;
+    let p = rng.random_range(2..30_000u64);
+    let q = rng.random_range(1..128u64);
+    let plan = conflict_free_subblock(p, q, modulus);
+    let b1 = plan.b1.min(p);
+    let b2 = plan.b2.min(q);
+    let program = subblock_trace(0, p, q, (0, 0), (b1, b2), 0);
+
+    let prime = Geometry::prime(exponent, 1).map_err(|e| e.to_string())?;
+    let analysis = analyze_program(&program, &prime).map_err(|e| e.to_string())?;
+    if !analysis.verdict.is_conflict_free() {
+        return Err(format!(
+            "planner shape {b1}x{b2} for P={p}, c={exponent} statically {}",
+            analysis.verdict.label()
+        ));
+    }
+    let mut prime_sim = CacheSim::prime_mapped(exponent, 1).map_err(|e| e.to_string())?;
+    check_one(&program, &prime, &mut prime_sim)?;
+
+    // The same shape on the power-of-two cache: no guarantee either way —
+    // just that the static verdict matches the simulator.
+    let pow2 = Geometry::pow2(1 << exponent, 1).map_err(|e| e.to_string())?;
+    let mut pow2_sim = CacheSim::direct_mapped(1 << exponent, 1).map_err(|e| e.to_string())?;
+    check_one(&program, &pow2, &mut pow2_sim)
+}
+
+#[test]
+fn random_stride_verdicts_agree_with_simulator() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..120 {
+        if let Err(msg) = check_stride_case(&mut rng) {
+            panic!("case {case}: {msg}");
+        }
+    }
+}
+
+#[test]
+fn planner_subblocks_are_statically_conflict_free_and_agree_with_simulator() {
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    for case in 0..60 {
+        if let Err(msg) = check_subblock_case(&mut rng) {
+            panic!("case {case}: {msg}");
+        }
+    }
+}
+
+#[test]
+fn paper_claims_hold_statically() {
+    // §4 + §1: power-of-two leading dimensions defeat a direct-mapped
+    // cache — every column start aliases to the same set — while the prime
+    // mapping spreads them. The analyzer must prove this without running
+    // the simulator.
+    let modulus = MersenneModulus::new(13).unwrap();
+    for p in [8192u64, 16_384] {
+        let plan = conflict_free_subblock(p, 64, modulus);
+        let program = subblock_trace(0, p, 64, (0, 0), (plan.b1.min(p), plan.b2.min(64)), 0);
+        let prime = analyze_program(&program, &Geometry::prime(13, 1).unwrap()).unwrap();
+        assert!(
+            prime.verdict.is_conflict_free(),
+            "P={p}: prime verdict {}",
+            prime.verdict.label()
+        );
+        let pow2 = analyze_program(&program, &Geometry::pow2(8192, 1).unwrap()).unwrap();
+        assert!(
+            matches!(pow2.verdict, Verdict::SelfInterfering { .. }),
+            "P={p}: pow2 verdict {}",
+            pow2.verdict.label()
+        );
+    }
+}
+
+proptest! {
+    /// Eq. 8: on a prime cache, any single stream whose stride is not a
+    /// multiple of `C` walks all `C` sets, so any vector of at most `C`
+    /// lines is statically conflict-free.
+    #[test]
+    fn eq8_nonresonant_strides_are_conflict_free_on_prime(
+        stride in 1i64..1_000_000,
+        length in 1u64..8191,
+        base in 0u64..1_000_000,
+    ) {
+        prop_assume!(stride % 8191 != 0);
+        let program = Program::new(
+            "eq8",
+            vec![VectorAccess::single(base, stride, length, 0)],
+        );
+        let geometry = Geometry::prime(13, 1).unwrap();
+        let analysis = analyze_program(&program, &geometry).unwrap();
+        prop_assert!(
+            analysis.verdict.is_conflict_free(),
+            "stride {} length {}: {}",
+            stride, length, analysis.verdict.label()
+        );
+    }
+
+    /// The dual: a stride that *is* a multiple of the prime modulus stacks
+    /// every line on one set — statically self-interfering for any vector
+    /// of at least two lines.
+    #[test]
+    fn resonant_strides_are_self_interfering_on_prime(
+        k in 1i64..1000,
+        length in 2u64..512,
+    ) {
+        let program = Program::new(
+            "resonant",
+            vec![VectorAccess::single(0, 8191 * k, length, 0)],
+        );
+        let geometry = Geometry::prime(13, 1).unwrap();
+        let analysis = analyze_program(&program, &geometry).unwrap();
+        prop_assert!(
+            matches!(analysis.verdict, Verdict::SelfInterfering { orbit: 1, .. }),
+            "k {}: {}", k, analysis.verdict.label()
+        );
+    }
+}

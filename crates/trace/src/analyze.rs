@@ -61,11 +61,14 @@ impl MissTimeline {
     }
 }
 
+/// Index of `class` in [`MissClass::ALL`] (taxonomy order).
 fn class_index(class: MissClass) -> usize {
-    MissClass::ALL
-        .iter()
-        .position(|&c| c == class)
-        .expect("class in taxonomy")
+    match class {
+        MissClass::Compulsory => 0,
+        MissClass::Capacity => 1,
+        MissClass::ConflictSelf => 2,
+        MissClass::ConflictCross => 3,
+    }
 }
 
 /// Builds per-stream miss timelines from cache events, windowed every
@@ -86,7 +89,9 @@ pub fn miss_timelines(events: &[TraceEvent], window: u64) -> Vec<MissTimeline> {
         if windows.last().is_none_or(|w| w.accesses >= window) {
             windows.push(MissWindow::default());
         }
-        let current = windows.last_mut().expect("just ensured");
+        let Some(current) = windows.last_mut() else {
+            continue; // unreachable: a window was pushed just above
+        };
         current.accesses += 1;
         if let Some(class) = miss {
             current.by_class[class_index(*class)] += 1;

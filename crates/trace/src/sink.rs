@@ -153,7 +153,11 @@ impl<W: Write> JsonlSink<W> {
     /// Surfaces any deferred write error.
     pub fn into_inner(mut self) -> io::Result<W> {
         TraceSink::flush(&mut self)?;
-        Ok(self.out.take().expect("writer present until into_inner"))
+        // `out` is only ever None after this method has consumed `self`,
+        // so the take always succeeds; report an error instead of assuming.
+        self.out
+            .take()
+            .ok_or_else(|| io::Error::other("JsonlSink writer already taken"))
     }
 }
 

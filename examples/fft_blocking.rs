@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 1u64 << 20;
 
     println!("# Planning a {n}-point FFT for the 8191-line prime-mapped cache");
-    let plan = plan_fft(n, modulus).expect("2^20 is blockable");
+    let plan = plan_fft(n, modulus).ok_or("no conflict-free factorization for 2^20")?;
     println!(
         "chosen factorization: B1 = {}, B2 = {} (conflict-free: {})\n",
         plan.b1,

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, format check, and (advisory) lint.
+# Local CI gate: build, test, format check, lint, and static analysis.
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,10 +13,10 @@ cargo test -q --workspace
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-# Clippy is advisory: report lints without failing the gate.
-echo "==> cargo clippy (advisory)"
-if ! cargo clippy --workspace --all-targets -- -D warnings; then
-    echo "warning: clippy reported lints (advisory, not failing the gate)"
-fi
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> vcache check --src --programs"
+./target/release/vcache check --src --programs
 
 echo "CI gate passed."

@@ -5,10 +5,12 @@
 //! vcache plan-subblock --rows 10000 [--exponent 13]
 //! vcache plan-fft --points 1048576 [--exponent 13]
 //! vcache compare --tm 64 --blocking 4096
+//! vcache check --src --programs
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free: flags are
-//! `--name value` pairs; unknown flags are errors.
+//! `--name value` pairs (a per-command list of switches takes no value);
+//! unknown flags are errors.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -16,6 +18,7 @@ use std::io::BufReader;
 use std::process::ExitCode;
 
 use prime_cache::cache::{CacheSim, ReplacementPolicy, StreamId, WordAddr};
+use prime_cache::check::{run_check, CheckOptions};
 use prime_cache::core::blocking::conflict_free_subblock;
 use prime_cache::core::fft::{plan_fft, plan_is_conflict_free};
 use prime_cache::machine::{CacheSpec, CcMachine, MachineConfig, MmMachine};
@@ -47,6 +50,12 @@ USAGE:
   vcache analyze --trace <FILE> [--window <W>] [--top <N>]
       Read a JSONL trace and print per-stream miss timelines (one row per
       W-access window), bank occupancy, and the top N conflicting sets.
+  vcache check [--src] [--programs] [--json] [--root <DIR>]
+      Static analysis gate. --src runs the workspace source lints
+      (VC001-VC005, allowlist in staticcheck.allow); --programs runs the
+      canonical static-verdict suite (Layer 2, VC100 on drift). With
+      neither switch, both layers run. Exits non-zero on any finding not
+      covered by the allowlist.
   vcache help
       Show this message.
 ";
@@ -54,7 +63,7 @@ USAGE:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("\n{USAGE}");
@@ -63,32 +72,45 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// `Ok(code)` is a completed command (possibly reporting failure, e.g. a
+/// dirty `check`); `Err` is a usage error and prints the help text.
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err("no command given".into());
     };
-    let flags = parse_flags(&args[1..])?;
+    let switches: &[&str] = match command.as_str() {
+        "check" => &["src", "programs", "json"],
+        _ => &[],
+    };
+    let flags = parse_flags(&args[1..], switches)?;
     match command.as_str() {
-        "simulate" => simulate(&flags),
-        "plan-subblock" => plan_subblock(&flags),
-        "plan-fft" => plan_fft_cmd(&flags),
-        "compare" => compare(&flags),
-        "analyze" => analyze_cmd(&flags),
+        "simulate" => simulate(&flags).map(|()| ExitCode::SUCCESS),
+        "plan-subblock" => plan_subblock(&flags).map(|()| ExitCode::SUCCESS),
+        "plan-fft" => plan_fft_cmd(&flags).map(|()| ExitCode::SUCCESS),
+        "compare" => compare(&flags).map(|()| ExitCode::SUCCESS),
+        "analyze" => analyze_cmd(&flags).map(|()| ExitCode::SUCCESS),
+        "check" => check_cmd(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Parses `--name value` pairs; names in `switches` take no value and are
+/// recorded with the value `"true"`.
+fn parse_flags(args: &[String], switches: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        if switches.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -349,6 +371,30 @@ fn analyze_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn check_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let src = flags.contains_key("src");
+    let programs = flags.contains_key("programs");
+    let options = CheckOptions {
+        root: flags
+            .get("root")
+            .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from),
+        // With neither switch given, run both layers.
+        src: src || !programs,
+        programs: programs || !src,
+    };
+    let report = run_check(&options).map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!("{}", report.to_json().map_err(|e| e.to_string())?);
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,11 +412,24 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let f = parse_flags(&args).unwrap();
+        let f = parse_flags(&args, &[]).unwrap();
         assert_eq!(f["a"], "1");
         assert_eq!(f["b"], "x");
-        assert!(parse_flags(&["--a".to_string()]).is_err());
-        assert!(parse_flags(&["a".to_string(), "1".to_string()]).is_err());
+        assert!(parse_flags(&["--a".to_string()], &[]).is_err());
+        assert!(parse_flags(&["a".to_string(), "1".to_string()], &[]).is_err());
+    }
+
+    #[test]
+    fn switch_parsing() {
+        let args: Vec<String> = ["--src", "--root", "/tmp", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args, &["src", "programs", "json"]).unwrap();
+        assert_eq!(f["src"], "true");
+        assert_eq!(f["json"], "true");
+        assert_eq!(f["root"], "/tmp");
+        assert!(!f.contains_key("programs"));
     }
 
     #[test]
@@ -451,5 +510,25 @@ mod tests {
     #[test]
     fn help_runs() {
         assert!(run(&["help".to_string()]).is_ok());
+    }
+
+    #[test]
+    fn check_suite_layer_is_green() {
+        // --programs needs no filesystem: the canonical verdict suite must
+        // pass wherever the binary runs.
+        let code = check_cmd(&flags(&[("programs", "true")])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn check_full_gate_is_clean_on_this_workspace() {
+        // Cargo runs package tests from the package root, so `.` is the
+        // workspace. Both layers must be clean modulo the allowlist — this
+        // is the same gate scripts/ci.sh enforces.
+        let code = check_cmd(&flags(&[("src", "true"), ("programs", "true")])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        // JSON mode must also succeed.
+        let code = check_cmd(&flags(&[("programs", "true"), ("json", "true")])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
     }
 }

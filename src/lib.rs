@@ -31,6 +31,7 @@
 //! | [`model`] | the paper's analytical model (Equations 1–8, FFT) |
 //! | [`workloads`] | VCM traces, sub-block / FFT / matmul / LU kernels |
 //! | [`trace`] | structured tracing, metrics, and trace analysis |
+//! | [`check`] | static analysis: source lints + static conflict proofs |
 //!
 //! ## Quick start
 //!
@@ -59,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub use vcache_cache as cache;
+pub use vcache_check as check;
 pub use vcache_core as core;
 pub use vcache_machine as machine;
 pub use vcache_mem as mem;

@@ -17,6 +17,8 @@
 //! * tuple enum variant → `{"Variant": [..]}`
 //! * struct enum variant → `{"Variant": {..}}`
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The shapes a field list can take.
