@@ -468,6 +468,28 @@ impl CacheSim {
         misses
     }
 
+    /// Replays a tagged word sequence `sweeps` times and returns the
+    /// accumulated conflict-miss count (classified by the shadow cache).
+    ///
+    /// This is the differential-validation hook for the static analyzer:
+    /// a conflict-freedom verdict or certificate is checked by replaying
+    /// the footprint twice — the second sweep can only miss on index
+    /// collisions (or capacity), so within capacity zero conflict misses
+    /// here is the ground truth for `ConflictFree`.
+    pub fn replay_sweeps<I>(&mut self, words: I, sweeps: u64) -> u64
+    where
+        I: IntoIterator<Item = (u64, u32)>,
+        I::IntoIter: Clone,
+    {
+        let it = words.into_iter();
+        for _ in 0..sweeps {
+            for (word, stream) in it.clone() {
+                self.access(WordAddr::new(word), StreamId::new(stream));
+            }
+        }
+        self.stats().conflict_misses()
+    }
+
     /// Empties the cache and clears counters.
     pub fn reset(&mut self) {
         for set in &mut self.sets {
@@ -684,6 +706,21 @@ mod tests {
         c.reset();
         assert_eq!(c.stats(), CacheStats::default());
         assert!(!c.contains(WordAddr::new(1)));
+    }
+
+    #[test]
+    fn replay_sweeps_matches_manual_double_sweep() {
+        // 8 lines all mapping to set 0 of a 16-line direct cache: the
+        // second sweep misses on every one and the shadow classifies the
+        // repeats as conflicts.
+        let colliding: Vec<(u64, u32)> = (0..8u64).map(|i| (i * 16, 0)).collect();
+        let mut c = CacheSim::direct_mapped(16, 1).unwrap();
+        let conflicts = c.replay_sweeps(colliding.iter().copied(), 2);
+        assert!(conflicts > 0);
+        assert_eq!(conflicts, c.stats().conflict_misses());
+        // A unit-stride footprint that fits is conflict-free.
+        let mut c = CacheSim::direct_mapped(16, 1).unwrap();
+        assert_eq!(c.replay_sweeps((0..8u64).map(|w| (w, 0)), 2), 0);
     }
 
     #[test]

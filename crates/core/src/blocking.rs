@@ -175,6 +175,26 @@ pub fn max_conflict_free_b2(p: u64, b1: u64, modulus: MersenneModulus) -> u64 {
     }
 }
 
+/// The smallest leading-dimension padding `δ ≤ max_delta` such that a
+/// `b1 × b2` sub-block of a matrix with *padded* leading dimension
+/// `p + δ` is conflict-free in the prime cache (`δ = 0` means the shape
+/// is already free). Returns `None` when no padding within the budget
+/// helps — the prescriber then falls back to shrinking the block.
+///
+/// Padding trades `δ · q` wasted words for a conflict-free layout; the
+/// classic use is repairing a power-of-two leading dimension, where a
+/// one-element pad moves the column spacing off the resonant class.
+#[must_use]
+pub fn min_padding_for_conflict_free(
+    p: u64,
+    b1: u64,
+    b2: u64,
+    modulus: MersenneModulus,
+    max_delta: u64,
+) -> Option<u64> {
+    (0..=max_delta).find(|&delta| is_conflict_free(p + delta, b1, b2, modulus))
+}
+
 /// The direct-mapped counterpart: same check with a power-of-two modulus,
 /// used by the comparison experiment. Returns whether a `b1 × b2`
 /// sub-block with leading dimension `p` is conflict-free in a `2^c`-line
@@ -332,6 +352,19 @@ mod tests {
         assert_eq!(max_conflict_free_b2(7, 32, m), 0); // b1 > C
                                                        // p ≡ 0 mod C: all columns collide, one column fits.
         assert_eq!(max_conflict_free_b2(31, 5, m), 1);
+    }
+
+    #[test]
+    fn min_padding_finds_first_free_delta() {
+        let m = m13();
+        // p = 8190: spacings 8190, 0, 1, 2 for δ = 0..3 — only δ = 3
+        // separates two 2-line segments.
+        assert_eq!(min_padding_for_conflict_free(8190, 2, 2, m, 8), Some(3));
+        // Already free: δ = 0.
+        assert_eq!(min_padding_for_conflict_free(1000, 1000, 8, m, 8), Some(0));
+        // The erratum shape cannot be saved by small padding: every
+        // spacing 1810..=1873 leaves a circular gap below 1000 lines.
+        assert_eq!(min_padding_for_conflict_free(10_000, 1000, 8, m, 64), None);
     }
 
     #[test]

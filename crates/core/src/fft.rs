@@ -24,11 +24,58 @@ pub struct FftPlan {
     pub b2: u64,
 }
 
+/// One phase of the blocked FFT as an affine access descriptor: `count`
+/// independent transforms, each touching `points` elements spaced `stride`
+/// words apart. Consecutive transforms start `1` word apart when
+/// `stride > 1` (row phase) and `points` words apart when `stride == 1`
+/// (column phase), matching the column-major `B2 × B1` data matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FftStage {
+    /// Word stride between consecutive elements of one transform.
+    pub stride: u64,
+    /// Elements per transform.
+    pub points: u64,
+    /// Independent transforms in the phase.
+    pub count: u64,
+}
+
+impl FftStage {
+    /// Word offset between the bases of consecutive transforms.
+    #[must_use]
+    pub fn transform_step(&self) -> u64 {
+        if self.stride == 1 {
+            self.points
+        } else {
+            1
+        }
+    }
+}
+
 impl FftPlan {
     /// Total points `N = B1 · B2`.
     #[must_use]
     pub fn points(&self) -> u64 {
         self.b1 * self.b2
+    }
+
+    /// The row phase: `B2` row FFTs of `B1` points at stride `B2`.
+    #[must_use]
+    pub fn row_stage(&self) -> FftStage {
+        FftStage {
+            stride: self.b2,
+            points: self.b1,
+            count: self.b2,
+        }
+    }
+
+    /// The column phase: `B1` column FFTs of `B2` points at stride 1.
+    #[must_use]
+    pub fn column_stage(&self) -> FftStage {
+        FftStage {
+            stride: 1,
+            points: self.b2,
+            count: self.b1,
+        }
     }
 }
 
@@ -119,6 +166,25 @@ mod tests {
         assert_eq!(row_fft_conflicts(512, 1024, 8192), 512 - 8);
         assert_eq!(row_fft_conflicts(8, 1024, 8192), 0); // fits in usable lines
         assert_eq!(row_fft_conflicts(0, 16, 8192), 0);
+    }
+
+    #[test]
+    fn stages_describe_both_phases() {
+        let plan = FftPlan { b1: 512, b2: 1024 };
+        let row = plan.row_stage();
+        assert_eq!((row.stride, row.points, row.count), (1024, 512, 1024));
+        assert_eq!(row.transform_step(), 1);
+        let col = plan.column_stage();
+        assert_eq!((col.stride, col.points, col.count), (1, 1024, 512));
+        assert_eq!(col.transform_step(), 1024);
+        // Each phase touches every point exactly once.
+        assert_eq!(row.points * row.count, plan.points());
+        assert_eq!(col.points * col.count, plan.points());
+        // The row-stage conflict formula sees the same (b1, b2).
+        assert_eq!(
+            row_fft_conflicts(row.points, row.stride, 8192),
+            row_fft_conflicts(plan.b1, plan.b2, 8192)
+        );
     }
 
     #[test]

@@ -111,7 +111,12 @@ fn count_congruence_solutions_in_range(a: u64, b: u64, m: u64, lo: u64, hi: u64)
         return 0;
     }
     let m_red = m / g;
-    let inv = mod_inverse(a / g, m_red).expect("reduced pair is coprime");
+    // gcd(a/g, m/g) = 1 by construction (g = gcd(a, m)), so the inverse
+    // always exists; treat the impossible failure as "no solutions"
+    // rather than panicking.
+    let Some(inv) = mod_inverse(a / g, m_red) else {
+        return 0;
+    };
     let x0 = (u128::from(inv) * u128::from(b / g) % u128::from(m_red)) as u64;
     // Solutions are x ≡ x0 (mod m_red). Count members of the progression in
     // [lo, hi].

@@ -117,7 +117,12 @@ pub fn solve_linear_congruence(a: u64, b: u64, m: u64) -> Vec<u64> {
     let m_red = m / g;
     let a_red = a / g;
     let b_red = b / g;
-    let inv = mod_inverse(a_red, m_red).expect("a/g and m/g are coprime");
+    // gcd(a/g, m/g) = 1 by construction (g = gcd(a, m)), so the inverse
+    // always exists; treat the impossible failure as "no solutions"
+    // rather than panicking.
+    let Some(inv) = mod_inverse(a_red, m_red) else {
+        return Vec::new();
+    };
     let x0 = (u128::from(inv) * u128::from(b_red) % u128::from(m_red)) as u64;
     (0..g).map(|k| x0 + k * m_red).collect()
 }

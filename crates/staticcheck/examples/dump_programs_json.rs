@@ -1,0 +1,34 @@
+//! Dumps the canonical `vcache check --programs --json` report, used to
+//! regenerate `tests/golden/check_programs.json` when the schema changes
+//! deliberately:
+//!
+//! `cargo run --release -p vcache-check --example dump_programs_json \
+//!    > crates/staticcheck/tests/golden/check_programs.json`
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = match vcache_check::run_check(&vcache_check::CheckOptions {
+        root: std::path::PathBuf::from("/nonexistent"),
+        src: false,
+        programs: true,
+        nests: false,
+        prescribe: false,
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("canonical suite run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match report.to_json() {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("report failed to serialize: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,1043 @@
+//! Layer 3: abstract interpretation of affine loop nests over a
+//! congruence × interval product domain.
+//!
+//! Each [`AffineRef`] of a [`LoopNest`] is abstracted to a [`LineSet`] —
+//! a sound description of the cache lines it touches: the interval
+//! `[first, last]`, the congruence `line ≡ first (mod step)`, and a
+//! [`Shape`] recording how much structure survived abstraction. Shapes
+//! are ordered by precision:
+//!
+//! * [`Shape::Point`] / [`Shape::Progression`] / [`Shape::SegmentGrid`] —
+//!   the line set is known **exactly** (a single line, an arithmetic
+//!   progression, or equally spaced runs of consecutive lines, the §4
+//!   sub-block picture);
+//! * [`Shape::Lattice`] — only the interval and congruence hold (the
+//!   footprint is a subset of the described lattice).
+//!
+//! Decision rules then prove conflict freedom or exhibit collisions per
+//! *component* — each reference against itself, each reference pair:
+//!
+//! * **WindowFit / PairWindow** — all lines within a window shorter than
+//!   the set count `S` are set-injective (both mappers reduce mod `S`,
+//!   so two lines in one set differ by ≥ `S`). Sound for any shape, and
+//!   how footprints far too large to enumerate are decided abstractly.
+//! * **OrbitBound** — Eq. 8: a progression with line stride `g` visits
+//!   an orbit of `S / gcd(S, g mod S)` sets; `count ≤ orbit` is exact in
+//!   both directions.
+//! * **ArcTiling** — a segment grid tiles the set ring iff consecutive
+//!   start residues (sorted, circular) are at least a segment length
+//!   apart — the corrected §4 sub-block condition.
+//! * **CosetDisjoint** — residues of a set with congruence step `g` lie
+//!   in the coset `first + ⟨gcd(g, S)⟩`; two references whose cosets are
+//!   disjoint (`first_a ≢ first_b mod gcd(g_a, g_b, S)`) cannot meet.
+//! * **Enumerated** — exact fallback for anything undecided, bounded by
+//!   [`MAX_NEST_WORDS`] total work; exceeding the bound is an error, not
+//!   a silent approximation.
+//!
+//! Because every inconclusive abstract rule falls through to exact
+//! enumeration (or a hard error), the final verdict is *exact*, not
+//! merely sound: `ConflictFree` ⇔ zero conflict misses in a double-sweep
+//! replay, within cache capacity. The differential tests in
+//! `tests/nests.rs` hold this against the simulator for hundreds of
+//! random nests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::Serialize;
+use vcache_mersenne::numtheory::gcd;
+
+use crate::conflict::{Geometry, MAX_ANALYZED_WORDS};
+use crate::nest::{AffineRef, LoopNest};
+
+/// Total enumeration budget (in lines/words materialized) for one nest
+/// analysis; abstract rules are unaffected by this bound.
+pub const MAX_NEST_WORDS: u64 = MAX_ANALYZED_WORDS;
+
+/// Segment grids with more segments than this are not arc-checked
+/// analytically (far beyond any real blocking factor).
+const MAX_ARC_SEGMENTS: u64 = 1 << 20;
+
+/// Error from [`analyze_nest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NestError {
+    /// A reference's footprint leaves the `u64` word-address space.
+    AddressOverflow {
+        /// Index of the offending reference.
+        ref_index: usize,
+    },
+    /// The abstract rules were inconclusive and exact enumeration would
+    /// materialize more than [`MAX_NEST_WORDS`] lines.
+    TooLarge {
+        /// Lines the enumeration would have needed.
+        needed: u64,
+    },
+}
+
+impl fmt::Display for NestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::AddressOverflow { ref_index } => {
+                write!(f, "reference {ref_index} leaves the u64 address space")
+            }
+            Self::TooLarge { needed } => write!(
+                f,
+                "undecided components need {needed} enumerated lines, above the {MAX_NEST_WORDS}-line bound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NestError {}
+
+/// How much structure of a reference's line footprint survived
+/// abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Shape {
+    /// No lines (empty iteration space).
+    Empty,
+    /// Exactly one line.
+    Point,
+    /// Exactly the arithmetic progression
+    /// `{ first + k·step : 0 ≤ k < count }`.
+    Progression {
+        /// Line stride (≥ 1).
+        step: u64,
+        /// Number of lines.
+        count: u64,
+    },
+    /// Exactly `seg_count` runs of `seg_len` consecutive lines, starting
+    /// `seg_step` lines apart (`seg_step > seg_len`, so runs are
+    /// disjoint) — the §4 sub-block footprint.
+    SegmentGrid {
+        /// Lines per run.
+        seg_len: u64,
+        /// Line distance between run starts.
+        seg_step: u64,
+        /// Number of runs.
+        seg_count: u64,
+    },
+    /// Over-approximation: the footprint is *some subset* of
+    /// `{ first + k·step } ∩ [first, last]`.
+    Lattice,
+}
+
+/// Sound abstraction of one reference's cache-line footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LineSet {
+    /// Smallest line touched (0 for empty sets).
+    pub first: u64,
+    /// Largest line touched (0 for empty sets).
+    pub last: u64,
+    /// Congruence: every line ≡ `first` (mod `step`); `step == 0` means
+    /// at most one line.
+    pub step: u64,
+    /// Shape tag (see [`Shape`]).
+    pub shape: Shape,
+    /// Words the reference touches, counting revisits (saturating).
+    pub words: u64,
+}
+
+impl LineSet {
+    /// Upper bound on the number of distinct lines (exact for every
+    /// shape but [`Shape::Lattice`]).
+    #[must_use]
+    pub fn distinct_upper_bound(&self) -> u64 {
+        match self.shape {
+            Shape::Empty => 0,
+            Shape::Point => 1,
+            Shape::Progression { count, .. } => count,
+            Shape::SegmentGrid {
+                seg_len, seg_count, ..
+            } => seg_len.saturating_mul(seg_count),
+            Shape::Lattice => {
+                let span = self.last - self.first;
+                let lattice = span.checked_div(self.step).map_or(1, |q| q + 1);
+                lattice.min(self.words)
+            }
+        }
+    }
+
+    /// True when the shape describes the footprint exactly.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        !matches!(self.shape, Shape::Lattice)
+    }
+}
+
+/// Running span of a sorted coefficient sweep: `(complete, span)` where
+/// `complete` means the lattice `{Σ c_d·i_d}` is *exactly* the
+/// progression `{0, g, 2g, …, span}` for `g = gcd(coeffs)`. The classic
+/// criterion: absorb coefficients in ascending order; `c` extends a
+/// dense-so-far prefix iff `c ≤ span + g`.
+fn progression_span(sorted: &[(u64, u64)], g: u64) -> (bool, u128) {
+    let mut span: u128 = 0;
+    for &(c, trip) in sorted {
+        if u128::from(c) > span + u128::from(g) {
+            return (false, span);
+        }
+        span += u128::from(c) * u128::from(trip - 1);
+    }
+    (true, span)
+}
+
+/// Abstracts one reference to its [`LineSet`].
+fn line_set(r: &AffineRef, line_words: u64, ref_index: usize) -> Result<LineSet, NestError> {
+    if r.is_empty() {
+        return Ok(LineSet {
+            first: 0,
+            last: 0,
+            step: 0,
+            shape: Shape::Empty,
+            words: 0,
+        });
+    }
+    let Some((min_w, max_w)) = r.word_range() else {
+        return Err(NestError::AddressOverflow { ref_index });
+    };
+    let first = min_w / line_words;
+    let last = max_w / line_words;
+    let words = r.iterations();
+
+    // Active dimensions, as (|coeff|, trip) with trip > 1. Signs do not
+    // matter: re-indexing i ↦ trip−1−i reflects a negative term into a
+    // positive one anchored at min_w.
+    let mut active: Vec<(u64, u64)> = r
+        .terms
+        .iter()
+        .filter(|t| t.coeff != 0 && t.trip > 1)
+        .map(|t| (t.coeff.unsigned_abs(), t.trip))
+        .collect();
+    if active.is_empty() {
+        return Ok(LineSet {
+            first,
+            last,
+            step: 0,
+            shape: Shape::Point,
+            words,
+        });
+    }
+    active.sort_unstable();
+    let word_gcd = active.iter().fold(0u64, |g, &(c, _)| gcd(g, c));
+
+    // Exact word-progression case: the words are exactly
+    // min_w, min_w + g, …, max_w.
+    let (word_complete, _) = progression_span(&active, word_gcd);
+    if word_complete {
+        if word_gcd.is_multiple_of(line_words) {
+            // Adding multiples of the line size commutes with the
+            // line-number division: an exact line progression.
+            let count = (max_w - min_w) / word_gcd + 1;
+            return Ok(LineSet {
+                first,
+                last,
+                step: word_gcd / line_words,
+                shape: Shape::Progression {
+                    step: word_gcd / line_words,
+                    count,
+                },
+                words,
+            });
+        }
+        if word_gcd <= line_words {
+            // Consecutive words are at most a line apart, so no line in
+            // [first, last] is skipped: a contiguous line run.
+            return Ok(LineSet {
+                first,
+                last,
+                step: 1,
+                shape: Shape::Progression {
+                    step: 1,
+                    count: last - first + 1,
+                },
+                words,
+            });
+        }
+        // Dense word progression, but strides straddle line boundaries
+        // unevenly: keep only the interval.
+        return Ok(LineSet {
+            first,
+            last,
+            step: 1,
+            shape: Shape::Lattice,
+            words,
+        });
+    }
+
+    let aligned = active.iter().all(|&(c, _)| c.is_multiple_of(line_words));
+    if !aligned {
+        // Incomplete and unaligned: interval-only.
+        return Ok(LineSet {
+            first,
+            last,
+            step: 1,
+            shape: Shape::Lattice,
+            words,
+        });
+    }
+
+    // Fully line-aligned: the line footprint is exactly the lattice
+    // { first + Σ (c_d / L) · i_d }.
+    let lines: Vec<(u64, u64)> = active
+        .iter()
+        .map(|&(c, trip)| (c / line_words, trip))
+        .collect();
+    let line_gcd = word_gcd / line_words;
+
+    // Segment-grid attempt: a maximal dense prefix of unit-stride-ish
+    // dimensions (step 1) forming runs, spaced by a clean outer
+    // progression — the sub-block picture.
+    if lines[0].0 == 1 {
+        let mut split = lines.len();
+        let mut seg_span: u128 = 0;
+        for (i, &(c, trip)) in lines.iter().enumerate() {
+            if u128::from(c) > seg_span + 1 {
+                split = i;
+                break;
+            }
+            seg_span += u128::from(c) * u128::from(trip - 1);
+        }
+        if split < lines.len() {
+            let outer = &lines[split..];
+            let outer_gcd = outer.iter().fold(0u64, |g, &(c, _)| gcd(g, c));
+            let (outer_complete, outer_span) = progression_span(outer, outer_gcd);
+            // seg_span < outer step here (the split condition), so the
+            // u128 values fit u64 (both ≤ last − first).
+            let seg_len = (seg_span as u64) + 1;
+            if outer_complete && outer_gcd > seg_len {
+                return Ok(LineSet {
+                    first,
+                    last,
+                    step: 1,
+                    shape: Shape::SegmentGrid {
+                        seg_len,
+                        seg_step: outer_gcd,
+                        seg_count: (outer_span as u64) / outer_gcd + 1,
+                    },
+                    words,
+                });
+            }
+        }
+    }
+
+    Ok(LineSet {
+        first,
+        last,
+        step: line_gcd,
+        shape: Shape::Lattice,
+        words,
+    })
+}
+
+/// Which decision rule settled a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Rule {
+    /// A reference with no (or one) line cannot conflict.
+    SingleLine,
+    /// All lines fit a window shorter than the set count.
+    WindowFit,
+    /// Eq. 8 orbit comparison for an exact progression.
+    OrbitBound,
+    /// Circular-gap check over segment-grid start residues.
+    ArcTiling,
+    /// The union of both references' lines fits a window shorter than
+    /// the set count.
+    PairWindow,
+    /// The references' residue cosets are disjoint.
+    CosetDisjoint,
+    /// Exact enumeration fallback.
+    Enumerated,
+}
+
+/// A component of the conflict analysis: one reference against itself,
+/// or an unordered reference pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Component {
+    /// Lines of reference `r` against each other.
+    Within {
+        /// Reference index.
+        r: usize,
+    },
+    /// Lines of reference `a` against lines of reference `b`.
+    Pair {
+        /// First reference index.
+        a: usize,
+        /// Second reference index.
+        b: usize,
+    },
+}
+
+/// One discharged proof obligation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ComponentProof {
+    /// The component.
+    pub component: Component,
+    /// The rule that settled it.
+    pub rule: Rule,
+    /// True when the component is conflict-free.
+    pub free: bool,
+}
+
+/// A concrete collision: two distinct lines in one set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Witness {
+    /// Reference owning `line_a`.
+    pub ref_a: usize,
+    /// Reference owning `line_b` (equal to `ref_a` for within-reference
+    /// collisions).
+    pub ref_b: usize,
+    /// First colliding line.
+    pub line_a: u64,
+    /// Second colliding line (distinct from `line_a`).
+    pub line_b: u64,
+    /// The shared set.
+    pub set: u64,
+}
+
+/// Layer-3 verdict for one (nest, geometry) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum NestVerdict {
+    /// No two distinct lines of the footprint share a set.
+    ConflictFree,
+    /// Some stream maps two of its own distinct lines to one set.
+    SelfInterfering,
+    /// Distinct lines of different streams share a set (and no stream
+    /// self-interferes).
+    CrossInterfering,
+}
+
+impl NestVerdict {
+    /// True for [`NestVerdict::ConflictFree`].
+    #[must_use]
+    pub fn is_conflict_free(&self) -> bool {
+        matches!(self, Self::ConflictFree)
+    }
+
+    /// Coarse label, matching the Layer-2 [`crate::Verdict::label`].
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::ConflictFree => "conflict-free",
+            Self::SelfInterfering => "self-interfering",
+            Self::CrossInterfering => "cross-interfering",
+        }
+    }
+}
+
+impl fmt::Display for NestVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Complete Layer-3 analysis of one (nest, geometry) pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct NestAnalysis {
+    /// Nest name.
+    pub nest: String,
+    /// Geometry tag (`pow2` / `prime`).
+    pub geometry: &'static str,
+    /// Set count of the geometry.
+    pub sets: u64,
+    /// Words per line.
+    pub line_words: u64,
+    /// The verdict.
+    pub verdict: NestVerdict,
+    /// Per-reference abstractions, in nest order.
+    pub line_sets: Vec<LineSet>,
+    /// Every discharged component, with the rule that settled it.
+    pub proofs: Vec<ComponentProof>,
+    /// A concrete collision when the verdict is not conflict-free.
+    pub witness: Option<Witness>,
+    /// `Some(true)` when the footprint provably fits the cache (so the
+    /// verdict maps 1:1 onto simulator conflict misses), `Some(false)`
+    /// when it provably does not, `None` when the abstraction cannot
+    /// tell.
+    pub fits_capacity: Option<bool>,
+    /// Lines materialized by enumeration fallbacks (0 = decided purely
+    /// abstractly).
+    pub enumerated_lines: u64,
+}
+
+/// Outcome of one decision rule.
+struct Decision {
+    free: bool,
+    rule: Rule,
+    witness: Option<(u64, u64)>,
+}
+
+impl Decision {
+    fn free(rule: Rule) -> Self {
+        Self {
+            free: true,
+            rule,
+            witness: None,
+        }
+    }
+
+    fn conflict(rule: Rule, a: u64, b: u64) -> Self {
+        Self {
+            free: false,
+            rule,
+            witness: Some((a, b)),
+        }
+    }
+}
+
+/// Orbit of line stride `step` on the `sets`-ring (Eq. 8 generalized).
+fn orbit_of(geometry: &Geometry, step: u64) -> u64 {
+    let sets = geometry.sets();
+    let r = geometry.set_of_line(step);
+    if r == 0 {
+        1
+    } else {
+        sets / gcd(sets, r)
+    }
+}
+
+/// Start residues of a segment grid, as `(residue, segment index)`.
+fn grid_residues(
+    geometry: &Geometry,
+    first: u64,
+    seg_step: u64,
+    seg_count: u64,
+) -> Vec<(u64, u64)> {
+    let sets = geometry.sets();
+    let step_r = geometry.set_of_line(seg_step);
+    let mut cur = geometry.set_of_line(first);
+    let mut out = Vec::with_capacity(seg_count as usize);
+    for j in 0..seg_count {
+        out.push((cur, j));
+        cur += step_r;
+        if cur >= sets {
+            cur -= sets;
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Tries to settle one reference against itself abstractly.
+fn decide_within(ls: &LineSet, geometry: &Geometry) -> Option<Decision> {
+    let sets = geometry.sets();
+    match ls.shape {
+        Shape::Empty | Shape::Point => Some(Decision::free(Rule::SingleLine)),
+        _ if ls.last - ls.first < sets => Some(Decision::free(Rule::WindowFit)),
+        Shape::Progression { step, count } => {
+            let orbit = orbit_of(geometry, step);
+            if count <= orbit {
+                Some(Decision::free(Rule::OrbitBound))
+            } else {
+                // Lines k = 0 and k = orbit collide: orbit · (step mod S)
+                // ≡ 0 (mod S).
+                Some(Decision::conflict(
+                    Rule::OrbitBound,
+                    ls.first,
+                    ls.first + orbit * step,
+                ))
+            }
+        }
+        Shape::SegmentGrid {
+            seg_len,
+            seg_step,
+            seg_count,
+        } => {
+            if seg_len > sets {
+                // One run of consecutive lines already wraps the ring.
+                return Some(Decision::conflict(
+                    Rule::ArcTiling,
+                    ls.first,
+                    ls.first + sets,
+                ));
+            }
+            if seg_count > MAX_ARC_SEGMENTS {
+                return None;
+            }
+            let starts = grid_residues(geometry, ls.first, seg_step, seg_count);
+            // Circular gaps between consecutive start residues must all
+            // be ≥ seg_len; segments are disjoint in line space
+            // (seg_step > seg_len), so an overlap in residue space is a
+            // real collision of distinct lines.
+            for w in starts.windows(2) {
+                let (r1, j1) = w[0];
+                let (r2, j2) = w[1];
+                if r2 - r1 < seg_len {
+                    return Some(Decision::conflict(
+                        Rule::ArcTiling,
+                        ls.first + j1 * seg_step + (r2 - r1),
+                        ls.first + j2 * seg_step,
+                    ));
+                }
+            }
+            if seg_count > 1 {
+                let (r_lo, j_lo) = starts[0];
+                let (r_hi, j_hi) = starts[starts.len() - 1];
+                let wrap = sets - r_hi + r_lo;
+                if wrap < seg_len {
+                    return Some(Decision::conflict(
+                        Rule::ArcTiling,
+                        ls.first + j_hi * seg_step + wrap,
+                        ls.first + j_lo * seg_step,
+                    ));
+                }
+            }
+            Some(Decision::free(Rule::ArcTiling))
+        }
+        Shape::Lattice => None,
+    }
+}
+
+/// Tries to settle a reference pair abstractly (freedom only; pair
+/// conflicts are always exhibited by enumeration).
+fn decide_pair(a: &LineSet, b: &LineSet, geometry: &Geometry) -> Option<Decision> {
+    if matches!(a.shape, Shape::Empty) || matches!(b.shape, Shape::Empty) {
+        return Some(Decision::free(Rule::SingleLine));
+    }
+    let sets = geometry.sets();
+    let lo = a.first.min(b.first);
+    let hi = a.last.max(b.last);
+    if hi - lo < sets {
+        return Some(Decision::free(Rule::PairWindow));
+    }
+    // Residues of a line set with congruence step g lie in the coset
+    // first + ⟨gcd(g, S)⟩ of the cyclic group Z_S; step 0 (single line)
+    // gives the trivial subgroup. Disjoint cosets cannot collide.
+    let ga = gcd(a.step, sets);
+    let gb = gcd(b.step, sets);
+    let g = gcd(ga, gb);
+    if g > 1 && geometry.set_of_line(a.first) % g != geometry.set_of_line(b.first) % g {
+        return Some(Decision::free(Rule::CosetDisjoint));
+    }
+    None
+}
+
+/// Materializes the distinct lines of a reference, charging `budget`.
+fn enumerate_lines(
+    r: &AffineRef,
+    ls: &LineSet,
+    line_words: u64,
+    budget: &mut u64,
+) -> Result<Vec<u64>, NestError> {
+    let charge = |budget: &mut u64, cost: u64| {
+        if cost > *budget {
+            Err(NestError::TooLarge {
+                needed: MAX_NEST_WORDS - *budget + cost,
+            })
+        } else {
+            *budget -= cost;
+            Ok(())
+        }
+    };
+    match ls.shape {
+        Shape::Empty => Ok(Vec::new()),
+        Shape::Point => {
+            charge(budget, 1)?;
+            Ok(vec![ls.first])
+        }
+        Shape::Progression { step, count } => {
+            charge(budget, count)?;
+            Ok((0..count).map(|k| ls.first + k * step).collect())
+        }
+        Shape::SegmentGrid {
+            seg_len,
+            seg_step,
+            seg_count,
+        } => {
+            charge(budget, seg_len.saturating_mul(seg_count))?;
+            let mut out = Vec::new();
+            for j in 0..seg_count {
+                let start = ls.first + j * seg_step;
+                out.extend(start..start + seg_len);
+            }
+            Ok(out)
+        }
+        Shape::Lattice => {
+            charge(budget, ls.words)?;
+            // Walk the full iteration space; dedup through a set.
+            let mut lines = std::collections::BTreeSet::new();
+            let dims: Vec<_> = r.terms.iter().filter(|t| t.trip > 0).collect();
+            let mut idx = vec![0u64; dims.len()];
+            loop {
+                let mut w = i128::from(r.base);
+                for (t, &i) in dims.iter().zip(&idx) {
+                    w += i128::from(t.coeff) * i128::from(i);
+                }
+                // In range by the word_range check in line_set.
+                let w =
+                    u64::try_from(w).map_err(|_| NestError::AddressOverflow { ref_index: 0 })?;
+                lines.insert(w / line_words);
+                let mut d = dims.len();
+                loop {
+                    if d == 0 {
+                        break;
+                    }
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < dims[d].trip {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+                if idx.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+            Ok(lines.into_iter().collect())
+        }
+    }
+}
+
+/// Scans one reference's lines for a within-reference collision.
+fn scan_within(lines: &[u64], geometry: &Geometry) -> Decision {
+    let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
+    for &line in lines {
+        if let Some(&other) = seen.get(&geometry.set_of_line(line)) {
+            if other != line {
+                return Decision::conflict(Rule::Enumerated, other, line);
+            }
+        } else {
+            seen.insert(geometry.set_of_line(line), line);
+        }
+    }
+    Decision::free(Rule::Enumerated)
+}
+
+/// Scans a reference pair for a cross-reference collision of *distinct*
+/// lines. `map_a` holds one representative line of `a` per set; if `a`
+/// self-conflicts the overall verdict is already interfering, so a
+/// single representative is enough.
+fn scan_pair(map_a: &BTreeMap<u64, u64>, lines_b: &[u64], geometry: &Geometry) -> Decision {
+    for &line in lines_b {
+        if let Some(&other) = map_a.get(&geometry.set_of_line(line)) {
+            if other != line {
+                return Decision::conflict(Rule::Enumerated, other, line);
+            }
+        }
+    }
+    Decision::free(Rule::Enumerated)
+}
+
+/// Statically analyzes `nest` against `geometry`.
+///
+/// # Errors
+///
+/// [`NestError::AddressOverflow`] when a reference leaves the `u64`
+/// address space; [`NestError::TooLarge`] when the abstract rules are
+/// inconclusive and exact fallback enumeration would exceed
+/// [`MAX_NEST_WORDS`] lines.
+pub fn analyze_nest(nest: &LoopNest, geometry: &Geometry) -> Result<NestAnalysis, NestError> {
+    let line_words = geometry.line_words();
+    let line_sets: Vec<LineSet> = nest
+        .refs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| line_set(r, line_words, i))
+        .collect::<Result<_, _>>()?;
+
+    let mut proofs = Vec::new();
+    let mut conflicts: Vec<Witness> = Vec::new();
+    let mut undecided: Vec<Component> = Vec::new();
+    let record = |proofs: &mut Vec<ComponentProof>,
+                  conflicts: &mut Vec<Witness>,
+                  component: Component,
+                  d: &Decision,
+                  geometry: &Geometry| {
+        proofs.push(ComponentProof {
+            component,
+            rule: d.rule,
+            free: d.free,
+        });
+        if let Some((line_a, line_b)) = d.witness {
+            let (ref_a, ref_b) = match component {
+                Component::Within { r } => (r, r),
+                Component::Pair { a, b } => (a, b),
+            };
+            conflicts.push(Witness {
+                ref_a,
+                ref_b,
+                line_a,
+                line_b,
+                set: geometry.set_of_line(line_a),
+            });
+        }
+    };
+
+    for (i, ls) in line_sets.iter().enumerate() {
+        let component = Component::Within { r: i };
+        match decide_within(ls, geometry) {
+            Some(d) => record(&mut proofs, &mut conflicts, component, &d, geometry),
+            None => undecided.push(component),
+        }
+    }
+    for i in 0..line_sets.len() {
+        for j in (i + 1)..line_sets.len() {
+            let component = Component::Pair { a: i, b: j };
+            match decide_pair(&line_sets[i], &line_sets[j], geometry) {
+                Some(d) => record(&mut proofs, &mut conflicts, component, &d, geometry),
+                None => undecided.push(component),
+            }
+        }
+    }
+
+    // Exact fallback for whatever the abstract rules left open.
+    let mut budget = MAX_NEST_WORDS;
+    let mut enumerated: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    let mut set_maps: BTreeMap<usize, BTreeMap<u64, u64>> = BTreeMap::new();
+    let needed: Vec<usize> = {
+        let mut v: Vec<usize> = undecided
+            .iter()
+            .flat_map(|c| match *c {
+                Component::Within { r } => vec![r],
+                Component::Pair { a, b } => vec![a, b],
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    for &i in &needed {
+        let lines = enumerate_lines(&nest.refs[i], &line_sets[i], line_words, &mut budget)?;
+        let mut map = BTreeMap::new();
+        for &line in &lines {
+            map.entry(geometry.set_of_line(line)).or_insert(line);
+        }
+        set_maps.insert(i, map);
+        enumerated.insert(i, lines);
+    }
+    let enumerated_lines = MAX_NEST_WORDS - budget;
+    for component in undecided {
+        let d = match component {
+            Component::Within { r } => scan_within(&enumerated[&r], geometry),
+            Component::Pair { a, b } => scan_pair(&set_maps[&a], &enumerated[&b], geometry),
+        };
+        record(&mut proofs, &mut conflicts, component, &d, geometry);
+    }
+
+    // Classify: self beats cross, matching Layer 2.
+    let is_self =
+        |w: &Witness| w.ref_a == w.ref_b || nest.refs[w.ref_a].stream == nest.refs[w.ref_b].stream;
+    let self_witness = conflicts.iter().find(|w| is_self(w)).copied();
+    let cross_witness = conflicts.iter().find(|w| !is_self(w)).copied();
+    let (verdict, witness) = match (self_witness, cross_witness) {
+        (Some(w), _) => (NestVerdict::SelfInterfering, Some(w)),
+        (None, Some(w)) => (NestVerdict::CrossInterfering, Some(w)),
+        (None, None) => (NestVerdict::ConflictFree, None),
+    };
+
+    // Capacity: a sound upper bound on the union proves fit; an exact
+    // per-reference count above S proves overflow.
+    let upper: u64 = line_sets.iter().fold(0u64, |acc, ls| {
+        acc.saturating_add(ls.distinct_upper_bound())
+    });
+    let fits_capacity = if upper <= geometry.sets() {
+        Some(true)
+    } else if line_sets
+        .iter()
+        .any(|ls| ls.is_exact() && ls.distinct_upper_bound() > geometry.sets())
+    {
+        Some(false)
+    } else {
+        None
+    };
+
+    Ok(NestAnalysis {
+        nest: nest.name.clone(),
+        geometry: geometry.kind(),
+        sets: geometry.sets(),
+        line_words,
+        verdict,
+        line_sets,
+        proofs,
+        witness,
+        fits_capacity,
+        enumerated_lines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::Term;
+
+    fn pow2(sets: u64, lw: u64) -> Geometry {
+        Geometry::pow2(sets, lw).unwrap()
+    }
+
+    fn prime(c: u32, lw: u64) -> Geometry {
+        Geometry::prime(c, lw).unwrap()
+    }
+
+    fn nest1(name: &str, base: u64, terms: Vec<Term>) -> LoopNest {
+        LoopNest::new(name, vec![AffineRef::new(base, terms, 0)])
+    }
+
+    fn t(coeff: i64, trip: u64) -> Term {
+        Term { coeff, trip }
+    }
+
+    #[test]
+    fn shapes_abstract_precisely() {
+        let ls = |terms: Vec<Term>, lw: u64| line_set(&AffineRef::new(0, terms, 0), lw, 0).unwrap();
+        assert_eq!(ls(vec![t(1, 0)], 1).shape, Shape::Empty);
+        assert_eq!(ls(vec![t(0, 5)], 8).shape, Shape::Point);
+        // Aligned stride: exact progression in lines.
+        assert_eq!(
+            ls(vec![t(16, 10)], 8).shape,
+            Shape::Progression { step: 2, count: 10 }
+        );
+        // Unit-ish strides merge into a contiguous run.
+        assert_eq!(
+            ls(vec![t(3, 8)], 8).shape,
+            Shape::Progression { step: 1, count: 3 }
+        );
+        // Sub-block: runs of 4 lines every 100.
+        assert_eq!(
+            ls(vec![t(100, 3), t(1, 4)], 1).shape,
+            Shape::SegmentGrid {
+                seg_len: 4,
+                seg_step: 100,
+                seg_count: 3
+            }
+        );
+        // Overlapping-complete two-dimensional lattice: words {i + 3j}
+        // cover 0..=21 densely.
+        assert_eq!(
+            ls(vec![t(3, 5), t(1, 10)], 1).shape,
+            Shape::Progression { step: 1, count: 22 }
+        );
+        // Unaligned wide stride: interval only.
+        assert_eq!(ls(vec![t(12, 50)], 8).shape, Shape::Lattice);
+        // Negative strides reflect to the same footprint.
+        let neg = line_set(&AffineRef::new(16 * 9, vec![t(-16, 10)], 0), 8, 0).unwrap();
+        assert_eq!(neg.shape, Shape::Progression { step: 2, count: 10 });
+        assert_eq!(neg.first, 0);
+    }
+
+    #[test]
+    fn orbit_rule_matches_layer2() {
+        // Line stride 512 over 8192 sets: orbit 16.
+        let n = nest1("orbit", 0, vec![t(4096, 8191)]);
+        let a = analyze_nest(&n, &pow2(8192, 8)).unwrap();
+        assert_eq!(a.verdict, NestVerdict::SelfInterfering);
+        assert_eq!(a.proofs[0].rule, Rule::OrbitBound);
+        let w = a.witness.unwrap();
+        assert_eq!((w.line_a, w.line_b), (0, 16 * 512));
+        // Same nest under the prime mapper: free, still abstract.
+        let a = analyze_nest(&n, &prime(13, 8)).unwrap();
+        assert_eq!(a.verdict, NestVerdict::ConflictFree);
+        assert_eq!(a.enumerated_lines, 0);
+    }
+
+    #[test]
+    fn huge_nests_are_decided_abstractly() {
+        // 2^32 words of traffic over a 512-line window: WindowFit needs
+        // no enumeration.
+        let n = nest1("huge", 0, vec![t(0, 1 << 20), t(1, 4096)]);
+        for g in [pow2(8192, 8), prime(13, 8)] {
+            let a = analyze_nest(&n, &g).unwrap();
+            assert_eq!(a.verdict, NestVerdict::ConflictFree, "{}", g);
+            assert_eq!(a.enumerated_lines, 0);
+            assert_eq!(a.fits_capacity, Some(true));
+        }
+    }
+
+    #[test]
+    fn lattice_fallback_enumerates_and_bounds() {
+        // Unaligned wide stride: falls to enumeration, still exact.
+        let n = nest1("lat", 0, vec![t(12, 50)]);
+        let a = analyze_nest(&n, &pow2(32, 8)).unwrap();
+        assert!(a.enumerated_lines > 0);
+        // 50 words at stride 12 = 600 word span = 75+1 lines region; far
+        // more lines than 32 sets touched ⇒ must conflict.
+        assert_eq!(a.verdict, NestVerdict::SelfInterfering);
+        // Budget rejection: an unaligned huge footprint cannot be
+        // enumerated.
+        let big = nest1("big", 0, vec![t(3, MAX_NEST_WORDS / 2), t(7, 3)]);
+        assert!(matches!(
+            analyze_nest(&big, &pow2(32, 8)),
+            Err(NestError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn address_overflow_is_an_error() {
+        let n = nest1("ovf", u64::MAX - 10, vec![t(8, 4)]);
+        assert_eq!(
+            analyze_nest(&n, &pow2(32, 8)).err(),
+            Some(NestError::AddressOverflow { ref_index: 0 })
+        );
+        assert!(NestError::AddressOverflow { ref_index: 0 }
+            .to_string()
+            .contains("address space"));
+        assert!(NestError::TooLarge { needed: 7 }.to_string().contains("7"));
+    }
+
+    #[test]
+    fn arc_tiling_matches_subblock_checker() {
+        use vcache_core::blocking::is_conflict_free;
+        use vcache_mersenne::MersenneModulus;
+        let m = MersenneModulus::new(13).unwrap();
+        for (p, b1, b2) in [
+            (10_000u64, 1000u64, 8u64), // the paper's erratum shape
+            (10_000, 1000, 4),
+            (10_000, 1809, 4),
+            (8192, 1, 4096),
+            (1024, 1, 31),
+        ] {
+            let n = nest1("sb", 0, vec![t(p as i64, b2), t(1, b1)]);
+            let a = analyze_nest(&n, &prime(13, 1)).unwrap();
+            assert_eq!(
+                a.verdict.is_conflict_free(),
+                is_conflict_free(p, b1, b2, m),
+                "p={p} b1={b1} b2={b2}"
+            );
+        }
+    }
+
+    #[test]
+    fn coset_rule_separates_far_apart_parity_classes() {
+        let a = AffineRef::new(0, vec![t(2, 2048)], 0);
+        let b = AffineRef::new(1_000_001, vec![t(2, 2048)], 1);
+        let n = LoopNest::new("coset", vec![a, b]);
+        let an = analyze_nest(&n, &pow2(8192, 1)).unwrap();
+        assert_eq!(an.verdict, NestVerdict::ConflictFree);
+        assert!(an
+            .proofs
+            .iter()
+            .any(|p| p.rule == Rule::CosetDisjoint && p.free));
+        assert_eq!(an.enumerated_lines, 0);
+    }
+
+    #[test]
+    fn cross_conflicts_are_classified_and_witnessed() {
+        let a = AffineRef::new(0, vec![t(1, 64)], 0);
+        let b = AffineRef::new(8 * 8192 * 8, vec![t(1, 64)], 1);
+        let n = LoopNest::new("alias", vec![a, b]);
+        let an = analyze_nest(&n, &pow2(8192, 8)).unwrap();
+        assert_eq!(an.verdict, NestVerdict::CrossInterfering);
+        let w = an.witness.unwrap();
+        assert_ne!(w.line_a, w.line_b);
+        assert_eq!(
+            Geometry::pow2(8192, 8).unwrap().set_of_line(w.line_b),
+            w.set
+        );
+        // Same streams ⇒ the same collision is self-interference.
+        let mut same = n.clone();
+        same.refs[1].stream = 0;
+        let an = analyze_nest(&same, &pow2(8192, 8)).unwrap();
+        assert_eq!(an.verdict, NestVerdict::SelfInterfering);
+    }
+
+    #[test]
+    fn capacity_classification() {
+        // Fits: 8 lines in 32 sets.
+        let n = nest1("small", 0, vec![t(8, 8)]);
+        let a = analyze_nest(&n, &pow2(32, 8)).unwrap();
+        assert_eq!(a.fits_capacity, Some(true));
+        // Provably overflows: an exact progression of 100 lines in 32
+        // sets.
+        let n = nest1("over", 0, vec![t(8, 100)]);
+        let a = analyze_nest(&n, &pow2(32, 8)).unwrap();
+        assert_eq!(a.fits_capacity, Some(false));
+    }
+}

@@ -9,26 +9,39 @@
 //! committed [`allowlist`] with mandatory justifications; stale entries
 //! are themselves findings.
 //!
-//! **Layer 2** ([`conflict`]) is the interesting part: it applies the
-//! paper's number theory (orbit sizes `S / gcd(S, stride)`, Eq. 8, the §4
-//! sub-block rule) to *prove*, per (program, geometry) pair, whether a VCM
-//! program can take conflict misses — `ConflictFree`, `SelfInterfering`,
-//! or `CrossInterfering` — without simulating a single access. The
-//! committed [`suite`] pins canonical verdicts; drift is a `VC100`
-//! finding.
+//! **Layer 2** ([`conflict`]) applies the paper's number theory (orbit
+//! sizes `S / gcd(S, stride)`, Eq. 8, the §4 sub-block rule) to *prove*,
+//! per (program, geometry) pair, whether a VCM program can take conflict
+//! misses — `ConflictFree`, `SelfInterfering`, or `CrossInterfering` —
+//! without simulating a single access. The committed [`suite`] pins
+//! canonical verdicts; drift is a `VC100` finding.
 //!
-//! Both layers are wired into `vcache check` and `scripts/ci.sh` as a
-//! failing gate. Property tests (see `tests/properties.rs`) check the
-//! static verdicts against the cycle-accurate [`CacheSim`] miss
-//! classification.
+//! **Layer 3** ([`nest`], [`absint`], [`prescribe`]) lifts the analysis
+//! from flat traces to *affine loop nests*: an abstract interpreter over
+//! a congruence × interval product domain settles nests whose footprints
+//! are far too large to enumerate, and a prescriber searches minimal
+//! repairs (leading-dimension padding, trip shrinking, a Mersenne
+//! geometry change), emitting machine-checkable certificates. The
+//! committed [`nestsuite`] pins canonical nest verdicts (`VC101` on
+//! drift) and demands a verifying certificate per interfering row
+//! (`VC102`).
+//!
+//! All layers are wired into `vcache check` and `scripts/ci.sh` as a
+//! failing gate. Property tests (see `tests/properties.rs` and
+//! `tests/nests.rs`) check the static verdicts against the
+//! cycle-accurate [`CacheSim`] miss classification.
 //!
 //! [`CacheSim`]: https://docs.rs/vcache-cache
 
 #![forbid(unsafe_code)]
 
+pub mod absint;
 pub mod allowlist;
 pub mod conflict;
 pub mod lint;
+pub mod nest;
+pub mod nestsuite;
+pub mod prescribe;
 pub mod report;
 pub mod source;
 pub mod suite;
@@ -37,8 +50,11 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use absint::{analyze_nest, NestAnalysis, NestError, NestVerdict};
 pub use conflict::{analyze_program, Geometry, ProgramAnalysis, Verdict};
 pub use lint::Finding;
+pub use nest::{AffineRef, LoopNest, Term};
+pub use prescribe::{prescribe, Certificate, Fix};
 pub use report::Report;
 
 /// Name of the committed allowlist file at the workspace root.
@@ -53,6 +69,11 @@ pub struct CheckOptions {
     pub src: bool,
     /// Run the Layer-2 canonical verdict suite.
     pub programs: bool,
+    /// Run the Layer-3 canonical nest suite.
+    pub nests: bool,
+    /// With `nests`: require a verifying repair certificate per
+    /// interfering row.
+    pub prescribe: bool,
 }
 
 /// Error from [`run_check`].
@@ -92,6 +113,8 @@ impl From<io::Error> for CheckError {
 pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
     let mut findings = Vec::new();
     let mut suite_results = Vec::new();
+    let mut nest_results = Vec::new();
+    let mut certificates = Vec::new();
 
     if options.src {
         findings.extend(lint::scan_workspace(&options.root)?);
@@ -99,6 +122,12 @@ pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
     if options.programs {
         let (results, drift) = suite::run();
         suite_results = results;
+        findings.extend(drift);
+    }
+    if options.nests {
+        let (results, certs, drift) = nestsuite::run(options.prescribe);
+        nest_results = results;
+        certificates = certs;
         findings.extend(drift);
     }
 
@@ -112,6 +141,8 @@ pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
     Ok(Report {
         findings,
         suite: suite_results,
+        nests: nest_results,
+        certificates,
     })
 }
 
@@ -134,9 +165,26 @@ mod tests {
             root: PathBuf::from("/nonexistent-vcache-root"),
             src: false,
             programs: true,
+            nests: false,
+            prescribe: false,
         })
         .unwrap();
         assert!(!report.suite.is_empty());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn nest_suite_run_emits_rows_and_certificates() {
+        let report = run_check(&CheckOptions {
+            root: PathBuf::from("/nonexistent-vcache-root"),
+            src: false,
+            programs: false,
+            nests: true,
+            prescribe: true,
+        })
+        .unwrap();
+        assert_eq!(report.nests.len(), 18);
+        assert!(!report.certificates.is_empty());
         assert!(report.is_clean(), "{}", report.render_text());
     }
 

@@ -1,0 +1,420 @@
+//! Layer 3 IR: affine loop nests with per-reference bounds.
+//!
+//! A [`LoopNest`] is a set of [`AffineRef`]s, each describing the word
+//! footprint of one array reference inside a perfectly nested affine
+//! loop: `word = base + Σ_d coeff_d · i_d` with `i_d` ranging over
+//! `0..trip_d`. Terms are ordered outermost → innermost. This is exactly
+//! the shape of the paper's workloads — sub-blocks of a column-major
+//! matrix (§4), blocked-FFT phases (§5), and flat strided `Program`s are
+//! all lowered here — but the abstract interpreter in [`crate::absint`]
+//! handles *arbitrary* affine nests, including footprints far too large
+//! to enumerate.
+
+use serde::{Deserialize, Serialize};
+use vcache_core::blocking::SubBlockPlan;
+use vcache_core::fft::FftStage;
+use vcache_workloads::{Program, VectorAccess};
+
+/// One loop dimension of an affine reference: contributes `coeff · i`
+/// to the word address for `i` in `0..trip`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Term {
+    /// Word-address coefficient of this induction variable.
+    pub coeff: i64,
+    /// Trip count (iteration space is `0..trip`; `0` makes the reference
+    /// empty).
+    pub trip: u64,
+}
+
+/// A single affine array reference: `base + Σ terms[d].coeff · i_d`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AffineRef {
+    /// Word address at the all-zeros iteration point.
+    pub base: u64,
+    /// Loop dimensions, outermost first.
+    pub terms: Vec<Term>,
+    /// Access-stream tag (for self- vs cross-interference attribution).
+    pub stream: u32,
+}
+
+impl AffineRef {
+    /// Builds a reference.
+    #[must_use]
+    pub fn new(base: u64, terms: Vec<Term>, stream: u32) -> Self {
+        Self {
+            base,
+            terms,
+            stream,
+        }
+    }
+
+    /// True when the iteration space is empty (some trip count is 0).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.iter().any(|t| t.trip == 0)
+    }
+
+    /// Iteration-space size (saturating).
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.terms
+            .iter()
+            .fold(1u64, |acc, t| acc.saturating_mul(t.trip))
+    }
+
+    /// Smallest and largest word touched, or `None` when the reference is
+    /// empty or some word falls outside the `u64` address space.
+    #[must_use]
+    pub fn word_range(&self) -> Option<(u64, u64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = i128::from(self.base);
+        let mut hi = lo;
+        for t in &self.terms {
+            let reach = i128::from(t.coeff) * i128::from(t.trip - 1);
+            if reach >= 0 {
+                hi += reach;
+            } else {
+                lo += reach;
+            }
+        }
+        if lo < 0 || hi > i128::from(u64::MAX) {
+            return None;
+        }
+        Some((lo as u64, hi as u64))
+    }
+}
+
+/// An affine loop nest: a named collection of references, optionally
+/// tagged with the leading dimension of the underlying matrix (what the
+/// prescriber pads).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Nest name for reports.
+    pub name: String,
+    /// Leading dimension of the underlying array, when the nest came from
+    /// a matrix kernel. Padding rewrites every coefficient equal to
+    /// `±leading_dim`.
+    pub leading_dim: Option<u64>,
+    /// The references.
+    pub refs: Vec<AffineRef>,
+}
+
+impl LoopNest {
+    /// Builds a nest with no leading-dimension tag.
+    #[must_use]
+    pub fn new(name: impl Into<String>, refs: Vec<AffineRef>) -> Self {
+        Self {
+            name: name.into(),
+            leading_dim: None,
+            refs,
+        }
+    }
+
+    /// Total words touched across all references, counting revisits
+    /// (saturating).
+    #[must_use]
+    pub fn total_words(&self) -> u64 {
+        self.refs
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.iterations()))
+    }
+
+    /// Lowers a flat strided [`Program`]: each access becomes one
+    /// single-term reference.
+    #[must_use]
+    pub fn from_program(program: &Program) -> Self {
+        let refs = program
+            .accesses
+            .iter()
+            .map(|a| {
+                AffineRef::new(
+                    a.base,
+                    vec![Term {
+                        coeff: a.stride,
+                        trip: a.length,
+                    }],
+                    a.stream,
+                )
+            })
+            .collect();
+        Self {
+            name: program.name.clone(),
+            leading_dim: None,
+            refs,
+        }
+    }
+
+    /// Lowers a §4 sub-block access: `b2` columns of `b1` unit-stride
+    /// elements, columns `p` words apart, as the two-deep nest
+    /// `base + j·p + i` (`j < b2` outer, `i < b1` inner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leading dimension does not fit a signed coefficient.
+    #[must_use]
+    pub fn subblock(
+        name: impl Into<String>,
+        base: u64,
+        p: u64,
+        plan: &SubBlockPlan,
+        stream: u32,
+    ) -> Self {
+        assert!(
+            i64::try_from(p).is_ok(),
+            "leading dimension exceeds the coefficient range"
+        );
+        Self {
+            name: name.into(),
+            leading_dim: Some(p),
+            refs: vec![AffineRef::new(
+                base,
+                vec![
+                    Term {
+                        coeff: p as i64,
+                        trip: plan.b2,
+                    },
+                    Term {
+                        coeff: 1,
+                        trip: plan.b1,
+                    },
+                ],
+                stream,
+            )],
+        }
+    }
+
+    /// Lowers one transform of a blocked-FFT phase: transform `index` of
+    /// the stage touches `points` elements `stride` apart starting at
+    /// `base + index · transform_step`. The per-transform working set is
+    /// what the cache must hold across the `log` passes of the phase, so
+    /// conflict freedom of this nest is the §5 optimality condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ stage.count` or the stride does not fit a
+    /// signed coefficient.
+    #[must_use]
+    pub fn fft_stage(
+        name: impl Into<String>,
+        base: u64,
+        stage: &FftStage,
+        index: u64,
+        stream: u32,
+    ) -> Self {
+        assert!(index < stage.count, "transform index out of range");
+        assert!(
+            i64::try_from(stage.stride).is_ok(),
+            "stride exceeds the coefficient range"
+        );
+        Self {
+            name: name.into(),
+            leading_dim: None,
+            refs: vec![AffineRef::new(
+                base + index * stage.transform_step(),
+                vec![Term {
+                    coeff: stage.stride as i64,
+                    trip: stage.points,
+                }],
+                stream,
+            )],
+        }
+    }
+
+    /// Flattens the nest into a strided [`Program`] for differential
+    /// replay through the simulator: the innermost term of each reference
+    /// becomes the vector stride, outer dimensions are enumerated.
+    ///
+    /// Returns `None` when the nest touches more than `max_words` words
+    /// (replay would be unreasonably large) or a word address leaves the
+    /// `u64` space. Empty references contribute nothing.
+    #[must_use]
+    pub fn to_program(&self, max_words: u64) -> Option<Program> {
+        if self.total_words() > max_words {
+            return None;
+        }
+        let mut accesses = Vec::new();
+        for r in &self.refs {
+            if r.is_empty() {
+                continue;
+            }
+            r.word_range()?; // address-space check
+            let (outer, inner) = match r.terms.split_last() {
+                None => (&[][..], Term { coeff: 0, trip: 1 }),
+                Some((inner, outer)) => (outer, *inner),
+            };
+            // Odometer over the outer dimensions.
+            let mut idx = vec![0u64; outer.len()];
+            loop {
+                let mut start = i128::from(r.base);
+                for (t, &i) in outer.iter().zip(&idx) {
+                    start += i128::from(t.coeff) * i128::from(i);
+                }
+                // In range by the word_range() check above (the start is
+                // one corner of the checked box).
+                let base = u64::try_from(start).ok()?;
+                accesses.push(VectorAccess::single(
+                    base,
+                    inner.coeff,
+                    inner.trip,
+                    r.stream,
+                ));
+                // Advance the odometer, innermost-outer digit first.
+                let mut d = outer.len();
+                loop {
+                    if d == 0 {
+                        break;
+                    }
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < outer[d].trip {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+                if idx.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+        }
+        Some(Program::new(self.name.clone(), accesses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_range_covers_mixed_signs() {
+        let r = AffineRef::new(
+            100,
+            vec![Term { coeff: 10, trip: 3 }, Term { coeff: -4, trip: 2 }],
+            0,
+        );
+        assert_eq!(r.word_range(), Some((96, 120)));
+        assert_eq!(r.iterations(), 6);
+        assert!(!r.is_empty());
+        let empty = AffineRef::new(0, vec![Term { coeff: 1, trip: 0 }], 0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.word_range(), None);
+        // Underflow: a negative reach below word 0.
+        let under = AffineRef::new(
+            5,
+            vec![Term {
+                coeff: -10,
+                trip: 2,
+            }],
+            0,
+        );
+        assert_eq!(under.word_range(), None);
+        // Overflow past u64::MAX.
+        let over = AffineRef::new(u64::MAX - 1, vec![Term { coeff: 8, trip: 2 }], 0);
+        assert_eq!(over.word_range(), None);
+    }
+
+    #[test]
+    fn program_round_trip_preserves_words() {
+        let p = Program::new(
+            "t",
+            vec![
+                VectorAccess::single(0, 3, 5, 0),
+                VectorAccess::single(100, -2, 4, 1),
+            ],
+        );
+        let nest = LoopNest::from_program(&p);
+        assert_eq!(nest.refs.len(), 2);
+        let back = nest.to_program(1 << 20).unwrap();
+        let a: Vec<_> = p.words().collect();
+        let b: Vec<_> = back.words().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subblock_nest_enumerates_column_segments() {
+        let plan = SubBlockPlan {
+            b1: 3,
+            b2: 2,
+            cache_lines: 31,
+        };
+        let nest = LoopNest::subblock("sb", 10, 100, &plan, 0);
+        assert_eq!(nest.leading_dim, Some(100));
+        let prog = nest.to_program(1 << 20).unwrap();
+        let words: Vec<u64> = prog.words().map(|(w, _)| w).collect();
+        assert_eq!(words, vec![10, 11, 12, 110, 111, 112]);
+    }
+
+    #[test]
+    fn fft_stage_nest_matches_phase_trace() {
+        use vcache_core::fft::FftPlan;
+        let plan = FftPlan { b1: 4, b2: 8 };
+        // Row transform 3 of the row stage: words 3, 11, 19, 27.
+        let nest = LoopNest::fft_stage("row3", 0, &plan.row_stage(), 3, 0);
+        let words: Vec<u64> = nest
+            .to_program(1 << 20)
+            .unwrap()
+            .words()
+            .map(|(w, _)| w)
+            .collect();
+        assert_eq!(words, vec![3, 11, 19, 27]);
+        // Column transform 2 of the column stage: words 16..24.
+        let nest = LoopNest::fft_stage("col2", 0, &plan.column_stage(), 2, 0);
+        let words: Vec<u64> = nest
+            .to_program(1 << 20)
+            .unwrap()
+            .words()
+            .map(|(w, _)| w)
+            .collect();
+        assert_eq!(words, (16..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn to_program_rejects_oversized_nests() {
+        let nest = LoopNest::new(
+            "huge",
+            vec![AffineRef::new(
+                0,
+                vec![
+                    Term {
+                        coeff: 0,
+                        trip: 1 << 20,
+                    },
+                    Term {
+                        coeff: 1,
+                        trip: 1 << 20,
+                    },
+                ],
+                0,
+            )],
+        );
+        assert!(nest.to_program(1 << 24).is_none());
+        assert_eq!(nest.total_words(), 1 << 40);
+    }
+
+    #[test]
+    fn empty_refs_are_skipped() {
+        let nest = LoopNest::new(
+            "e",
+            vec![
+                AffineRef::new(0, vec![Term { coeff: 1, trip: 0 }], 0),
+                AffineRef::new(7, vec![], 0),
+            ],
+        );
+        let prog = nest.to_program(100).unwrap();
+        // The empty ref vanishes; the term-less ref is the single word 7.
+        let words: Vec<u64> = prog.words().map(|(w, _)| w).collect();
+        assert_eq!(words, vec![7]);
+    }
+
+    #[test]
+    fn nest_serializes() {
+        let nest = LoopNest::new(
+            "s",
+            vec![AffineRef::new(1, vec![Term { coeff: 2, trip: 3 }], 4)],
+        );
+        let json = serde_json::to_string(&nest).unwrap();
+        assert!(json.contains("\"coeff\":2"), "{json}");
+        assert!(json.contains("\"leading_dim\":null"), "{json}");
+    }
+}

@@ -1,0 +1,344 @@
+//! The canonical Layer-3 suite: committed (loop nest, geometry) pairs
+//! with their expected abstract-interpretation verdicts, run by
+//! `vcache check --nests`.
+//!
+//! Where the Layer-2 suite (`suite.rs`) pins verdicts for flat word
+//! traces, this one pins them for *affine loop nests* — including nests
+//! whose footprints are far too large to enumerate, which only the
+//! abstract rules can settle. A verdict that drifts from the table is a
+//! `VC101` finding. With prescriptions enabled, every interfering row
+//! must additionally admit a repair whose [`Certificate`] re-verifies;
+//! a missing or failing certificate is a `VC102` finding.
+
+use serde::Serialize;
+use vcache_core::blocking::{conflict_free_subblock, SubBlockPlan};
+use vcache_core::fft::plan_fft;
+use vcache_mersenne::MersenneModulus;
+
+use crate::absint::{analyze_nest, NestVerdict};
+use crate::conflict::Geometry;
+use crate::lint::Finding;
+use crate::nest::{AffineRef, LoopNest, Term};
+use crate::prescribe::{prescribe, Certificate, DEFAULT_MAX_PAD};
+use crate::suite::{Expect, EXPONENT};
+
+/// One suite case: a nest plus expected verdicts under both mappers.
+pub struct NestCase {
+    /// The nest under analysis.
+    pub nest: LoopNest,
+    /// Words per line for this case.
+    pub line_words: u64,
+    /// Expected verdict under the power-of-two mapper (8192 sets).
+    pub expect_pow2: Expect,
+    /// Expected verdict under the Mersenne mapper (8191 sets).
+    pub expect_prime: Expect,
+}
+
+/// One evaluated row of the nest suite, for reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct NestSuiteResult {
+    /// Nest name.
+    pub nest: String,
+    /// Geometry tag.
+    pub geometry: &'static str,
+    /// What the table expects.
+    pub expected: Expect,
+    /// What the abstract interpreter concluded.
+    pub verdict: NestVerdict,
+    /// Lines materialized by enumeration fallbacks (0 = purely
+    /// abstract).
+    pub enumerated_lines: u64,
+    /// `expected` matches `verdict`.
+    pub ok: bool,
+}
+
+fn matches_nest(expect: Expect, verdict: NestVerdict) -> bool {
+    matches!(
+        (expect, verdict),
+        (Expect::Free, NestVerdict::ConflictFree)
+            | (Expect::SelfInt, NestVerdict::SelfInterfering)
+            | (Expect::CrossInt, NestVerdict::CrossInterfering)
+    )
+}
+
+fn term(coeff: i64, trip: u64) -> Term {
+    Term { coeff, trip }
+}
+
+/// Builds the committed nest suite.
+///
+/// # Panics
+///
+/// Panics only if the canonical plans themselves fail to construct,
+/// which would be a programming error in this module.
+#[must_use]
+pub fn cases() -> Vec<NestCase> {
+    let Ok(m) = MersenneModulus::new(EXPONENT) else {
+        unreachable!("canonical exponent {EXPONENT} unsupported")
+    };
+    let ld_plan = conflict_free_subblock(8192, 4096, m);
+    let erratum_plan = SubBlockPlan {
+        b1: 1000,
+        b2: 8,
+        cache_lines: m.value(),
+    };
+    let fixed_plan = SubBlockPlan {
+        b1: 1000,
+        b2: 4,
+        cache_lines: m.value(),
+    };
+    let Some(fft) = plan_fft(1 << 20, m) else {
+        unreachable!("canonical FFT plan failed")
+    };
+    vec![
+        // Eq. 8 headline: line stride 512 has orbit 16 under 8192 sets
+        // but orbit 8191 under the prime mapper.
+        NestCase {
+            nest: LoopNest::new(
+                "vec-pow2-stride",
+                vec![AffineRef::new(0, vec![term(4096, 8191)], 0)],
+            ),
+            line_words: 8,
+            expect_pow2: Expect::SelfInt,
+            expect_prime: Expect::Free,
+        },
+        // A 8192-word leading dimension walked down a column block:
+        // stride ≡ 0 (mod 8192) pins the pow2 mapper to one set.
+        NestCase {
+            nest: LoopNest::subblock("subblock-ld-pow2", 0, 8192, &ld_plan, 0),
+            line_words: 1,
+            expect_pow2: Expect::SelfInt,
+            expect_prime: Expect::Free,
+        },
+        // The paper's §4 erratum: P = 10000, b1 = 1000 admits b2 = 4,
+        // not 8 — interfering under *both* mappers.
+        NestCase {
+            nest: LoopNest::subblock("subblock-erratum", 0, 10_000, &erratum_plan, 0),
+            line_words: 1,
+            expect_pow2: Expect::SelfInt,
+            expect_prime: Expect::SelfInt,
+        },
+        // The corrected bound b2 = 4: conflict-free both ways (the pow2
+        // residue 1808 also tiles at this size).
+        NestCase {
+            nest: LoopNest::subblock("subblock-erratum-fixed", 0, 10_000, &fixed_plan, 0),
+            line_words: 1,
+            expect_pow2: Expect::Free,
+            expect_prime: Expect::Free,
+        },
+        // Blocked-FFT row phase of a 2^20-point transform: stride B2 =
+        // 1024, orbit 8 under pow2, full orbit under the prime mapper.
+        NestCase {
+            nest: LoopNest::fft_stage("fft-row-stage", 0, &fft.row_stage(), 0, 0),
+            line_words: 1,
+            expect_pow2: Expect::SelfInt,
+            expect_prime: Expect::Free,
+        },
+        // Column phase: unit stride, windows inside either set count.
+        NestCase {
+            nest: LoopNest::fft_stage("fft-col-stage", 0, &fft.column_stage(), 0, 0),
+            line_words: 1,
+            expect_pow2: Expect::Free,
+            expect_prime: Expect::Free,
+        },
+        // Two streams 8 · 8192 lines apart: aliased onto sets 0..7 by
+        // the pow2 mapper, shifted to sets 8..15 by the prime one.
+        NestCase {
+            nest: LoopNest::new(
+                "cross-stream-alias",
+                vec![
+                    AffineRef::new(0, vec![term(1, 64)], 0),
+                    AffineRef::new(8 * 8192 * 8, vec![term(1, 64)], 1),
+                ],
+            ),
+            line_words: 8,
+            expect_pow2: Expect::CrossInt,
+            expect_prime: Expect::Free,
+        },
+        // 2^32 words of traffic over a 512-line window: only the
+        // abstract WindowFit rule can touch this one (enumeration would
+        // need 2^32 words), and it must stay purely abstract.
+        NestCase {
+            nest: LoopNest::new(
+                "huge-reuse",
+                vec![AffineRef::new(0, vec![term(0, 1 << 20), term(1, 4096)], 0)],
+            ),
+            line_words: 8,
+            expect_pow2: Expect::Free,
+            expect_prime: Expect::Free,
+        },
+        // Stride-2 streams in opposite parity classes, a megaword
+        // apart: the coset rule separates them under pow2; under the
+        // odd prime modulus the classes mix and enumeration decides.
+        NestCase {
+            nest: LoopNest::new(
+                "coset-disjoint",
+                vec![
+                    AffineRef::new(0, vec![term(2, 2048)], 0),
+                    AffineRef::new(1_000_001, vec![term(2, 2048)], 1),
+                ],
+            ),
+            line_words: 1,
+            expect_pow2: Expect::Free,
+            expect_prime: Expect::Free,
+        },
+    ]
+}
+
+/// Runs the nest suite.
+///
+/// Returns every row, a `VC101` finding per verdict drift, and — when
+/// `with_prescriptions` — a verifying [`Certificate`] per interfering
+/// row plus a `VC102` finding for each row the prescriber cannot repair.
+///
+/// # Panics
+///
+/// Panics only if a canonical case errors out of the analyzer, which
+/// would be a programming error in this module.
+#[must_use]
+pub fn run(with_prescriptions: bool) -> (Vec<NestSuiteResult>, Vec<Certificate>, Vec<Finding>) {
+    let mut results = Vec::new();
+    let mut certificates = Vec::new();
+    let mut findings = Vec::new();
+    for case in cases() {
+        let geometries = [
+            (
+                Geometry::pow2(1 << EXPONENT, case.line_words),
+                case.expect_pow2,
+            ),
+            (
+                Geometry::prime(EXPONENT, case.line_words),
+                case.expect_prime,
+            ),
+        ];
+        for (geometry, expected) in geometries {
+            let geometry = match geometry {
+                Ok(g) => g,
+                Err(e) => unreachable!("canonical geometry invalid: {e}"),
+            };
+            let analysis = match analyze_nest(&case.nest, &geometry) {
+                Ok(a) => a,
+                Err(e) => unreachable!("canonical nest undecidable: {e}"),
+            };
+            let ok = matches_nest(expected, analysis.verdict);
+            if !ok {
+                findings.push(Finding {
+                    rule: "VC101".into(),
+                    path: format!("nestsuite:{}", case.nest.name),
+                    line: 0,
+                    message: format!(
+                        "nest verdict drift under {geometry}: expected {expected:?}, interpreter says {}",
+                        analysis.verdict
+                    ),
+                    snippet: String::new(),
+                    allowed: false,
+                });
+            }
+            if with_prescriptions && !analysis.verdict.is_conflict_free() {
+                match prescribe(&case.nest, &geometry, DEFAULT_MAX_PAD) {
+                    Some(cert) if cert.verify() => certificates.push(cert),
+                    Some(cert) => findings.push(Finding {
+                        rule: "VC102".into(),
+                        path: format!("nestsuite:{}", case.nest.name),
+                        line: 0,
+                        message: format!(
+                            "prescription '{}' under {geometry} fails re-verification",
+                            cert.fix
+                        ),
+                        snippet: String::new(),
+                        allowed: false,
+                    }),
+                    None => findings.push(Finding {
+                        rule: "VC102".into(),
+                        path: format!("nestsuite:{}", case.nest.name),
+                        line: 0,
+                        message: format!("no prescription repairs this nest under {geometry}"),
+                        snippet: String::new(),
+                        allowed: false,
+                    }),
+                }
+            }
+            results.push(NestSuiteResult {
+                nest: case.nest.name.clone(),
+                geometry: analysis.geometry,
+                expected,
+                verdict: analysis.verdict,
+                enumerated_lines: analysis.enumerated_lines,
+                ok,
+            });
+        }
+    }
+    (results, certificates, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prescribe::Fix;
+
+    #[test]
+    fn canonical_nest_suite_is_green() {
+        let (results, certificates, findings) = run(true);
+        assert_eq!(results.len(), 18, "9 cases x 2 geometries");
+        for r in &results {
+            assert!(
+                r.ok,
+                "{} under {}: expected {:?}, got {}",
+                r.nest, r.geometry, r.expected, r.verdict
+            );
+        }
+        assert!(findings.is_empty(), "{findings:?}");
+        // Interfering rows: vec-pow2-stride/pow2, subblock-ld-pow2/pow2,
+        // subblock-erratum both ways, fft-row-stage/pow2, and
+        // cross-stream-alias/pow2 — each repaired and re-verified.
+        assert_eq!(certificates.len(), 6);
+        assert!(certificates.iter().all(Certificate::verify));
+    }
+
+    #[test]
+    fn huge_nest_row_stays_purely_abstract() {
+        let (results, _, _) = run(false);
+        for r in results.iter().filter(|r| r.nest == "huge-reuse") {
+            assert!(r.verdict.is_conflict_free());
+            assert_eq!(
+                r.enumerated_lines, 0,
+                "2^32-word nest must be decided without enumeration"
+            );
+        }
+    }
+
+    #[test]
+    fn headline_rows_get_the_expected_fix_classes() {
+        let (_, certificates, _) = run(true);
+        let fix_for = |name: &str, geo: &str| {
+            certificates
+                .iter()
+                .find(|c| c.nest == name && c.original_geometry == geo)
+                .map(|c| c.fix)
+        };
+        // The padded-leading-dimension classic.
+        assert_eq!(
+            fix_for("subblock-ld-pow2", "pow2"),
+            Some(Fix::PadLeadingDim {
+                from: 8192,
+                to: 8193
+            })
+        );
+        // The erratum shrinks to the exact corrected bound b2 = 4.
+        assert_eq!(
+            fix_for("subblock-erratum", "prime"),
+            Some(Fix::ShrinkTrip {
+                ref_index: 0,
+                dim: 0,
+                from: 8,
+                to: 4
+            })
+        );
+        // Cross-stream aliasing has no program fix; the paper's cache
+        // switch repairs it.
+        assert_eq!(
+            fix_for("cross-stream-alias", "pow2"),
+            Some(Fix::SwitchToPrime { exponent: 13 })
+        );
+    }
+}

@@ -4,6 +4,8 @@
 use serde::Serialize;
 
 use crate::lint::Finding;
+use crate::nestsuite::NestSuiteResult;
+use crate::prescribe::Certificate;
 use crate::suite::SuiteResult;
 
 /// The combined outcome of a `vcache check` run.
@@ -13,6 +15,12 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Canonical suite rows (empty when `--programs` was not requested).
     pub suite: Vec<SuiteResult>,
+    /// Canonical nest-suite rows (empty when `--nests` was not
+    /// requested).
+    pub nests: Vec<NestSuiteResult>,
+    /// Verified repair certificates for interfering nest rows (empty
+    /// unless `--nests --prescribe`).
+    pub certificates: Vec<Certificate>,
 }
 
 impl Report {
@@ -54,6 +62,28 @@ impl Report {
                 ));
             }
         }
+        if !self.nests.is_empty() {
+            out.push_str("\ncanonical nest suite:\n");
+            for r in &self.nests {
+                let mark = if r.ok { "ok  " } else { "FAIL" };
+                out.push_str(&format!(
+                    "  [{mark}] {:<28} {:<6} expected {:<9} got {}\n",
+                    r.nest,
+                    r.geometry,
+                    format!("{:?}", r.expected),
+                    r.verdict
+                ));
+            }
+        }
+        if !self.certificates.is_empty() {
+            out.push_str("\nrepair certificates:\n");
+            for c in &self.certificates {
+                out.push_str(&format!(
+                    "  {:<28} {:<6} {}\n",
+                    c.nest, c.original_geometry, c.fix
+                ));
+            }
+        }
         let allowed = self.findings.iter().filter(|f| f.allowed).count();
         let failing = self.findings.len() - allowed;
         out.push_str(&format!(
@@ -65,6 +95,14 @@ impl Report {
                 ", suite {}/{} ok",
                 self.suite.len() - bad,
                 self.suite.len()
+            ));
+        }
+        if !self.nests.is_empty() {
+            let bad = self.nests.iter().filter(|r| !r.ok).count();
+            out.push_str(&format!(
+                ", nests {}/{} ok",
+                self.nests.len() - bad,
+                self.nests.len()
             ));
         }
         out.push('\n');
@@ -103,11 +141,15 @@ mod tests {
         let report = Report {
             findings: vec![finding("VC001", true)],
             suite: vec![],
+            nests: vec![],
+            certificates: vec![],
         };
         assert!(report.is_clean());
         let report = Report {
             findings: vec![finding("VC001", true), finding("VC002", false)],
             suite: vec![],
+            nests: vec![],
+            certificates: vec![],
         };
         assert!(!report.is_clean());
         assert_eq!(report.failing().count(), 1);
@@ -118,6 +160,8 @@ mod tests {
         let report = Report {
             findings: vec![finding("VC001", true), finding("VC002", false)],
             suite: vec![],
+            nests: vec![],
+            certificates: vec![],
         };
         let text = report.render_text();
         assert!(text.contains("[allow] VC001"));
@@ -130,6 +174,8 @@ mod tests {
         let report = Report {
             findings: vec![finding("VC003", false)],
             suite: vec![],
+            nests: vec![],
+            certificates: vec![],
         };
         let json = report.to_json().unwrap();
         let compact = json.replace(": ", ":");

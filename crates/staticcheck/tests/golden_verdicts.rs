@@ -1,0 +1,62 @@
+//! Pins the JSON schema of `vcache check --programs --json` to a
+//! committed golden file.
+//!
+//! The `Verdict` JSON shape (documented in DESIGN.md) is consumed by
+//! external tooling, so any change — a renamed field, a restructured
+//! enum encoding, a reordered suite — must be deliberate. To regenerate
+//! after an intentional schema change:
+//!
+//! ```text
+//! cargo run --release -p vcache-check --example dump_programs_json \
+//!   > crates/staticcheck/tests/golden/check_programs.json
+//! ```
+
+use std::path::PathBuf;
+
+use vcache_check::{run_check, CheckOptions};
+
+const GOLDEN: &str = include_str!("golden/check_programs.json");
+
+#[test]
+fn check_programs_json_matches_golden_file() {
+    let report = match run_check(&CheckOptions {
+        root: PathBuf::from("/nonexistent-vcache-root"),
+        src: false,
+        programs: true,
+        nests: false,
+        prescribe: false,
+    }) {
+        Ok(r) => r,
+        Err(e) => panic!("canonical suite run failed: {e}"),
+    };
+    let json = match report.to_json() {
+        Ok(j) => j,
+        Err(e) => panic!("report failed to serialize: {e}"),
+    };
+    assert_eq!(
+        json.trim(),
+        GOLDEN.trim(),
+        "\n`vcache check --programs --json` output drifted from the \
+         committed golden file.\nIf the schema change is deliberate, \
+         regenerate with:\n  cargo run --release -p vcache-check \
+         --example dump_programs_json > \
+         crates/staticcheck/tests/golden/check_programs.json\nand update \
+         the schema documentation in DESIGN.md."
+    );
+}
+
+#[test]
+fn golden_file_encodes_the_documented_verdict_shapes() {
+    // The three verdict encodings documented in DESIGN.md: a unit
+    // variant as a bare string, data variants as single-key objects.
+    assert!(GOLDEN.contains("\"ConflictFree\""));
+    assert!(GOLDEN.contains("\"SelfInterfering\":{\"orbit\":"));
+    assert!(GOLDEN.contains("\"CrossInterfering\":{\"predicted_conflict_sets\":"));
+    // Every row carries the stable field set.
+    for field in ["\"program\":", "\"geometry\":", "\"expected\":", "\"ok\":"] {
+        assert!(GOLDEN.contains(field), "missing {field}");
+    }
+    // Layer-3 fields are present (empty for a --programs-only run).
+    assert!(GOLDEN.contains("\"nests\":[]"));
+    assert!(GOLDEN.contains("\"certificates\":[]"));
+}

@@ -1,0 +1,255 @@
+//! Differential validation of the Layer-3 abstract interpreter and
+//! prescriber against the cache simulator.
+//!
+//! Same oracle as `properties.rs`, lifted to loop nests: lower the nest
+//! to a flat program, replay it twice through `CacheSim` ("double
+//! sweep"), and compare. For footprints within cache capacity,
+//! `ConflictFree` ⟺ zero conflict misses; the forward direction
+//! (conflict-free ⇒ zero conflict misses) holds even past capacity.
+//! Every repair certificate the prescriber emits is re-verified *and*
+//! replayed under its repaired geometry — a certificate is never trusted
+//! on the interpreter's word alone.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcache_cache::CacheSim;
+use vcache_check::prescribe::DEFAULT_MAX_PAD;
+use vcache_check::{analyze_nest, prescribe, AffineRef, Geometry, LoopNest, Term};
+
+const REPLAY_CAP: u64 = 1 << 20;
+
+/// Builds the simulator matching a static geometry.
+fn sim_for(geometry: &Geometry) -> CacheSim {
+    let made = match geometry {
+        Geometry::Pow2 { sets, line_words } => CacheSim::direct_mapped(*sets, *line_words),
+        Geometry::Prime {
+            modulus,
+            line_words,
+        } => CacheSim::prime_mapped(modulus.exponent(), *line_words),
+    };
+    match made {
+        Ok(sim) => sim,
+        Err(e) => panic!("simulator for {geometry} failed: {e}"),
+    }
+}
+
+/// Replays `nest` twice through the simulator for `geometry`; returns
+/// `(conflict_misses, distinct_lines)`.
+fn replay(nest: &LoopNest, geometry: &Geometry) -> (u64, u64) {
+    let Some(program) = nest.to_program(REPLAY_CAP) else {
+        panic!("{}: nest too large to lower for replay", nest.name);
+    };
+    let words: Vec<(u64, u32)> = program.words().collect();
+    let lines: BTreeSet<u64> = words
+        .iter()
+        .map(|(w, _)| w / geometry.line_words())
+        .collect();
+    let mut sim = sim_for(geometry);
+    let conflicts = sim.replay_sweeps(words.iter().copied(), 2);
+    (conflicts, lines.len() as u64)
+}
+
+/// Checks one (nest, geometry) pair; returns a disagreement description.
+fn check_nest(nest: &LoopNest, geometry: &Geometry) -> Result<bool, String> {
+    let analysis =
+        analyze_nest(nest, geometry).map_err(|e| format!("{}: analysis failed: {e}", nest.name))?;
+    let (conflicts, distinct) = replay(nest, geometry);
+    let free = analysis.verdict.is_conflict_free();
+    let fits = distinct <= geometry.sets();
+    if free && conflicts != 0 {
+        return Err(format!(
+            "{} on {}: statically conflict-free but simulator saw {conflicts} conflict misses",
+            nest.name, geometry
+        ));
+    }
+    if !free && fits && conflicts == 0 {
+        return Err(format!(
+            "{} on {}: statically {} but simulator saw no conflict misses",
+            nest.name, geometry, analysis.verdict
+        ));
+    }
+    // The abstract capacity claim must never contradict ground truth.
+    match analysis.fits_capacity {
+        Some(true) if !fits => {
+            return Err(format!(
+                "{} on {}: claims to fit but has {distinct} distinct lines",
+                nest.name, geometry
+            ));
+        }
+        Some(false) if fits => {
+            return Err(format!(
+                "{} on {}: claims overflow but has only {distinct} distinct lines",
+                nest.name, geometry
+            ));
+        }
+        _ => {}
+    }
+    Ok(free)
+}
+
+/// When the nest interferes, the prescriber's certificate (if any) must
+/// re-verify and replay clean under its repaired geometry.
+fn check_certificate(nest: &LoopNest, geometry: &Geometry) -> Result<bool, String> {
+    let Some(cert) = prescribe(nest, geometry, DEFAULT_MAX_PAD) else {
+        return Ok(false);
+    };
+    if !cert.verify() {
+        return Err(format!(
+            "{} on {}: certificate '{}' fails re-verification",
+            nest.name, geometry, cert.fix
+        ));
+    }
+    let (conflicts, _) = replay(&cert.fixed_nest, &cert.fixed_geometry);
+    if conflicts != 0 {
+        return Err(format!(
+            "{} on {}: certificate '{}' replayed with {conflicts} conflict misses",
+            nest.name, geometry, cert.fix
+        ));
+    }
+    Ok(true)
+}
+
+/// One random dimension coefficient, mixing benign, aligned, unaligned,
+/// and deliberately pathological (set-resonant) strides.
+fn random_coeff(rng: &mut StdRng, sets: u64, line_words: u64) -> i64 {
+    let magnitude = match rng.random_range(0..5u64) {
+        0 => rng.random_range(1..=2 * line_words),
+        1 => line_words * rng.random_range(1..=64u64),
+        2 => sets * line_words, // resonates with the pow2 mapper
+        3 => (sets - 1) * line_words,
+        _ => rng.random_range(1..=5000u64),
+    };
+    let signed = i64::try_from(magnitude).unwrap_or(1);
+    if rng.random_range(0..5u64) == 0 {
+        -signed
+    } else {
+        signed
+    }
+}
+
+fn random_nest(rng: &mut StdRng, case: usize, sets: u64, line_words: u64) -> LoopNest {
+    let refs = (0..rng.random_range(1..=3u64))
+        .map(|r| {
+            let terms: Vec<Term> = (0..rng.random_range(1..=3u64))
+                .map(|_| Term {
+                    coeff: random_coeff(rng, sets, line_words),
+                    trip: rng.random_range(1..=24u64),
+                })
+                .collect();
+            // Large base keeps negative strides inside the address space.
+            let base = 50_000_000 + rng.random_range(0..1_000_000u64);
+            let stream = u32::try_from(r % 2).unwrap_or(0);
+            AffineRef::new(base, terms, stream)
+        })
+        .collect();
+    LoopNest::new(format!("rand-nest[{case}]"), refs)
+}
+
+#[test]
+fn random_nest_verdicts_agree_with_simulator() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0E57);
+    let (mut checked, mut free_seen, mut conflict_seen) = (0u64, 0u64, 0u64);
+    for case in 0..220usize {
+        let exponent = [5u32, 7, 13][rng.random_range(0..3u64) as usize];
+        let line_words = 1u64 << rng.random_range(0..4u64);
+        let sets_pow2 = 1u64 << exponent;
+        let nest = random_nest(&mut rng, case, sets_pow2, line_words);
+        let geometries = [
+            Geometry::pow2(sets_pow2, line_words),
+            Geometry::prime(exponent, line_words),
+        ];
+        for geometry in geometries {
+            let geometry = match geometry {
+                Ok(g) => g,
+                Err(e) => panic!("case {case}: bad geometry: {e}"),
+            };
+            match check_nest(&nest, &geometry) {
+                Ok(true) => free_seen += 1,
+                Ok(false) => conflict_seen += 1,
+                Err(msg) => panic!("case {case}: {msg}"),
+            }
+            checked += 1;
+        }
+    }
+    // The acceptance bar: at least 200 random nest/geometry pairs
+    // validated against ground truth, with both verdict classes
+    // well represented.
+    assert!(checked >= 200, "only {checked} pairs checked");
+    assert!(free_seen >= 20, "only {free_seen} conflict-free pairs");
+    assert!(
+        conflict_seen >= 20,
+        "only {conflict_seen} interfering pairs"
+    );
+}
+
+#[test]
+fn random_certificates_replay_clean() {
+    let mut rng = StdRng::seed_from_u64(0xCE47);
+    let mut repaired = 0u64;
+    for case in 0..60usize {
+        let exponent = [5u32, 7, 13][rng.random_range(0..3u64) as usize];
+        let line_words = 1u64 << rng.random_range(0..3u64);
+        let sets_pow2 = 1u64 << exponent;
+        let nest = random_nest(&mut rng, case, sets_pow2, line_words);
+        let geometries = [
+            Geometry::pow2(sets_pow2, line_words),
+            Geometry::prime(exponent, line_words),
+        ];
+        for geometry in geometries {
+            let geometry = match geometry {
+                Ok(g) => g,
+                Err(e) => panic!("case {case}: bad geometry: {e}"),
+            };
+            match check_certificate(&nest, &geometry) {
+                Ok(true) => repaired += 1,
+                Ok(false) => {}
+                Err(msg) => panic!("case {case}: {msg}"),
+            }
+        }
+    }
+    assert!(repaired >= 10, "only {repaired} certificates exercised");
+}
+
+#[test]
+fn subblock_nests_match_the_section4_rule_end_to_end() {
+    use vcache_core::blocking::{is_conflict_free, SubBlockPlan};
+    use vcache_mersenne::MersenneModulus;
+    let m = match MersenneModulus::new(13) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
+    };
+    let geometry = match Geometry::prime(13, 1) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    };
+    for (p, b1, b2) in [
+        (10_000u64, 1000u64, 4u64),
+        (10_000, 1000, 8), // the paper's §4 erratum
+        (8192, 1, 4096),
+        (20_000, 1809, 4),
+    ] {
+        let plan = SubBlockPlan {
+            b1,
+            b2,
+            cache_lines: m.value(),
+        };
+        let nest = LoopNest::subblock(format!("sb[{p},{b1},{b2}]"), 0, p, &plan, 0);
+        let analysis = match analyze_nest(&nest, &geometry) {
+            Ok(a) => a,
+            Err(e) => panic!("p={p}: {e}"),
+        };
+        assert_eq!(
+            analysis.verdict.is_conflict_free(),
+            is_conflict_free(p, b1, b2, m),
+            "p={p} b1={b1} b2={b2}: static nest verdict vs closed-form rule"
+        );
+        let (conflicts, distinct) = replay(&nest, &geometry);
+        if analysis.verdict.is_conflict_free() {
+            assert_eq!(conflicts, 0, "p={p}: free but {conflicts} conflicts");
+        } else if distinct <= geometry.sets() {
+            assert!(conflicts > 0, "p={p}: interfering but replay is clean");
+        }
+    }
+}

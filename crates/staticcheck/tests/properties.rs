@@ -218,3 +218,98 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Edge cases of the Layer-2 analyzer: resonant strides on both mappers,
+// the analysis size bound, and degenerate single-line programs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn strides_resonant_with_either_mapper_pin_one_set() {
+    // Word stride = sets * line_words makes the *line* stride ≡ 0
+    // (mod S) — the orbit degenerates to a single set on that mapper,
+    // and that mapper only.
+    for (geometry, sim) in [
+        (
+            Geometry::pow2(8192, 8).unwrap(),
+            CacheSim::direct_mapped(8192, 8).unwrap(),
+        ),
+        (
+            Geometry::prime(13, 8).unwrap(),
+            CacheSim::prime_mapped(13, 8).unwrap(),
+        ),
+    ] {
+        let stride = i64::try_from(geometry.sets() * 8).unwrap();
+        let program = Program::new(
+            "resonant-edge",
+            vec![VectorAccess::single(0, stride, 16, 0)],
+        );
+        let analysis = analyze_program(&program, &geometry).unwrap();
+        match analysis.verdict {
+            Verdict::SelfInterfering {
+                orbit,
+                predicted_conflict_sets,
+            } => {
+                assert_eq!(orbit, 1, "{geometry}");
+                assert_eq!(predicted_conflict_sets, 1, "{geometry}");
+            }
+            other => panic!("{geometry}: expected self-interference, got {other}"),
+        }
+        let mut sim = sim;
+        assert!(
+            double_sweep_conflicts(&mut sim, &program) > 0,
+            "{geometry}: simulator saw no conflicts"
+        );
+    }
+}
+
+#[test]
+fn oversized_programs_are_rejected_not_mis_analyzed() {
+    use vcache_check::conflict::{AnalysisError, MAX_ANALYZED_WORDS};
+    let program = Program::new(
+        "oversized",
+        vec![VectorAccess::single(0, 1, MAX_ANALYZED_WORDS + 1, 0)],
+    );
+    let geometry = Geometry::prime(13, 8).unwrap();
+    match analyze_program(&program, &geometry) {
+        Err(AnalysisError::ProgramTooLarge { words }) => {
+            assert_eq!(words, MAX_ANALYZED_WORDS + 1);
+            let msg = AnalysisError::ProgramTooLarge { words }.to_string();
+            assert!(msg.contains("analysis bound"), "{msg}");
+        }
+        other => panic!("expected ProgramTooLarge, got {other:?}"),
+    }
+    // One word below the bound must still analyze.
+    let program = Program::new(
+        "max-sized",
+        vec![VectorAccess::single(0, 1, MAX_ANALYZED_WORDS, 0)],
+    );
+    assert!(analyze_program(&program, &geometry).is_ok());
+}
+
+#[test]
+fn single_line_programs_have_orbit_one_and_never_conflict() {
+    // Degenerate vectors — one element, or a stride-0 revisit of one
+    // word — occupy a single line: conflict-free on any mapper, and the
+    // simulator agrees even across many sweeps.
+    for geometry in [
+        Geometry::pow2(8192, 8).unwrap(),
+        Geometry::prime(13, 8).unwrap(),
+    ] {
+        for (stride, length) in [(1i64, 1u64), (0, 64), (7, 1)] {
+            let program = Program::new(
+                "single-line",
+                vec![VectorAccess::single(123_456, stride, length, 0)],
+            );
+            let analysis = analyze_program(&program, &geometry).unwrap();
+            assert!(
+                analysis.verdict.is_conflict_free(),
+                "{geometry} stride={stride} length={length}: {}",
+                analysis.verdict.label()
+            );
+        }
+    }
+    let mut sim = CacheSim::prime_mapped(13, 8).unwrap();
+    let program = Program::new("single-line", vec![VectorAccess::single(123_456, 0, 64, 0)]);
+    assert_eq!(double_sweep_conflicts(&mut sim, &program), 0);
+}

@@ -210,6 +210,29 @@ pub fn fft_stage_trace(base: u64, n: u64, span: u64, stream: u32) -> Program {
     prog
 }
 
+/// One full phase of the blocked 2-D FFT as a flat trace: `count`
+/// independent transforms of `points` elements spaced `stride` words
+/// apart. Consecutive transforms start 1 word apart when `stride > 1`
+/// (row phase over the column-major `B2 × B1` matrix) and `points` words
+/// apart when `stride == 1` (column phase) — the same convention as
+/// `FftStage` in `vcache-core`.
+///
+/// # Panics
+///
+/// Panics if `stride` or `points` is zero.
+#[must_use]
+pub fn fft_phase_trace(base: u64, stride: u64, points: u64, count: u64, stream: u32) -> Program {
+    assert!(stride > 0 && points > 0, "degenerate FFT phase");
+    let step = if stride == 1 { points } else { 1 };
+    let accesses = (0..count)
+        .map(|t| VectorAccess::single(base + t * step, stride as i64, points, stream))
+        .collect();
+    Program::new(
+        format!("fft-phase[{count}x{points} @ stride {stride}]"),
+        accesses,
+    )
+}
+
 /// The blocked 2-D FFT of §4: an `N = B1 · B2`-point transform viewed as a
 /// `B2 × B1` column-major matrix. Phase 1 performs `B2` row FFTs (row
 /// access: stride `B2`, each row reused `log2 B1` times); phase 2 performs
@@ -336,6 +359,21 @@ mod tests {
     #[should_panic(expected = "bad butterfly span")]
     fn fft_stage_span_checked() {
         let _ = fft_stage_trace(0, 16, 16, 0);
+    }
+
+    #[test]
+    fn fft_phase_trace_tiles_the_matrix_once() {
+        // Row phase of an 8 x 4 (B2 x B1) matrix: 8 rows, stride 8.
+        let rows = fft_phase_trace(0, 8, 4, 8, 0);
+        let mut words: Vec<u64> = rows.words().map(|(w, _)| w).collect();
+        words.sort_unstable();
+        assert_eq!(words, (0..32).collect::<Vec<_>>());
+        // Column phase: 4 columns of 8 points, stride 1, bases 8 apart.
+        let cols = fft_phase_trace(0, 1, 8, 4, 0);
+        assert_eq!(cols.accesses[1].base, 8);
+        let mut words: Vec<u64> = cols.words().map(|(w, _)| w).collect();
+        words.sort_unstable();
+        assert_eq!(words, (0..32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -37,8 +37,8 @@ mod vcm;
 
 pub use extra::{gather_trace, stencil5_trace, transpose_trace};
 pub use kernels::{
-    blocked_lu_trace, blocked_matmul_trace, fft_stage_trace, fft_two_dim_trace, matrix_trace,
-    saxpy_trace, subblock_trace, FftLayout, MatrixSweep,
+    blocked_lu_trace, blocked_matmul_trace, fft_phase_trace, fft_stage_trace, fft_two_dim_trace,
+    matrix_trace, saxpy_trace, subblock_trace, FftLayout, MatrixSweep,
 };
 pub use program::{Program, VectorAccess};
 pub use vcm::{generate_program, StrideDistribution, Vcm};

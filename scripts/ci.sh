@@ -16,7 +16,13 @@ cargo fmt --all --check
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy --tests"
+cargo clippy --workspace --tests -- -D warnings
+
 echo "==> vcache check --src --programs"
 ./target/release/vcache check --src --programs
+
+echo "==> vcache check --nests --prescribe"
+./target/release/vcache check --nests --prescribe
 
 echo "CI gate passed."

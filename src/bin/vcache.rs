@@ -50,12 +50,15 @@ USAGE:
   vcache analyze --trace <FILE> [--window <W>] [--top <N>]
       Read a JSONL trace and print per-stream miss timelines (one row per
       W-access window), bank occupancy, and the top N conflicting sets.
-  vcache check [--src] [--programs] [--json] [--root <DIR>]
+  vcache check [--src] [--programs] [--nests] [--prescribe] [--json] [--root <DIR>]
       Static analysis gate. --src runs the workspace source lints
       (VC001-VC005, allowlist in staticcheck.allow); --programs runs the
-      canonical static-verdict suite (Layer 2, VC100 on drift). With
-      neither switch, both layers run. Exits non-zero on any finding not
-      covered by the allowlist.
+      canonical static-verdict suite (Layer 2, VC100 on drift); --nests
+      runs the affine loop-nest suite (Layer 3, VC101 on drift), and
+      --prescribe additionally demands a verifying repair certificate for
+      every interfering nest row (VC102). With no layer switch, all three
+      layers run. Exits non-zero on any finding not covered by the
+      allowlist.
   vcache help
       Show this message.
 ";
@@ -79,7 +82,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Err("no command given".into());
     };
     let switches: &[&str] = match command.as_str() {
-        "check" => &["src", "programs", "json"],
+        "check" => &["src", "programs", "nests", "prescribe", "json"],
         _ => &[],
     };
     let flags = parse_flags(&args[1..], switches)?;
@@ -374,13 +377,17 @@ fn analyze_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
 fn check_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let src = flags.contains_key("src");
     let programs = flags.contains_key("programs");
+    let nests = flags.contains_key("nests");
+    // With no layer switch given, run every layer.
+    let all = !src && !programs && !nests;
     let options = CheckOptions {
         root: flags
             .get("root")
             .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from),
-        // With neither switch given, run both layers.
-        src: src || !programs,
-        programs: programs || !src,
+        src: src || all,
+        programs: programs || all,
+        nests: nests || all,
+        prescribe: flags.contains_key("prescribe"),
     };
     let report = run_check(&options).map_err(|e| e.to_string())?;
     if flags.contains_key("json") {
@@ -425,7 +432,7 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let f = parse_flags(&args, &["src", "programs", "json"]).unwrap();
+        let f = parse_flags(&args, &["src", "programs", "nests", "json"]).unwrap();
         assert_eq!(f["src"], "true");
         assert_eq!(f["json"], "true");
         assert_eq!(f["root"], "/tmp");
@@ -517,6 +524,14 @@ mod tests {
         // --programs needs no filesystem: the canonical verdict suite must
         // pass wherever the binary runs.
         let code = check_cmd(&flags(&[("programs", "true")])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn check_nest_layer_is_green() {
+        // --nests --prescribe needs no filesystem either: the canonical
+        // nest suite and its repair certificates must pass anywhere.
+        let code = check_cmd(&flags(&[("nests", "true"), ("prescribe", "true")])).unwrap();
         assert_eq!(code, ExitCode::SUCCESS);
     }
 
