@@ -1,0 +1,249 @@
+//! The retrying client: one connection per call, exponential backoff
+//! with decorrelated jitter, and an idempotency-aware retry policy.
+//!
+//! Retry rules (see DESIGN.md §7):
+//!
+//! * `overloaded` — always retryable: the daemon sheds *before* any
+//!   work, so nothing happened. The server's `retry_after_ms` hint is
+//!   honored as the backoff floor.
+//! * Transport errors (connect refused, torn response, mid-line EOF) —
+//!   retryable only for idempotent ops. Every analysis op is a pure
+//!   read, so all built-in ops except `shutdown` qualify; `shutdown` is
+//!   never blindly resent because the first attempt may have landed.
+//! * Every other typed error (`bad_request`, `analysis_failed`,
+//!   `io_error`, `internal_error`, `deadline_exceeded`,
+//!   `shutting_down`) — final: retrying cannot change the outcome.
+//!
+//! Backoff is decorrelated jitter: `sleep = min(cap, uniform(base,
+//! prev * 3))`, which spreads concurrent retriers instead of
+//! synchronizing them into waves.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+
+use crate::protocol::{ErrorBody, ErrorCode, Request, Response};
+
+/// Retry/backoff knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff floor.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Jitter seed (deterministic backoff sequence per seed).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Why a call ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (after retries, where permitted).
+    Io(io::Error),
+    /// The daemon answered, but not with a valid protocol line.
+    Protocol(String),
+    /// A typed error response (final, or retries exhausted).
+    Server(ErrorBody),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Self::Server(body) => write!(f, "server error [{}]: {}", body.code, body.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client for one daemon address. Each call opens a fresh
+/// connection, so a torn connection never poisons later calls.
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl Client {
+    /// A client with the default retry policy.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// A client with an explicit retry policy.
+    #[must_use]
+    pub fn with_policy(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        Self {
+            addr: addr.into(),
+            rng: StdRng::seed_from_u64(policy.seed),
+            policy,
+            next_id: 1,
+        }
+    }
+
+    /// Issues `op` and returns the `result` value, retrying per policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] once the outcome is final.
+    pub fn call(
+        &mut self,
+        op: &str,
+        params: Value,
+        deadline_ms: Option<u64>,
+    ) -> Result<Value, ClientError> {
+        let mut request = Request::new(self.next_id, op);
+        self.next_id += 1;
+        request.params = params;
+        request.deadline_ms = deadline_ms;
+        let retry_io = op != "shutdown";
+
+        let mut prev_sleep = self.policy.base;
+        let mut last_error: ClientError;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.attempt(&request) {
+                Ok(response) => {
+                    if response.id != request.id {
+                        return Err(ClientError::Protocol(format!(
+                            "response id {} does not match request id {}",
+                            response.id, request.id
+                        )));
+                    }
+                    match response.outcome {
+                        Ok(result) => return Ok(result),
+                        Err(body) if body.code == ErrorCode::Overloaded => {
+                            last_error = ClientError::Server(body);
+                        }
+                        Err(body) => return Err(ClientError::Server(body)),
+                    }
+                }
+                Err(AttemptError::Transport(e)) => {
+                    if !retry_io {
+                        return Err(ClientError::Io(e));
+                    }
+                    last_error = ClientError::Io(e);
+                }
+                Err(AttemptError::Protocol(msg)) => return Err(ClientError::Protocol(msg)),
+            }
+            if attempt >= self.policy.max_attempts {
+                return Err(last_error);
+            }
+            let floor = match &last_error {
+                ClientError::Server(body) => body
+                    .retry_after_ms
+                    .map_or(self.policy.base, Duration::from_millis),
+                _ => self.policy.base,
+            };
+            prev_sleep = self.backoff(floor, prev_sleep);
+            std::thread::sleep(prev_sleep);
+        }
+    }
+
+    /// Decorrelated jitter: uniform in `[floor, prev * 3]`, capped.
+    fn backoff(&mut self, floor: Duration, prev: Duration) -> Duration {
+        let floor_us = u64::try_from(floor.as_micros()).unwrap_or(u64::MAX);
+        let hi = u64::try_from(prev.as_micros())
+            .unwrap_or(u64::MAX)
+            .saturating_mul(3)
+            .max(floor_us.saturating_add(1));
+        let cap_us = u64::try_from(self.policy.cap.as_micros()).unwrap_or(u64::MAX);
+        let sleep_us = self.rng.random_range(floor_us..=hi).min(cap_us);
+        Duration::from_micros(sleep_us)
+    }
+
+    fn attempt(&mut self, request: &Request) -> Result<Response, AttemptError> {
+        let stream = TcpStream::connect(&self.addr).map_err(AttemptError::Transport)?;
+        let mut writer = stream.try_clone().map_err(AttemptError::Transport)?;
+        let mut line = request.to_json();
+        line.push('\n');
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(AttemptError::Transport)?;
+        let mut reader = BufReader::new(stream);
+        let mut response_line = String::new();
+        let n = reader
+            .read_line(&mut response_line)
+            .map_err(AttemptError::Transport)?;
+        if n == 0 || !response_line.ends_with('\n') {
+            // EOF before a complete line: a dropped connection or a torn
+            // write. Transport-class, so idempotent ops may retry.
+            return Err(AttemptError::Transport(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a complete response line",
+            )));
+        }
+        Response::from_json(response_line.trim_end()).map_err(AttemptError::Protocol)
+    }
+}
+
+enum AttemptError {
+    Transport(io::Error),
+    Protocol(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_jittered_floored_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 9,
+        };
+        let mut client = Client::with_policy("127.0.0.1:1", policy);
+        let mut prev = policy.base;
+        for _ in 0..100 {
+            let next = client.backoff(policy.base, prev);
+            assert!(next >= policy.base.min(policy.cap));
+            assert!(next <= policy.cap);
+            prev = next;
+        }
+        // Honoring a retry-after floor above base.
+        let floored = client.backoff(Duration::from_millis(50), Duration::from_millis(10));
+        assert!(floored >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn connect_failure_is_final_after_retries() {
+        // Port 1 on localhost refuses connections immediately.
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 1,
+        };
+        let mut client = Client::with_policy("127.0.0.1:1", policy);
+        let err = client
+            .call("ping", Value::Obj(Vec::new()), None)
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "got {err}");
+    }
+}

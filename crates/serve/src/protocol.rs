@@ -1,0 +1,512 @@
+//! Wire protocol for `vcache serve`: newline-delimited JSON envelopes.
+//!
+//! One request per line, one response per line, strictly in order per
+//! connection. The envelope shapes and the error-code taxonomy here are
+//! **stable** — they are specified in DESIGN.md §7 and pinned by the
+//! golden-file test `tests/golden_protocol.rs`; changing a code or a
+//! field name is a protocol break.
+//!
+//! Request:  `{"id": N, "op": "...", "params": {...}, "deadline_ms": N?}`
+//! Response: `{"id": N, "ok": true,  "result": {...}}`
+//!       or  `{"id": N, "ok": false, "error": {"code": "...",
+//!             "message": "...", "retry_after_ms": N?}}`
+
+use std::fmt;
+
+use serde::Value;
+use vcache_check::Geometry;
+
+/// Protocol version, reported by `ping` and `status`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// The stable error-code taxonomy. Codes are the wire contract; the
+/// human-readable message may change freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not a valid envelope, or params were
+    /// malformed for the op. Never retryable.
+    BadRequest,
+    /// The analysis itself reported a typed failure (e.g. a nest too
+    /// large to enumerate). Deterministic: retrying cannot help.
+    AnalysisFailed,
+    /// Server-side I/O failed while handling the request (e.g. an
+    /// unreadable `--root`).
+    IoError,
+    /// The handler panicked; the worker caught it and stayed up.
+    InternalError,
+    /// The request's deadline passed before the analysis finished; the
+    /// work was abandoned cooperatively.
+    DeadlineExceeded,
+    /// The bounded request queue was full; the request was shed before
+    /// any work happened. Always safe to retry after `retry_after_ms`.
+    Overloaded,
+    /// The daemon is draining for shutdown and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// Every code, in taxonomy order (pinned by the golden test).
+    pub const ALL: [ErrorCode; 7] = [
+        ErrorCode::BadRequest,
+        ErrorCode::AnalysisFailed,
+        ErrorCode::IoError,
+        ErrorCode::InternalError,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::Overloaded,
+        ErrorCode::ShuttingDown,
+    ];
+
+    /// The stable wire string.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::BadRequest => "bad_request",
+            Self::AnalysisFailed => "analysis_failed",
+            Self::IoError => "io_error",
+            Self::InternalError => "internal_error",
+            Self::DeadlineExceeded => "deadline_exceeded",
+            Self::Overloaded => "overloaded",
+            Self::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses a wire string.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// True when the request provably did **no** server-side work, so
+    /// even a non-idempotent request may be resent.
+    #[must_use]
+    pub fn request_not_started(self) -> bool {
+        matches!(self, Self::Overloaded | Self::ShuttingDown)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The error payload of a failed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Taxonomy code.
+    pub code: ErrorCode,
+    /// Human-readable detail (not part of the stable contract).
+    pub message: String,
+    /// For [`ErrorCode::Overloaded`]: how long to back off before
+    /// retrying, in milliseconds.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ErrorBody {
+    /// An error with no retry hint.
+    #[must_use]
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("code".to_string(), Value::Str(self.code.as_str().into())),
+            ("message".to_string(), Value::Str(self.message.clone())),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            pairs.push(("retry_after_ms".to_string(), Value::U64(ms)));
+        }
+        Value::Obj(pairs)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let code_str = str_field(v, "code")?;
+        let code = ErrorCode::parse(&code_str)
+            .ok_or_else(|| format!("unknown error code {code_str:?}"))?;
+        Ok(Self {
+            code,
+            message: str_field(v, "message").unwrap_or_default(),
+            retry_after_ms: u64_field(v, "retry_after_ms").ok(),
+        })
+    }
+}
+
+/// Cache geometry as it travels on the wire — exponent form for prime
+/// caches so the client never needs Mersenne arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometrySpec {
+    /// `{"kind": "pow2", "sets": N, "line_words": L}`
+    Pow2 {
+        /// Set count (power of two).
+        sets: u64,
+        /// Words per line.
+        line_words: u64,
+    },
+    /// `{"kind": "prime", "exponent": c, "line_words": L}`
+    Prime {
+        /// Mersenne exponent (`2^c − 1` sets).
+        exponent: u32,
+        /// Words per line.
+        line_words: u64,
+    },
+}
+
+impl GeometrySpec {
+    /// Validates and builds the analyzer geometry.
+    ///
+    /// # Errors
+    ///
+    /// Describes the invalid parameter.
+    pub fn to_geometry(self) -> Result<Geometry, String> {
+        match self {
+            Self::Pow2 { sets, line_words } => {
+                Geometry::pow2(sets, line_words).map_err(|e| e.to_string())
+            }
+            Self::Prime {
+                exponent,
+                line_words,
+            } => Geometry::prime(exponent, line_words).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// The wire encoding.
+    #[must_use]
+    pub fn to_value(self) -> Value {
+        match self {
+            Self::Pow2 { sets, line_words } => Value::Obj(vec![
+                ("kind".to_string(), Value::Str("pow2".into())),
+                ("sets".to_string(), Value::U64(sets)),
+                ("line_words".to_string(), Value::U64(line_words)),
+            ]),
+            Self::Prime {
+                exponent,
+                line_words,
+            } => Value::Obj(vec![
+                ("kind".to_string(), Value::Str("prime".into())),
+                ("exponent".to_string(), Value::U64(u64::from(exponent))),
+                ("line_words".to_string(), Value::U64(line_words)),
+            ]),
+        }
+    }
+
+    /// Parses the wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let kind = str_field(v, "kind")?;
+        let line_words = u64_field(v, "line_words")?;
+        match kind.as_str() {
+            "pow2" => Ok(Self::Pow2 {
+                sets: u64_field(v, "sets")?,
+                line_words,
+            }),
+            "prime" => {
+                let e = u64_field(v, "exponent")?;
+                let exponent =
+                    u32::try_from(e).map_err(|_| format!("exponent {e} out of range"))?;
+                Ok(Self::Prime {
+                    exponent,
+                    line_words,
+                })
+            }
+            other => Err(format!("unknown geometry kind {other:?}")),
+        }
+    }
+}
+
+/// A request envelope: id, operation, optional deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Operation name (see DESIGN.md §7 for the op table).
+    pub op: String,
+    /// Op parameters (`{}` when absent).
+    pub params: Value,
+    /// Per-request deadline in milliseconds; `None` uses the server
+    /// default.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// A request with empty params.
+    #[must_use]
+    pub fn new(id: u64, op: impl Into<String>) -> Self {
+        Self {
+            id,
+            op: op.into(),
+            params: Value::Obj(Vec::new()),
+            deadline_ms: None,
+        }
+    }
+
+    /// Serializes to one wire line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut pairs = vec![
+            ("id".to_string(), Value::U64(self.id)),
+            ("op".to_string(), Value::Str(self.op.clone())),
+            ("params".to_string(), self.params.clone()),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms".to_string(), Value::U64(ms)));
+        }
+        serde_json::to_string(&Value::Obj(pairs)).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed envelope (for a `bad_request` response).
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let id = u64_field(&v, "id")?;
+        let op = str_field(&v, "op")?;
+        let params = v.get("params").cloned().unwrap_or(Value::Obj(Vec::new()));
+        let deadline_ms = u64_field(&v, "deadline_ms").ok();
+        Ok(Self {
+            id,
+            op,
+            params,
+            deadline_ms,
+        })
+    }
+}
+
+/// A response envelope: the request id plus either a result value or a
+/// typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request id (0 when the request id was unparseable).
+    pub id: u64,
+    /// The outcome.
+    pub outcome: Result<Value, ErrorBody>,
+}
+
+impl Response {
+    /// A success response.
+    #[must_use]
+    pub fn ok(id: u64, result: Value) -> Self {
+        Self {
+            id,
+            outcome: Ok(result),
+        }
+    }
+
+    /// A typed-error response.
+    #[must_use]
+    pub fn err(id: u64, error: ErrorBody) -> Self {
+        Self {
+            id,
+            outcome: Err(error),
+        }
+    }
+
+    /// Serializes to one wire line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let pairs = match &self.outcome {
+            Ok(result) => vec![
+                ("id".to_string(), Value::U64(self.id)),
+                ("ok".to_string(), Value::Bool(true)),
+                ("result".to_string(), result.clone()),
+            ],
+            Err(e) => vec![
+                ("id".to_string(), Value::U64(self.id)),
+                ("ok".to_string(), Value::Bool(false)),
+                ("error".to_string(), e.to_value()),
+            ],
+        };
+        serde_json::to_string(&Value::Obj(pairs)).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed envelope.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let id = u64_field(&v, "id")?;
+        let ok = match v.get("ok") {
+            Some(Value::Bool(b)) => *b,
+            _ => return Err("missing or non-bool `ok`".into()),
+        };
+        if ok {
+            let result = v
+                .get("result")
+                .cloned()
+                .ok_or_else(|| "ok response without `result`".to_string())?;
+            Ok(Self::ok(id, result))
+        } else {
+            let error = v
+                .get("error")
+                .ok_or_else(|| "error response without `error`".to_string())?;
+            Ok(Self::err(id, ErrorBody::from_value(error)?))
+        }
+    }
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        Some(Value::U64(n)) => Ok(*n),
+        Some(other) => Err(format!(
+            "field `{key}` must be an integer, got {}",
+            other.kind()
+        )),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    match v.get(key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(format!(
+            "field `{key}` must be a string, got {}",
+            other.kind()
+        )),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// Reads an optional boolean param (absent = false).
+///
+/// # Errors
+///
+/// When present but not a boolean.
+pub fn bool_param(params: &Value, key: &str) -> Result<bool, String> {
+    match params.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(other) => Err(format!(
+            "param `{key}` must be a bool, got {}",
+            other.kind()
+        )),
+    }
+}
+
+/// Reads an optional unsigned param.
+///
+/// # Errors
+///
+/// When present but not an unsigned integer.
+pub fn u64_param(params: &Value, key: &str) -> Result<Option<u64>, String> {
+    match params.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::U64(n)) => Ok(Some(*n)),
+        Some(other) => Err(format!(
+            "param `{key}` must be an unsigned integer, got {}",
+            other.kind()
+        )),
+    }
+}
+
+/// Reads an optional string param.
+///
+/// # Errors
+///
+/// When present but not a string.
+pub fn str_param(params: &Value, key: &str) -> Result<Option<String>, String> {
+    match params.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(format!(
+            "param `{key}` must be a string, got {}",
+            other.kind()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let mut req = Request::new(7, "check");
+        req.params = Value::Obj(vec![("nests".into(), Value::Bool(true))]);
+        req.deadline_ms = Some(500);
+        let line = req.to_json();
+        assert_eq!(Request::from_json(&line).unwrap(), req);
+        // Params default to an empty object.
+        let bare = Request::from_json(r#"{"id":1,"op":"ping"}"#).unwrap();
+        assert_eq!(bare.params, Value::Obj(Vec::new()));
+        assert_eq!(bare.deadline_ms, None);
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        assert!(Request::from_json("garbage").is_err());
+        assert!(Request::from_json(r#"{"op":"ping"}"#)
+            .unwrap_err()
+            .contains("id"));
+        assert!(Request::from_json(r#"{"id":1}"#)
+            .unwrap_err()
+            .contains("op"));
+    }
+
+    #[test]
+    fn responses_round_trip_both_arms() {
+        let ok = Response::ok(3, Value::Obj(vec![("pong".into(), Value::Bool(true))]));
+        assert_eq!(Response::from_json(&ok.to_json()).unwrap(), ok);
+        let mut body = ErrorBody::new(ErrorCode::Overloaded, "queue full");
+        body.retry_after_ms = Some(50);
+        let err = Response::err(4, body);
+        let parsed = Response::from_json(&err.to_json()).unwrap();
+        assert_eq!(parsed, err);
+        match parsed.outcome {
+            Err(e) => {
+                assert_eq!(e.code, ErrorCode::Overloaded);
+                assert_eq!(e.retry_after_ms, Some(50));
+            }
+            Ok(_) => panic!("expected error outcome"),
+        }
+    }
+
+    #[test]
+    fn error_codes_are_stable_strings() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+        assert!(ErrorCode::Overloaded.request_not_started());
+        assert!(ErrorCode::ShuttingDown.request_not_started());
+        assert!(!ErrorCode::InternalError.request_not_started());
+    }
+
+    #[test]
+    fn geometry_spec_round_trips_and_validates() {
+        for spec in [
+            GeometrySpec::Pow2 {
+                sets: 8192,
+                line_words: 8,
+            },
+            GeometrySpec::Prime {
+                exponent: 13,
+                line_words: 8,
+            },
+        ] {
+            assert_eq!(GeometrySpec::from_value(&spec.to_value()).unwrap(), spec);
+            assert!(spec.to_geometry().is_ok());
+        }
+        assert!(GeometrySpec::Pow2 {
+            sets: 100,
+            line_words: 8
+        }
+        .to_geometry()
+        .is_err());
+        assert!(GeometrySpec::from_value(&Value::Obj(vec![(
+            "kind".into(),
+            Value::Str("weird".into())
+        )]))
+        .is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! A bounded MPMC queue with load shedding and drain-on-close.
+//!
+//! Producers use [`Bounded::try_push`], which never blocks: when the
+//! queue is at capacity the item comes straight back as
+//! [`PushError::Full`] so the caller can shed it with a typed
+//! `overloaded` response instead of building an invisible backlog.
+//! Consumers block on [`Bounded::pop`]. After [`Bounded::close`],
+//! producers are refused but consumers keep receiving queued items
+//! until the queue is empty — that is the graceful-shutdown drain.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Why [`Bounded::try_push`] returned the item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; shed the item.
+    Full(T),
+    /// The queue is closed for shutdown; refuse the item.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct Bounded<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Bounded<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.inner.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item. Returns `None` only once the queue is
+    /// closed **and** drained.
+    #[must_use]
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .inner
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops accepting new items; queued items remain poppable.
+    pub fn close(&self) {
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.inner.not_empty.notify_all();
+    }
+
+    /// Items currently waiting.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
+    }
+
+    /// True when no items are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_wakes_blocked_consumers() {
+        let q = Bounded::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        // Drain semantics: queued items still come out, then None.
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+
+        // A consumer blocked on an empty queue wakes on close.
+        let q2: Bounded<u32> = Bounded::new(8);
+        let waiter = {
+            let q2 = q2.clone();
+            thread::spawn(move || q2.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn items_pass_between_threads() {
+        let q = Bounded::new(64);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = 0u64;
+                    while let Some(v) = q.pop() {
+                        got += v;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut pushed = 0u64;
+        for v in 1..=100u64 {
+            loop {
+                match q.try_push(v) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => thread::yield_now(),
+                    Err(PushError::Closed(_)) => panic!("queue closed early"),
+                }
+            }
+            pushed += v;
+        }
+        q.close();
+        let got: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(got, pushed);
+    }
+}

@@ -1,0 +1,710 @@
+//! The analysis daemon: accept loops, a crash-isolated worker pool,
+//! deadlines, backpressure, and graceful drain.
+//!
+//! Architecture (one box per thread):
+//!
+//! ```text
+//!   accept(TCP)──┐                 ┌─ worker 0 ─ catch_unwind(handler)
+//!   accept(Unix)─┤→ conn threads →│  worker 1 ─ catch_unwind(handler)
+//!                │   (1/socket)    │  ...       deadline → NestBudget
+//!                └─ bounded queue ─┴─ worker N
+//! ```
+//!
+//! Every request runs inside `catch_unwind`: a panicking handler (real
+//! or injected by the [`crate::fault`] layer) produces a typed
+//! `internal_error` response and the worker survives. The queue is
+//! bounded; when full, requests are shed immediately with `overloaded`
+//! plus a retry-after hint rather than queuing without bound. Deadlines
+//! are enforced *cooperatively*: the worker threads a cancellation
+//! callback into the abstract interpreter's [`NestBudget`], so a
+//! too-slow analysis aborts within one budget-check quantum and the
+//! client gets `deadline_exceeded`, never a hung connection.
+//!
+//! Shutdown ([`ShutdownHandle::trigger`], a `shutdown` request, or a
+//! signal wired up by the binary) stops the accept loops, drains every
+//! queued request, lets connection threads finish their in-flight
+//! exchange, and returns the final [`MetricsSnapshot`].
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize, Value};
+use vcache_check::{
+    analyze_nest_with_budget, prescribe_with_budget, run_check, CheckError, CheckOptions, LoopNest,
+    NestBudget, NestError,
+};
+use vcache_trace::analyze;
+use vcache_trace::{MetricsSnapshot, SharedMetrics};
+
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::protocol::{
+    bool_param, str_param, u64_param, ErrorBody, ErrorCode, GeometrySpec, Request, Response,
+    PROTOCOL_VERSION,
+};
+use crate::queue::{Bounded, PushError};
+
+/// How long an accept loop sleeps between polls of the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Read timeout on connection sockets; bounds how long a connection
+/// thread can outlive a shutdown request.
+const READ_POLL: Duration = Duration::from_millis(250);
+/// Latency histogram bounds, microseconds.
+const LATENCY_BOUNDS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 2_000_000,
+];
+
+/// Everything configurable about a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP listen address (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Optional Unix-domain socket path (ignored on non-Unix targets).
+    pub unix_path: Option<PathBuf>,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond this, requests are shed.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: u64,
+    /// Retry-after hint attached to `overloaded` sheds.
+    pub retry_after_ms: u64,
+    /// Fault-injection plan (defaults to none).
+    pub fault_plan: FaultPlan,
+    /// Workspace root for `check` requests.
+    pub root: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            unix_path: None,
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline_ms: 10_000,
+            retry_after_ms: 50,
+            fault_plan: FaultPlan::none(),
+            root: PathBuf::from("."),
+        }
+    }
+}
+
+/// One queued request plus the channel its response travels back on.
+struct Job {
+    request: Request,
+    reply: SyncSender<Response>,
+    received: Instant,
+    deadline: Instant,
+}
+
+/// State shared by every thread of one daemon instance.
+struct Shared {
+    queue: Bounded<Job>,
+    metrics: SharedMetrics,
+    injector: FaultInjector,
+    shutdown: AtomicBool,
+    in_flight: AtomicU64,
+    default_deadline: Duration,
+    retry_after_ms: u64,
+    root: PathBuf,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Refuse new work immediately; queued jobs still drain.
+        self.queue.close();
+    }
+}
+
+/// Triggers a graceful drain from another thread (signal handler,
+/// test, or the `shutdown` request op).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Begins the graceful shutdown sequence. Idempotent.
+    pub fn trigger(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// True once shutdown has been requested.
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        self.shared.shutting_down()
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    #[cfg(unix)]
+    unix: Option<std::os::unix::net::UnixListener>,
+    unix_path: Option<PathBuf>,
+    workers: usize,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listening sockets and builds the shared state; no
+    /// threads start until [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind(config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        #[cfg(unix)]
+        let unix = match &config.unix_path {
+            Some(path) => {
+                // A previous unclean exit may have left the socket file.
+                let _ = std::fs::remove_file(path);
+                Some(std::os::unix::net::UnixListener::bind(path)?)
+            }
+            None => None,
+        };
+        let metrics = SharedMetrics::default();
+        metrics.register_histogram("serve.latency_us", &LATENCY_BOUNDS_US);
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_capacity),
+            metrics,
+            injector: FaultInjector::new(config.fault_plan),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            default_deadline: Duration::from_millis(config.default_deadline_ms.max(1)),
+            retry_after_ms: config.retry_after_ms,
+            root: config.root,
+        });
+        Ok(Self {
+            listener,
+            #[cfg(unix)]
+            unix,
+            unix_path: config.unix_path,
+            workers: config.workers.max(1),
+            shared,
+        })
+    }
+
+    /// The bound TCP address (reports the actual ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that triggers graceful shutdown from anywhere.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The daemon's live metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> SharedMetrics {
+        self.shared.metrics.clone()
+    }
+
+    /// Runs the daemon until shutdown, then drains and returns the
+    /// final metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Socket configuration failures; individual connection errors are
+    /// absorbed and counted.
+    pub fn run(self) -> io::Result<MetricsSnapshot> {
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..self.workers)
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        #[cfg(unix)]
+        let unix_accept = self.unix.map(|listener| {
+            let shared = Arc::clone(&self.shared);
+            let handles = Arc::clone(&conn_handles);
+            thread::spawn(move || {
+                let _ = accept_loop_unix(&listener, &shared, &handles);
+            })
+        });
+
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.shared.shutting_down() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    spawn_tcp_conn(stream, &self.shared, &conn_handles);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.shared.metrics.count("serve.accept_errors", 1);
+                    thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+
+        // Shutdown sequence: the flag is set and the queue is closed
+        // (trigger_shutdown). Workers drain what is queued, connection
+        // threads finish their in-flight exchange and exit at the next
+        // read poll.
+        self.shared.queue.close();
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let Some(handle) = unix_accept {
+            let _ = handle.join();
+        }
+        let handles =
+            std::mem::take(&mut *conn_handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(self.shared.metrics.snapshot())
+    }
+}
+
+fn spawn_tcp_conn(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let shared = Arc::clone(shared);
+    let handle = thread::spawn(move || {
+        shared.metrics.count("serve.connections", 1);
+        if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+            return;
+        }
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        serve_connection(BufReader::new(read_half), stream, &shared);
+    });
+    handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(handle);
+}
+
+#[cfg(unix)]
+fn accept_loop_unix(
+    listener: &std::os::unix::net::UnixListener,
+    shared: &Arc<Shared>,
+    handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if shared.shutting_down() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared_conn = Arc::clone(shared);
+                let handle = thread::spawn(move || {
+                    shared_conn.metrics.count("serve.connections", 1);
+                    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+                        return;
+                    }
+                    let Ok(read_half) = stream.try_clone() else {
+                        return;
+                    };
+                    serve_connection(BufReader::new(read_half), stream, &shared_conn);
+                });
+                handles
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// One connection: read a request line, resolve it to exactly one
+/// response, write the response, repeat. Strictly ordered — concurrency
+/// comes from multiple connections feeding the shared worker pool.
+fn serve_connection<R: Read, W: Write>(
+    mut reader: BufReader<R>,
+    mut writer: W,
+    shared: &Arc<Shared>,
+) {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return; // clean EOF between requests
+                }
+                // Final request without a trailing newline.
+            }
+            Ok(_) if !buf.ends_with(b"\n") => continue, // partial read, keep going
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        let line = String::from_utf8_lossy(&buf).trim().to_string();
+        let at_eof = !buf.ends_with(b"\n");
+        buf.clear();
+        if line.is_empty() {
+            if at_eof {
+                return;
+            }
+            continue;
+        }
+        shared.metrics.count("serve.requests", 1);
+        let (response, close_after) = dispatch_line(&line, shared);
+        if !write_response(&mut writer, &response, shared) || close_after || at_eof {
+            return;
+        }
+    }
+}
+
+/// Resolves one request line to a response. The bool asks the caller to
+/// close the connection afterwards (used by `shutdown`).
+fn dispatch_line(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
+    let request = match Request::from_json(line) {
+        Ok(request) => request,
+        Err(msg) => {
+            return (
+                Response::err(0, ErrorBody::new(ErrorCode::BadRequest, msg)),
+                false,
+            );
+        }
+    };
+    let id = request.id;
+    match request.op.as_str() {
+        // Control-plane ops run inline on the connection thread so they
+        // respond even when the queue is saturated.
+        "ping" | "status" => {
+            let deadline = Instant::now() + shared.default_deadline;
+            let response = match handle_request(shared, &request, deadline) {
+                Ok(v) => Response::ok(id, v),
+                Err(e) => Response::err(id, e),
+            };
+            (response, false)
+        }
+        "shutdown" => {
+            shared.trigger_shutdown();
+            (
+                Response::ok(id, Value::Obj(vec![("stopping".into(), Value::Bool(true))])),
+                true,
+            )
+        }
+        _ if shared.shutting_down() => (
+            Response::err(
+                id,
+                ErrorBody::new(ErrorCode::ShuttingDown, "daemon is draining"),
+            ),
+            false,
+        ),
+        _ => (enqueue_and_wait(request, shared), false),
+    }
+}
+
+fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> Response {
+    let id = request.id;
+    let received = Instant::now();
+    let deadline = received
+        + request
+            .deadline_ms
+            .map_or(shared.default_deadline, Duration::from_millis);
+    let (reply_tx, reply_rx) = sync_channel::<Response>(1);
+    let job = Job {
+        request,
+        reply: reply_tx,
+        received,
+        deadline,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            update_queue_gauge(shared);
+            match reply_rx.recv() {
+                Ok(response) => response,
+                Err(_) => Response::err(
+                    id,
+                    ErrorBody::new(
+                        ErrorCode::InternalError,
+                        "worker dropped the request without responding",
+                    ),
+                ),
+            }
+        }
+        Err(PushError::Full(_)) => {
+            shared.metrics.count("serve.sheds", 1);
+            let mut body = ErrorBody::new(
+                ErrorCode::Overloaded,
+                "request queue is full; request was shed before any work",
+            );
+            body.retry_after_ms = Some(shared.retry_after_ms);
+            Response::err(id, body)
+        }
+        Err(PushError::Closed(_)) => Response::err(
+            id,
+            ErrorBody::new(ErrorCode::ShuttingDown, "daemon is draining"),
+        ),
+    }
+}
+
+/// Writes one response line, possibly tearing it per the fault plan.
+/// Returns false when the connection should be dropped.
+fn write_response<W: Write>(writer: &mut W, response: &Response, shared: &Arc<Shared>) -> bool {
+    if let Err(body) = &response.outcome {
+        shared
+            .metrics
+            .count(&format!("serve.errors.{}", body.code), 1);
+    } else {
+        shared.metrics.count("serve.responses_ok", 1);
+    }
+    let mut line = response.to_json();
+    line.push('\n');
+    let bytes = line.as_bytes();
+    if let Some(keep) = shared.injector.roll_torn_write(bytes.len()) {
+        shared.metrics.count("serve.faults.torn_write", 1);
+        let _ = writer.write_all(&bytes[..keep]);
+        let _ = writer.flush();
+        return false;
+    }
+    writer.write_all(bytes).is_ok() && writer.flush().is_ok()
+}
+
+fn update_queue_gauge(shared: &Shared) {
+    // Cast is lossless at any realistic queue capacity.
+    let depth = u32::try_from(shared.queue.len()).unwrap_or(u32::MAX);
+    shared.metrics.gauge("serve.queue_depth", f64::from(depth));
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        update_queue_gauge(shared);
+        let in_flight = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.metrics.gauge("serve.in_flight", in_flight as f64);
+
+        let fault = shared.injector.roll_handler();
+        if let Some(delay) = fault.delay {
+            shared.metrics.count("serve.faults.delay", 1);
+            thread::sleep(delay);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if fault.panic {
+                shared.metrics.count("serve.faults.panic", 1);
+                panic!("injected fault");
+            }
+            handle_request(shared, &job.request, job.deadline)
+        }));
+        let response = match outcome {
+            Ok(Ok(result)) => Response::ok(job.request.id, result),
+            Ok(Err(body)) => Response::err(job.request.id, body),
+            Err(_) => {
+                shared.metrics.count("serve.panics_caught", 1);
+                Response::err(
+                    job.request.id,
+                    ErrorBody::new(
+                        ErrorCode::InternalError,
+                        "handler panicked; worker recovered",
+                    ),
+                )
+            }
+        };
+        let micros = u64::try_from(job.received.elapsed().as_micros()).unwrap_or(u64::MAX);
+        shared.metrics.observe("serve.latency_us", micros);
+        let in_flight = shared.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+        shared.metrics.gauge("serve.in_flight", in_flight as f64);
+        // The connection may already be gone (torn write, client hangup)
+        // — a failed send is not an error.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Dispatches one request to its handler. Every failure is a typed
+/// [`ErrorBody`]; panics are the caller's (`catch_unwind`) problem.
+fn handle_request(
+    shared: &Shared,
+    request: &Request,
+    deadline: Instant,
+) -> Result<Value, ErrorBody> {
+    if Instant::now() >= deadline {
+        return Err(ErrorBody::new(
+            ErrorCode::DeadlineExceeded,
+            "deadline passed before the request reached a worker",
+        ));
+    }
+    match request.op.as_str() {
+        "ping" => Ok(Value::Obj(vec![
+            ("pong".into(), Value::Bool(true)),
+            ("version".into(), Value::U64(PROTOCOL_VERSION)),
+        ])),
+        "status" => Ok(op_status(shared)),
+        "check" => op_check(shared, &request.params),
+        "analyze_nest" => op_analyze_nest(&request.params, deadline),
+        "analyze_trace" => op_analyze_trace(&request.params),
+        other => Err(ErrorBody::new(
+            ErrorCode::BadRequest,
+            format!("unknown op {other:?}"),
+        )),
+    }
+}
+
+fn op_status(shared: &Shared) -> Value {
+    let snapshot = shared.metrics.snapshot();
+    Value::Obj(vec![
+        ("version".into(), Value::U64(PROTOCOL_VERSION)),
+        ("queue_depth".into(), Value::U64(shared.queue.len() as u64)),
+        (
+            "in_flight".into(),
+            Value::U64(shared.in_flight.load(Ordering::SeqCst)),
+        ),
+        ("draining".into(), Value::Bool(shared.shutting_down())),
+        ("metrics".into(), snapshot.to_value()),
+    ])
+}
+
+fn op_check(shared: &Shared, params: &Value) -> Result<Value, ErrorBody> {
+    let bad = |msg: String| ErrorBody::new(ErrorCode::BadRequest, msg);
+    let src = bool_param(params, "src").map_err(bad)?;
+    let programs = bool_param(params, "programs").map_err(bad)?;
+    let nests = bool_param(params, "nests").map_err(bad)?;
+    let all = !src && !programs && !nests;
+    let options = CheckOptions {
+        root: str_param(params, "root")
+            .map_err(bad)?
+            .map_or_else(|| shared.root.clone(), PathBuf::from),
+        src: src || all,
+        programs: programs || all,
+        nests: nests || all,
+        prescribe: bool_param(params, "prescribe").map_err(bad)?,
+    };
+    let report = run_check(&options).map_err(|e| match e {
+        CheckError::Io(io) => ErrorBody::new(ErrorCode::IoError, io.to_string()),
+        other => ErrorBody::new(ErrorCode::AnalysisFailed, other.to_string()),
+    })?;
+    Ok(Value::Obj(vec![
+        ("clean".into(), Value::Bool(report.is_clean())),
+        ("report".into(), report.to_value()),
+        ("text".into(), Value::Str(report.render_text())),
+    ]))
+}
+
+fn op_analyze_nest(params: &Value, deadline: Instant) -> Result<Value, ErrorBody> {
+    let bad = |msg: String| ErrorBody::new(ErrorCode::BadRequest, msg);
+    let nest_value = params
+        .get("nest")
+        .ok_or_else(|| bad("missing param `nest`".into()))?;
+    let nest = LoopNest::from_value(nest_value)
+        .map_err(|e| bad(format!("param `nest` is not a loop nest: {e}")))?;
+    let geometry_value = params
+        .get("geometry")
+        .ok_or_else(|| bad("missing param `geometry`".into()))?;
+    let geometry = GeometrySpec::from_value(geometry_value)
+        .map_err(|e| bad(format!("param `geometry`: {e}")))?
+        .to_geometry()
+        .map_err(|e| bad(format!("param `geometry`: {e}")))?;
+    let want_prescription = bool_param(params, "prescribe").map_err(bad)?;
+    let max_pad = u64_param(params, "max_pad").map_err(bad)?.unwrap_or(8);
+
+    let cancelled = move || Instant::now() >= deadline;
+    let budget = NestBudget::with_cancel(&cancelled);
+    let analysis = analyze_nest_with_budget(&nest, &geometry, &budget).map_err(nest_error)?;
+    let mut pairs = vec![("analysis".to_string(), analysis.to_value())];
+    if want_prescription && !analysis.verdict.is_conflict_free() {
+        let certificate =
+            prescribe_with_budget(&nest, &geometry, max_pad, &budget).map_err(nest_error)?;
+        pairs.push((
+            "certificate".to_string(),
+            certificate.map_or(Value::Null, |c| c.to_value()),
+        ));
+    }
+    Ok(Value::Obj(pairs))
+}
+
+fn nest_error(e: NestError) -> ErrorBody {
+    match e {
+        NestError::Cancelled => ErrorBody::new(
+            ErrorCode::DeadlineExceeded,
+            "deadline exceeded during nest analysis; work abandoned",
+        ),
+        other => ErrorBody::new(ErrorCode::AnalysisFailed, other.to_string()),
+    }
+}
+
+fn op_analyze_trace(params: &Value) -> Result<Value, ErrorBody> {
+    let bad = |msg: String| ErrorBody::new(ErrorCode::BadRequest, msg);
+    let path = str_param(params, "path")
+        .map_err(bad)?
+        .ok_or_else(|| bad("missing param `path`".into()))?;
+    let window = u64_param(params, "window").map_err(bad)?.unwrap_or(1024);
+    if window == 0 {
+        return Err(bad("param `window` must be positive".into()));
+    }
+    let top = usize::try_from(u64_param(params, "top").map_err(bad)?.unwrap_or(10))
+        .map_err(|_| bad("param `top` out of range".into()))?;
+    let file = std::fs::File::open(&path)
+        .map_err(|e| ErrorBody::new(ErrorCode::IoError, format!("cannot open {path}: {e}")))?;
+    let (events, errors) = analyze::read_jsonl(BufReader::new(file))
+        .map_err(|e| ErrorBody::new(ErrorCode::IoError, format!("cannot read {path}: {e}")))?;
+    if events.is_empty() {
+        return Err(ErrorBody::new(
+            ErrorCode::AnalysisFailed,
+            format!(
+                "{path}: no trace events parsed ({} corrupt line(s) skipped)",
+                errors.len()
+            ),
+        ));
+    }
+    Ok(Value::Obj(vec![
+        ("events".into(), Value::U64(events.len() as u64)),
+        ("skipped".into(), Value::U64(errors.len() as u64)),
+        (
+            "timelines".into(),
+            Value::Str(analyze::render_timelines(&analyze::miss_timelines(
+                &events, window,
+            ))),
+        ),
+        (
+            "banks".into(),
+            Value::Str(analyze::render_bank_table(&analyze::bank_occupancy(
+                &events,
+            ))),
+        ),
+        (
+            "conflicts".into(),
+            Value::Str(analyze::render_conflict_sets(&analyze::top_conflict_sets(
+                &events, top,
+            ))),
+        ),
+    ]))
+}

@@ -1,0 +1,333 @@
+//! In-process integration tests for the daemon: deadlines, crash
+//! isolation, backpressure, graceful drain, and the Unix transport.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::{Serialize, Value};
+use vcache_check::{AffineRef, LoopNest, Term};
+use vcache_serve::protocol::{ErrorCode, Request, Response};
+use vcache_serve::{Client, FaultPlan, RetryPolicy, Server, ServerConfig};
+
+/// Boots a daemon on an ephemeral port; returns (addr, shutdown handle,
+/// metrics, runner join handle).
+fn boot(
+    config: ServerConfig,
+) -> (
+    String,
+    vcache_serve::ShutdownHandle,
+    vcache_trace::SharedMetrics,
+    thread::JoinHandle<vcache_trace::MetricsSnapshot>,
+) {
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle();
+    let metrics = server.metrics();
+    let runner = thread::spawn(move || server.run().unwrap());
+    (addr, handle, metrics, runner)
+}
+
+/// One raw request/response exchange over a fresh TCP connection, no
+/// retries — for asserting on exact single responses.
+fn raw_call(addr: &str, request: &Request) -> Response {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut line = request.to_json();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    Response::from_json(response.trim_end()).unwrap()
+}
+
+fn nest_params(nest: &LoopNest, deadline_ms: Option<u64>) -> Request {
+    let mut request = Request::new(42, "analyze_nest");
+    request.params = Value::Obj(vec![
+        ("nest".to_string(), nest.to_value()),
+        (
+            "geometry".to_string(),
+            Value::Obj(vec![
+                ("kind".to_string(), Value::Str("pow2".into())),
+                ("sets".to_string(), Value::U64(32)),
+                ("line_words".to_string(), Value::U64(8)),
+            ]),
+        ),
+    ]);
+    request.deadline_ms = deadline_ms;
+    request
+}
+
+/// A Lattice-shaped nest whose exact enumeration walks ~2^22 steps —
+/// seconds of work, far beyond a short deadline.
+fn slow_nest() -> LoopNest {
+    LoopNest::new(
+        "slow",
+        vec![AffineRef::new(
+            0,
+            vec![
+                Term {
+                    coeff: 3,
+                    trip: 1 << 21,
+                },
+                Term { coeff: 7, trip: 2 },
+            ],
+            0,
+        )],
+    )
+}
+
+/// A trivially fast nest.
+fn fast_nest() -> LoopNest {
+    LoopNest::new(
+        "fast",
+        vec![AffineRef::new(0, vec![Term { coeff: 1, trip: 16 }], 0)],
+    )
+}
+
+#[test]
+fn deadline_exceeded_is_typed_and_the_worker_stays_usable() {
+    let (addr, handle, _metrics, runner) = boot(ServerConfig {
+        workers: 1, // one worker: the second request reuses the survivor
+        ..ServerConfig::default()
+    });
+
+    let started = Instant::now();
+    let response = raw_call(&addr, &nest_params(&slow_nest(), Some(200)));
+    let elapsed = started.elapsed();
+    match response.outcome {
+        Err(body) => {
+            assert_eq!(body.code, ErrorCode::DeadlineExceeded, "{}", body.message);
+        }
+        Ok(v) => panic!("expected deadline_exceeded, got success: {v:?}"),
+    }
+    // Cancellation is cooperative (polled every enumeration quantum), so
+    // the response lands promptly instead of after the full walk. The
+    // generous bound absorbs debug-build and CI noise; the typed error
+    // above is the real proof the budget hook fired.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "deadline response took {elapsed:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(150),
+        "cancelled before the deadline: {elapsed:?}"
+    );
+
+    // The same (sole) worker serves the next request.
+    let response = raw_call(&addr, &nest_params(&fast_nest(), Some(5_000)));
+    let result = response.outcome.expect("fast nest should analyze");
+    let analysis = result.get("analysis").expect("analysis in result");
+    assert!(analysis.get("verdict").is_some());
+
+    handle.trigger();
+    runner.join().unwrap();
+}
+
+#[test]
+fn panicking_handlers_yield_typed_errors_and_the_pool_survives() {
+    let plan = FaultPlan::parse("seed=3,panic=1.0").unwrap();
+    let (addr, handle, metrics, runner) = boot(ServerConfig {
+        workers: 2,
+        fault_plan: plan,
+        ..ServerConfig::default()
+    });
+
+    // Every worker op panics; each must still resolve to exactly one
+    // typed internal_error — six in a row proves the workers survive
+    // their own crashes (dead workers would leave requests hanging).
+    for _ in 0..6 {
+        let response = raw_call(&addr, &nest_params(&fast_nest(), None));
+        match response.outcome {
+            Err(body) => assert_eq!(body.code, ErrorCode::InternalError, "{}", body.message),
+            Ok(v) => panic!("expected internal_error, got {v:?}"),
+        }
+    }
+    assert!(metrics.counter_value("serve.panics_caught") >= 6);
+
+    // Control-plane ops bypass the worker pool and still succeed.
+    let response = raw_call(&addr, &Request::new(1, "ping"));
+    assert!(response.outcome.is_ok());
+
+    handle.trigger();
+    let snapshot = runner.join().unwrap();
+    assert!(snapshot.counter("serve.panics_caught") >= 6);
+}
+
+#[test]
+fn saturated_queue_sheds_with_a_retry_after_hint() {
+    let plan = FaultPlan::parse("seed=1,delay=1.0:600").unwrap();
+    let (addr, handle, metrics, runner) = boot(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 75,
+        fault_plan: plan,
+        ..ServerConfig::default()
+    });
+
+    // First request occupies the only worker (600 ms injected delay),
+    // second fills the queue, third must be shed immediately.
+    let spawn_req = |addr: String, settle_ms: u64| {
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(settle_ms));
+            raw_call(&addr, &nest_params(&fast_nest(), Some(5_000)))
+        })
+    };
+    let a = spawn_req(addr.clone(), 0);
+    let b = spawn_req(addr.clone(), 150);
+    let c = spawn_req(addr.clone(), 300);
+
+    let shed = c.join().unwrap();
+    match shed.outcome {
+        Err(body) => {
+            assert_eq!(body.code, ErrorCode::Overloaded, "{}", body.message);
+            assert_eq!(body.retry_after_ms, Some(75));
+        }
+        Ok(v) => panic!("expected overloaded, got {v:?}"),
+    }
+    // The occupant and the queued request both complete normally.
+    assert!(a.join().unwrap().outcome.is_ok());
+    assert!(b.join().unwrap().outcome.is_ok());
+    assert!(metrics.counter_value("serve.sheds") >= 1);
+
+    handle.trigger();
+    runner.join().unwrap();
+}
+
+#[test]
+fn retrying_client_rides_out_sheds_and_honors_retry_after() {
+    let plan = FaultPlan::parse("seed=5,delay=1.0:400").unwrap();
+    let (addr, handle, _metrics, runner) = boot(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 100,
+        fault_plan: plan,
+        ..ServerConfig::default()
+    });
+
+    // Saturate: one in the worker, one in the queue.
+    let occupants: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(50 * i));
+                raw_call(&addr, &nest_params(&fast_nest(), Some(10_000)))
+            })
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(200));
+
+    // A retrying client gets shed, backs off per the hint, and lands
+    // once the injected delays clear.
+    let mut client = Client::with_policy(
+        addr,
+        RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(500),
+            seed: 7,
+        },
+    );
+    let request_params = nest_params(&fast_nest(), Some(10_000)).params;
+    let result = client
+        .call("analyze_nest", request_params, Some(10_000))
+        .expect("retrying client should eventually succeed");
+    assert!(result.get("analysis").is_some());
+
+    for occupant in occupants {
+        assert!(occupant.join().unwrap().outcome.is_ok());
+    }
+    handle.trigger();
+    runner.join().unwrap();
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_work() {
+    let plan = FaultPlan::parse("seed=2,delay=1.0:400").unwrap();
+    let (addr, handle, _metrics, runner) = boot(ServerConfig {
+        workers: 1,
+        fault_plan: plan,
+        ..ServerConfig::default()
+    });
+
+    // Put a slow request in flight, then trigger shutdown behind it.
+    let in_flight = {
+        let addr = addr.clone();
+        thread::spawn(move || raw_call(&addr, &nest_params(&fast_nest(), Some(10_000))))
+    };
+    thread::sleep(Duration::from_millis(150));
+    handle.trigger();
+
+    // The in-flight request still resolves successfully: drain, not drop.
+    assert!(in_flight.join().unwrap().outcome.is_ok());
+    let snapshot = runner.join().unwrap();
+    assert!(snapshot.counter("serve.responses_ok") >= 1);
+
+    // After drain, the daemon is gone: connections fail outright.
+    thread::sleep(Duration::from_millis(50));
+    assert!(TcpStream::connect(&addr).is_err());
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_serves_the_same_protocol() {
+    use std::os::unix::net::UnixStream;
+
+    let dir = std::env::temp_dir().join(format!("vcache-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("daemon.sock");
+    let (_, handle, _metrics, runner) = boot(ServerConfig {
+        unix_path: Some(sock.clone()),
+        ..ServerConfig::default()
+    });
+
+    let mut stream = UnixStream::connect(&sock).unwrap();
+    let mut line = Request::new(9, "ping").to_json();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    let response = Response::from_json(response.trim_end()).unwrap();
+    assert_eq!(response.id, 9);
+    let result = response.outcome.unwrap();
+    assert_eq!(result.get("pong"), Some(&Value::Bool(true)));
+
+    handle.trigger();
+    runner.join().unwrap();
+    // The socket file is cleaned up on drain.
+    assert!(!sock.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_bad_request() {
+    let (addr, handle, _metrics, runner) = boot(ServerConfig::default());
+
+    // Not JSON at all.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"this is not json\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = Response::from_json(line.trim_end()).unwrap();
+    match response.outcome {
+        Err(body) => assert_eq!(body.code, ErrorCode::BadRequest),
+        Ok(v) => panic!("expected bad_request, got {v:?}"),
+    }
+
+    // Valid envelope, unknown op — same connection still works.
+    let response = raw_call(&addr, &Request::new(5, "transmogrify"));
+    match response.outcome {
+        Err(body) => {
+            assert_eq!(body.code, ErrorCode::BadRequest);
+            assert!(body.message.contains("transmogrify"));
+        }
+        Ok(v) => panic!("expected bad_request, got {v:?}"),
+    }
+
+    handle.trigger();
+    runner.join().unwrap();
+}

@@ -1,0 +1,109 @@
+//! Golden-file test pinning the wire protocol to DESIGN.md §7.
+//!
+//! Three things must agree: the envelope serializers, the error-code
+//! taxonomy, and the spec text. Any drift — a renamed field, a new or
+//! reordered code, a doc example that no longer matches what the code
+//! emits — fails here, making protocol breaks a deliberate act (edit
+//! the spec AND this test) instead of an accident.
+
+use serde::Value;
+use vcache_serve::protocol::{ErrorBody, ErrorCode, GeometrySpec, Request, Response};
+use vcache_serve::PROTOCOL_VERSION;
+
+/// The stable code strings, in taxonomy order. This list is the
+/// contract; `ErrorCode::ALL` must match it exactly.
+const GOLDEN_CODES: [&str; 7] = [
+    "bad_request",
+    "analysis_failed",
+    "io_error",
+    "internal_error",
+    "deadline_exceeded",
+    "overloaded",
+    "shutting_down",
+];
+
+/// The exact example lines quoted in DESIGN.md §7a.
+const GOLDEN_REQUEST: &str = r#"{"id":7,"op":"analyze_nest","params":{},"deadline_ms":250}"#;
+const GOLDEN_OK: &str = r#"{"id":7,"ok":true,"result":{"pong":true,"version":1}}"#;
+const GOLDEN_ERR: &str = r#"{"id":9,"ok":false,"error":{"code":"overloaded","message":"queue full","retry_after_ms":50}}"#;
+
+fn design_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    std::fs::read_to_string(path).expect("DESIGN.md at the workspace root")
+}
+
+#[test]
+fn error_code_taxonomy_is_pinned() {
+    assert_eq!(ErrorCode::ALL.len(), GOLDEN_CODES.len());
+    for (code, golden) in ErrorCode::ALL.into_iter().zip(GOLDEN_CODES) {
+        assert_eq!(code.as_str(), golden, "taxonomy order or spelling drifted");
+        assert_eq!(ErrorCode::parse(golden), Some(code), "parse is not inverse");
+    }
+    // The request-not-started subset is part of the retry contract.
+    for code in ErrorCode::ALL {
+        assert_eq!(
+            code.request_not_started(),
+            matches!(code, ErrorCode::Overloaded | ErrorCode::ShuttingDown),
+            "{code} changed its request-not-started classification"
+        );
+    }
+}
+
+#[test]
+fn envelopes_serialize_exactly_as_specified() {
+    let mut request = Request::new(7, "analyze_nest");
+    request.deadline_ms = Some(250);
+    assert_eq!(request.to_json(), GOLDEN_REQUEST);
+    assert_eq!(Request::from_json(GOLDEN_REQUEST).unwrap(), request);
+
+    let ok = Response::ok(
+        7,
+        Value::Obj(vec![
+            ("pong".into(), Value::Bool(true)),
+            ("version".into(), Value::U64(PROTOCOL_VERSION)),
+        ]),
+    );
+    assert_eq!(ok.to_json(), GOLDEN_OK);
+    assert_eq!(Response::from_json(GOLDEN_OK).unwrap(), ok);
+
+    let mut body = ErrorBody::new(ErrorCode::Overloaded, "queue full");
+    body.retry_after_ms = Some(50);
+    let err = Response::err(9, body);
+    assert_eq!(err.to_json(), GOLDEN_ERR);
+    assert_eq!(Response::from_json(GOLDEN_ERR).unwrap(), err);
+}
+
+#[test]
+fn design_md_section_7_matches_the_code() {
+    let spec = design_md();
+    let section = spec
+        .split("## 7. The analysis daemon")
+        .nth(1)
+        .expect("DESIGN.md has a section 7");
+
+    // Every wire code appears in the spec's taxonomy table, and no
+    // stale code lingers in the doc that the parser would reject.
+    for code in GOLDEN_CODES {
+        assert!(
+            section.contains(&format!("`{code}`")),
+            "DESIGN.md section 7 does not document {code}"
+        );
+    }
+    // The quoted envelope examples are the real serializations (tested
+    // byte-exactly above), so doc and serializer cannot drift apart.
+    for golden in [GOLDEN_REQUEST, GOLDEN_OK, GOLDEN_ERR] {
+        assert!(
+            section.contains(golden),
+            "DESIGN.md section 7 lost the example line {golden}"
+        );
+    }
+    // The geometry wire forms documented in the op table parse.
+    for kind in [r#""kind":"pow2""#, r#""kind":"prime""#] {
+        assert!(section.contains(kind), "op table lost the {kind} form");
+    }
+    let pow2: Value = serde_json::from_str(r#"{"kind":"pow2","sets":64,"line_words":8}"#).unwrap();
+    assert!(GeometrySpec::from_value(&pow2).is_ok());
+    let prime: Value =
+        serde_json::from_str(r#"{"kind":"prime","exponent":13,"line_words":8}"#).unwrap();
+    assert!(GeometrySpec::from_value(&prime).is_ok());
+}

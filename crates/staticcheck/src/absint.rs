@@ -54,6 +54,81 @@ use crate::nest::{AffineRef, LoopNest};
 /// analysis; abstract rules are unaffected by this bound.
 pub const MAX_NEST_WORDS: u64 = MAX_ANALYZED_WORDS;
 
+/// How many enumeration steps may pass between two polls of a
+/// [`NestBudget`] cancellation callback. A cancelled analysis (e.g. a
+/// request past its deadline in `vcache serve`) is abandoned within one
+/// quantum of work, never at the end of the full enumeration.
+pub const BUDGET_CHECK_QUANTUM: u64 = 4096;
+
+/// Resource limits for one nest analysis: the enumeration word cap plus
+/// an optional cooperative-cancellation callback, polled at least every
+/// [`BUDGET_CHECK_QUANTUM`] enumeration steps. The abstract decision
+/// rules are effectively O(refs²) and are never cancelled mid-rule; only
+/// the enumeration fallbacks poll.
+pub struct NestBudget<'a> {
+    /// Enumeration cap in materialized lines/words (defaults to
+    /// [`MAX_NEST_WORDS`]).
+    pub max_words: u64,
+    /// Returns `true` once the analysis should be abandoned (e.g. a
+    /// deadline passed). `None` never cancels.
+    pub cancelled: Option<&'a (dyn Fn() -> bool + 'a)>,
+}
+
+impl Default for NestBudget<'_> {
+    fn default() -> Self {
+        Self {
+            max_words: MAX_NEST_WORDS,
+            cancelled: None,
+        }
+    }
+}
+
+impl<'a> NestBudget<'a> {
+    /// A budget with the default word cap and the given cancellation
+    /// callback.
+    #[must_use]
+    pub fn with_cancel(cancelled: &'a (dyn Fn() -> bool + 'a)) -> Self {
+        Self {
+            max_words: MAX_NEST_WORDS,
+            cancelled: Some(cancelled),
+        }
+    }
+}
+
+/// Countdown wrapper polling the cancellation callback once per
+/// [`BUDGET_CHECK_QUANTUM`] ticks.
+struct CancelPoll<'a> {
+    cancelled: Option<&'a (dyn Fn() -> bool + 'a)>,
+    countdown: u64,
+}
+
+impl<'a> CancelPoll<'a> {
+    fn new(budget: &NestBudget<'a>) -> Self {
+        Self {
+            cancelled: budget.cancelled,
+            countdown: BUDGET_CHECK_QUANTUM,
+        }
+    }
+
+    /// Charges `steps` enumeration steps; polls the callback whenever a
+    /// quantum has elapsed.
+    fn tick(&mut self, steps: u64) -> Result<(), NestError> {
+        let Some(cancelled) = self.cancelled else {
+            return Ok(());
+        };
+        if self.countdown > steps {
+            self.countdown -= steps;
+            return Ok(());
+        }
+        self.countdown = BUDGET_CHECK_QUANTUM;
+        if cancelled() {
+            Err(NestError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
 /// Segment grids with more segments than this are not arc-checked
 /// analytically (far beyond any real blocking factor).
 const MAX_ARC_SEGMENTS: u64 = 1 << 20;
@@ -72,6 +147,9 @@ pub enum NestError {
         /// Lines the enumeration would have needed.
         needed: u64,
     },
+    /// The [`NestBudget`] cancellation callback fired (e.g. a request
+    /// deadline passed); the analysis was abandoned mid-enumeration.
+    Cancelled,
 }
 
 impl fmt::Display for NestError {
@@ -84,6 +162,7 @@ impl fmt::Display for NestError {
                 f,
                 "undecided components need {needed} enumerated lines, above the {MAX_NEST_WORDS}-line bound"
             ),
+            Self::Cancelled => write!(f, "analysis cancelled before completion"),
         }
     }
 }
@@ -611,17 +690,20 @@ fn decide_pair(a: &LineSet, b: &LineSet, geometry: &Geometry) -> Option<Decision
     None
 }
 
-/// Materializes the distinct lines of a reference, charging `budget`.
+/// Materializes the distinct lines of a reference, charging `budget`
+/// (starting from `max_words`) and polling `poll` for cancellation.
 fn enumerate_lines(
     r: &AffineRef,
     ls: &LineSet,
     line_words: u64,
     budget: &mut u64,
+    max_words: u64,
+    poll: &mut CancelPoll<'_>,
 ) -> Result<Vec<u64>, NestError> {
     let charge = |budget: &mut u64, cost: u64| {
         if cost > *budget {
             Err(NestError::TooLarge {
-                needed: MAX_NEST_WORDS - *budget + cost,
+                needed: max_words - *budget + cost,
             })
         } else {
             *budget -= cost;
@@ -636,7 +718,12 @@ fn enumerate_lines(
         }
         Shape::Progression { step, count } => {
             charge(budget, count)?;
-            Ok((0..count).map(|k| ls.first + k * step).collect())
+            let mut out = Vec::with_capacity(count as usize);
+            for k in 0..count {
+                poll.tick(1)?;
+                out.push(ls.first + k * step);
+            }
+            Ok(out)
         }
         Shape::SegmentGrid {
             seg_len,
@@ -646,6 +733,7 @@ fn enumerate_lines(
             charge(budget, seg_len.saturating_mul(seg_count))?;
             let mut out = Vec::new();
             for j in 0..seg_count {
+                poll.tick(seg_len)?;
                 let start = ls.first + j * seg_step;
                 out.extend(start..start + seg_len);
             }
@@ -658,6 +746,7 @@ fn enumerate_lines(
             let dims: Vec<_> = r.terms.iter().filter(|t| t.trip > 0).collect();
             let mut idx = vec![0u64; dims.len()];
             loop {
+                poll.tick(1)?;
                 let mut w = i128::from(r.base);
                 for (t, &i) in dims.iter().zip(&idx) {
                     w += i128::from(t.coeff) * i128::from(i);
@@ -688,36 +777,48 @@ fn enumerate_lines(
 }
 
 /// Scans one reference's lines for a within-reference collision.
-fn scan_within(lines: &[u64], geometry: &Geometry) -> Decision {
+fn scan_within(
+    lines: &[u64],
+    geometry: &Geometry,
+    poll: &mut CancelPoll<'_>,
+) -> Result<Decision, NestError> {
     let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
     for &line in lines {
+        poll.tick(1)?;
         if let Some(&other) = seen.get(&geometry.set_of_line(line)) {
             if other != line {
-                return Decision::conflict(Rule::Enumerated, other, line);
+                return Ok(Decision::conflict(Rule::Enumerated, other, line));
             }
         } else {
             seen.insert(geometry.set_of_line(line), line);
         }
     }
-    Decision::free(Rule::Enumerated)
+    Ok(Decision::free(Rule::Enumerated))
 }
 
 /// Scans a reference pair for a cross-reference collision of *distinct*
 /// lines. `map_a` holds one representative line of `a` per set; if `a`
 /// self-conflicts the overall verdict is already interfering, so a
 /// single representative is enough.
-fn scan_pair(map_a: &BTreeMap<u64, u64>, lines_b: &[u64], geometry: &Geometry) -> Decision {
+fn scan_pair(
+    map_a: &BTreeMap<u64, u64>,
+    lines_b: &[u64],
+    geometry: &Geometry,
+    poll: &mut CancelPoll<'_>,
+) -> Result<Decision, NestError> {
     for &line in lines_b {
+        poll.tick(1)?;
         if let Some(&other) = map_a.get(&geometry.set_of_line(line)) {
             if other != line {
-                return Decision::conflict(Rule::Enumerated, other, line);
+                return Ok(Decision::conflict(Rule::Enumerated, other, line));
             }
         }
     }
-    Decision::free(Rule::Enumerated)
+    Ok(Decision::free(Rule::Enumerated))
 }
 
-/// Statically analyzes `nest` against `geometry`.
+/// Statically analyzes `nest` against `geometry` under the default
+/// [`NestBudget`] (full word cap, no cancellation).
 ///
 /// # Errors
 ///
@@ -726,6 +827,25 @@ fn scan_pair(map_a: &BTreeMap<u64, u64>, lines_b: &[u64], geometry: &Geometry) -
 /// inconclusive and exact fallback enumeration would exceed
 /// [`MAX_NEST_WORDS`] lines.
 pub fn analyze_nest(nest: &LoopNest, geometry: &Geometry) -> Result<NestAnalysis, NestError> {
+    analyze_nest_with_budget(nest, geometry, &NestBudget::default())
+}
+
+/// Statically analyzes `nest` against `geometry` under an explicit
+/// [`NestBudget`]. The cancellation callback (if any) is polled at
+/// least every [`BUDGET_CHECK_QUANTUM`] enumeration steps, so a caller
+/// enforcing a deadline observes [`NestError::Cancelled`] within one
+/// quantum of work past the deadline.
+///
+/// # Errors
+///
+/// As [`analyze_nest`], plus [`NestError::Cancelled`] when the budget's
+/// callback fires mid-enumeration.
+pub fn analyze_nest_with_budget(
+    nest: &LoopNest,
+    geometry: &Geometry,
+    nest_budget: &NestBudget<'_>,
+) -> Result<NestAnalysis, NestError> {
+    let mut poll = CancelPoll::new(nest_budget);
     let line_words = geometry.line_words();
     let line_sets: Vec<LineSet> = nest
         .refs
@@ -780,7 +900,8 @@ pub fn analyze_nest(nest: &LoopNest, geometry: &Geometry) -> Result<NestAnalysis
     }
 
     // Exact fallback for whatever the abstract rules left open.
-    let mut budget = MAX_NEST_WORDS;
+    let max_words = nest_budget.max_words;
+    let mut budget = max_words;
     let mut enumerated: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
     let mut set_maps: BTreeMap<usize, BTreeMap<u64, u64>> = BTreeMap::new();
     let needed: Vec<usize> = {
@@ -796,19 +917,29 @@ pub fn analyze_nest(nest: &LoopNest, geometry: &Geometry) -> Result<NestAnalysis
         v
     };
     for &i in &needed {
-        let lines = enumerate_lines(&nest.refs[i], &line_sets[i], line_words, &mut budget)?;
+        let lines = enumerate_lines(
+            &nest.refs[i],
+            &line_sets[i],
+            line_words,
+            &mut budget,
+            max_words,
+            &mut poll,
+        )?;
         let mut map = BTreeMap::new();
         for &line in &lines {
+            poll.tick(1)?;
             map.entry(geometry.set_of_line(line)).or_insert(line);
         }
         set_maps.insert(i, map);
         enumerated.insert(i, lines);
     }
-    let enumerated_lines = MAX_NEST_WORDS - budget;
+    let enumerated_lines = max_words - budget;
     for component in undecided {
         let d = match component {
-            Component::Within { r } => scan_within(&enumerated[&r], geometry),
-            Component::Pair { a, b } => scan_pair(&set_maps[&a], &enumerated[&b], geometry),
+            Component::Within { r } => scan_within(&enumerated[&r], geometry, &mut poll)?,
+            Component::Pair { a, b } => {
+                scan_pair(&set_maps[&a], &enumerated[&b], geometry, &mut poll)?
+            }
         };
         record(&mut proofs, &mut conflicts, component, &d, geometry);
     }
@@ -1026,6 +1157,53 @@ mod tests {
         same.refs[1].stream = 0;
         let an = analyze_nest(&same, &pow2(8192, 8)).unwrap();
         assert_eq!(an.verdict, NestVerdict::SelfInterfering);
+    }
+
+    #[test]
+    fn budget_cancellation_is_observed_within_a_quantum() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // A Lattice-shaped nest forcing a long enumeration fallback.
+        let n = nest1("slow", 0, vec![t(3, 1 << 18), t(7, 2)]);
+        let calls = AtomicU64::new(0);
+        // Cancel on the second poll: the analysis must stop long before
+        // finishing the ~2^19-step walk.
+        let cancel = |count: &AtomicU64| count.fetch_add(1, Ordering::Relaxed) >= 1;
+        let hook = || cancel(&calls);
+        let budget = NestBudget::with_cancel(&hook);
+        assert_eq!(
+            analyze_nest_with_budget(&n, &pow2(32, 8), &budget).err(),
+            Some(NestError::Cancelled)
+        );
+        let polls = calls.load(Ordering::Relaxed);
+        assert!(polls >= 2, "callback polled {polls} times");
+        // Each poll covers at most one quantum, so total work before the
+        // cancel was bounded by polls × quantum — far below the walk.
+        assert!(polls * BUDGET_CHECK_QUANTUM < (1 << 19));
+        assert!(NestError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn never_firing_callback_changes_nothing() {
+        let n = nest1("lat", 0, vec![t(12, 50)]);
+        let hook = || false;
+        let budget = NestBudget::with_cancel(&hook);
+        let with = analyze_nest_with_budget(&n, &pow2(32, 8), &budget).unwrap();
+        let without = analyze_nest(&n, &pow2(32, 8)).unwrap();
+        assert_eq!(with.verdict, without.verdict);
+        assert_eq!(with.enumerated_lines, without.enumerated_lines);
+    }
+
+    #[test]
+    fn shrunken_word_cap_rejects_as_too_large() {
+        let n = nest1("lat", 0, vec![t(12, 50)]);
+        let budget = NestBudget {
+            max_words: 4,
+            cancelled: None,
+        };
+        assert!(matches!(
+            analyze_nest_with_budget(&n, &pow2(32, 8), &budget),
+            Err(NestError::TooLarge { .. })
+        ));
     }
 
     #[test]

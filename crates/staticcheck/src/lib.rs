@@ -50,11 +50,14 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use absint::{analyze_nest, NestAnalysis, NestError, NestVerdict};
+pub use absint::{
+    analyze_nest, analyze_nest_with_budget, NestAnalysis, NestBudget, NestError, NestVerdict,
+    BUDGET_CHECK_QUANTUM,
+};
 pub use conflict::{analyze_program, Geometry, ProgramAnalysis, Verdict};
 pub use lint::Finding;
 pub use nest::{AffineRef, LoopNest, Term};
-pub use prescribe::{prescribe, Certificate, Fix};
+pub use prescribe::{prescribe, prescribe_with_budget, Certificate, Fix};
 pub use report::Report;
 
 /// Name of the committed allowlist file at the workspace root.

@@ -222,6 +222,120 @@ impl LoopNest {
         }
     }
 
+    /// Lowers the blocked matrix multiply `C += A·B` on `b × b` blocks
+    /// of `n × n` column-major matrices (the kernel traced by
+    /// `vcache_workloads::kernels::blocked_matmul_trace`) to its
+    /// five-deep loop nest `(jb, kb, ib, col, i)`, one reference per
+    /// matrix:
+    ///
+    /// * `A[kb·b·n + col·n + ib·b + i]` at base 0, stream 0 — the `jb`
+    ///   loop does not move A, so its term carries coefficient 0;
+    /// * `B[jb·b·n + col·n + kb·b + i]` at base `n²`, stream 1 (the
+    ///   `ib` loop is the dead dimension);
+    /// * `C[jb·b·n + col·n + ib·b + i]` at base `2n²`, stream 2 (the
+    ///   `kb` loop is the dead dimension).
+    ///
+    /// Dead dimensions are kept (coefficient 0) so each reference's
+    /// iteration space is the full loop nest, mirroring the trace's
+    /// revisit structure rather than just its footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero, does not divide `n`, or the coefficients
+    /// leave the signed range.
+    #[must_use]
+    pub fn blocked_matmul(n: u64, b: u64) -> Self {
+        assert!(
+            b > 0 && n.is_multiple_of(b),
+            "blocking factor must divide n"
+        );
+        let nb = n / b;
+        assert!(
+            i64::try_from(b.saturating_mul(n)).is_ok(),
+            "coefficients exceed the signed range"
+        );
+        let (block_stride, col_stride, block) = ((b * n) as i64, n as i64, b as i64);
+        let terms = |jb: i64, kb: i64, ib: i64| {
+            vec![
+                Term {
+                    coeff: jb,
+                    trip: nb,
+                },
+                Term {
+                    coeff: kb,
+                    trip: nb,
+                },
+                Term {
+                    coeff: ib,
+                    trip: nb,
+                },
+                Term {
+                    coeff: col_stride,
+                    trip: b,
+                },
+                Term { coeff: 1, trip: b },
+            ]
+        };
+        Self {
+            name: format!("matmul[n={n}, b={b}]"),
+            leading_dim: None,
+            refs: vec![
+                AffineRef::new(0, terms(0, block_stride, block), 0),
+                AffineRef::new(n * n, terms(block_stride, block, 0), 1),
+                AffineRef::new(2 * n * n, terms(block_stride, 0, block), 2),
+            ],
+        }
+    }
+
+    /// Lowers the out-of-place transpose `B = Aᵀ` of a `p × q`
+    /// column-major matrix (the kernel traced by
+    /// `vcache_workloads::extra::transpose_trace`) to its two-deep loop
+    /// nest `(j, i)`: the read walks column `j` of `A` at unit stride
+    /// (`a_base + j·p + i`, stream 0) while the write scatters row `j`
+    /// of `B` at stride `q` (`b_base + j + i·q`, stream 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or exceeds the signed
+    /// coefficient range.
+    #[must_use]
+    pub fn transpose(a_base: u64, b_base: u64, p: u64, q: u64) -> Self {
+        assert!(p > 0 && q > 0, "matrix dimensions must be positive");
+        assert!(
+            i64::try_from(p).is_ok() && i64::try_from(q).is_ok(),
+            "dimensions exceed the coefficient range"
+        );
+        let (p_c, q_c) = (p as i64, q as i64);
+        Self {
+            name: format!("transpose[{p}x{q}]"),
+            leading_dim: None,
+            refs: vec![
+                AffineRef::new(
+                    a_base,
+                    vec![
+                        Term {
+                            coeff: p_c,
+                            trip: q,
+                        },
+                        Term { coeff: 1, trip: p },
+                    ],
+                    0,
+                ),
+                AffineRef::new(
+                    b_base,
+                    vec![
+                        Term { coeff: 1, trip: q },
+                        Term {
+                            coeff: q_c,
+                            trip: p,
+                        },
+                    ],
+                    1,
+                ),
+            ],
+        }
+    }
+
     /// Flattens the nest into a strided [`Program`] for differential
     /// replay through the simulator: the innermost term of each reference
     /// becomes the vector stride, outer dimensions are enumerated.

@@ -27,7 +27,7 @@
 use serde::Serialize;
 use vcache_mersenne::MERSENNE_EXPONENTS;
 
-use crate::absint::{analyze_nest, NestVerdict};
+use crate::absint::{analyze_nest, analyze_nest_with_budget, NestBudget, NestError, NestVerdict};
 use crate::conflict::Geometry;
 use crate::nest::LoopNest;
 
@@ -126,11 +126,18 @@ impl Certificate {
 }
 
 /// True when the nest is conflict-free under `geometry`; analysis
-/// failures count as "not free" so the search skips the candidate.
-fn is_free(nest: &LoopNest, geometry: &Geometry) -> bool {
-    analyze_nest(nest, geometry)
-        .map(|a| a.verdict == NestVerdict::ConflictFree)
-        .unwrap_or(false)
+/// failures count as "not free" so the search skips the candidate —
+/// except cancellation, which aborts the whole search.
+fn is_free(
+    nest: &LoopNest,
+    geometry: &Geometry,
+    budget: &NestBudget<'_>,
+) -> Result<bool, NestError> {
+    match analyze_nest_with_budget(nest, geometry, budget) {
+        Ok(a) => Ok(a.verdict == NestVerdict::ConflictFree),
+        Err(NestError::Cancelled) => Err(NestError::Cancelled),
+        Err(_) => Ok(false),
+    }
 }
 
 /// Padding candidates: rewrite every coefficient `±ld` to `±(ld + δ)`.
@@ -154,14 +161,21 @@ fn pad_nest(nest: &LoopNest, ld: u64, delta: u64) -> Option<LoopNest> {
     changed.then_some(fixed)
 }
 
-fn try_padding(nest: &LoopNest, geometry: &Geometry, max_pad: u64) -> Option<Certificate> {
-    let ld = nest.leading_dim?;
+fn try_padding(
+    nest: &LoopNest,
+    geometry: &Geometry,
+    max_pad: u64,
+    budget: &NestBudget<'_>,
+) -> Result<Option<Certificate>, NestError> {
+    let Some(ld) = nest.leading_dim else {
+        return Ok(None);
+    };
     for delta in 1..=max_pad {
         let Some(fixed) = pad_nest(nest, ld, delta) else {
             continue;
         };
-        if is_free(&fixed, geometry) {
-            return Some(Certificate {
+        if is_free(&fixed, geometry, budget)? {
+            return Ok(Some(Certificate {
                 nest: nest.name.clone(),
                 original_geometry: geometry.kind(),
                 original_sets: geometry.sets(),
@@ -171,16 +185,20 @@ fn try_padding(nest: &LoopNest, geometry: &Geometry, max_pad: u64) -> Option<Cer
                 },
                 fixed_nest: fixed,
                 fixed_geometry: *geometry,
-            });
+            }));
         }
     }
-    None
+    Ok(None)
 }
 
 /// References implicated in any conflict of the analysis, in index
 /// order; if the analysis itself fails, every reference is a candidate.
-fn conflicting_refs(nest: &LoopNest, geometry: &Geometry) -> Vec<usize> {
-    match analyze_nest(nest, geometry) {
+fn conflicting_refs(
+    nest: &LoopNest,
+    geometry: &Geometry,
+    budget: &NestBudget<'_>,
+) -> Result<Vec<usize>, NestError> {
+    match analyze_nest_with_budget(nest, geometry, budget) {
         Ok(a) => {
             let mut v: Vec<usize> = a
                 .proofs
@@ -193,9 +211,10 @@ fn conflicting_refs(nest: &LoopNest, geometry: &Geometry) -> Vec<usize> {
                 .collect();
             v.sort_unstable();
             v.dedup();
-            v
+            Ok(v)
         }
-        Err(_) => (0..nest.refs.len()).collect(),
+        Err(NestError::Cancelled) => Err(NestError::Cancelled),
+        Err(_) => Ok((0..nest.refs.len()).collect()),
     }
 }
 
@@ -205,8 +224,12 @@ fn with_trip(nest: &LoopNest, ref_index: usize, dim: usize, trip: u64) -> LoopNe
     fixed
 }
 
-fn try_shrink(nest: &LoopNest, geometry: &Geometry) -> Option<Certificate> {
-    for ref_index in conflicting_refs(nest, geometry) {
+fn try_shrink(
+    nest: &LoopNest,
+    geometry: &Geometry,
+    budget: &NestBudget<'_>,
+) -> Result<Option<Certificate>, NestError> {
+    for ref_index in conflicting_refs(nest, geometry, budget)? {
         let dims = nest.refs[ref_index].terms.len();
         for dim in 0..dims {
             let from = nest.refs[ref_index].terms[dim].trip;
@@ -215,7 +238,7 @@ fn try_shrink(nest: &LoopNest, geometry: &Geometry) -> Option<Certificate> {
             }
             // A trip of 1 neutralizes the dimension entirely; if even
             // that does not help, this dimension is not the problem.
-            if !is_free(&with_trip(nest, ref_index, dim, 1), geometry) {
+            if !is_free(&with_trip(nest, ref_index, dim, 1), geometry, budget)? {
                 continue;
             }
             // Binary search the largest conflict-free trip in
@@ -225,13 +248,13 @@ fn try_shrink(nest: &LoopNest, geometry: &Geometry) -> Option<Certificate> {
             let (mut lo, mut hi) = (1u64, from - 1);
             while lo < hi {
                 let mid = lo + (hi - lo).div_ceil(2);
-                if is_free(&with_trip(nest, ref_index, dim, mid), geometry) {
+                if is_free(&with_trip(nest, ref_index, dim, mid), geometry, budget)? {
                     lo = mid;
                 } else {
                     hi = mid - 1;
                 }
             }
-            return Some(Certificate {
+            return Ok(Some(Certificate {
                 nest: nest.name.clone(),
                 original_geometry: geometry.kind(),
                 original_sets: geometry.sets(),
@@ -243,13 +266,17 @@ fn try_shrink(nest: &LoopNest, geometry: &Geometry) -> Option<Certificate> {
                 },
                 fixed_nest: with_trip(nest, ref_index, dim, lo),
                 fixed_geometry: *geometry,
-            });
+            }));
         }
     }
-    None
+    Ok(None)
 }
 
-fn try_geometry(nest: &LoopNest, geometry: &Geometry) -> Option<Certificate> {
+fn try_geometry(
+    nest: &LoopNest,
+    geometry: &Geometry,
+    budget: &NestBudget<'_>,
+) -> Result<Option<Certificate>, NestError> {
     let line_words = geometry.line_words();
     match geometry {
         Geometry::Pow2 { sets, .. } => {
@@ -263,18 +290,18 @@ fn try_geometry(nest: &LoopNest, geometry: &Geometry) -> Option<Certificate> {
                 let Ok(candidate) = Geometry::prime(e, line_words) else {
                     continue;
                 };
-                if is_free(nest, &candidate) {
-                    return Some(Certificate {
+                if is_free(nest, &candidate, budget)? {
+                    return Ok(Some(Certificate {
                         nest: nest.name.clone(),
                         original_geometry: geometry.kind(),
                         original_sets: *sets,
                         fix: Fix::SwitchToPrime { exponent: e },
                         fixed_nest: nest.clone(),
                         fixed_geometry: candidate,
-                    });
+                    }));
                 }
             }
-            None
+            Ok(None)
         }
         Geometry::Prime { modulus, .. } => {
             let from = modulus.exponent();
@@ -285,18 +312,18 @@ fn try_geometry(nest: &LoopNest, geometry: &Geometry) -> Option<Certificate> {
                 let Ok(candidate) = Geometry::prime(e, line_words) else {
                     continue;
                 };
-                if is_free(nest, &candidate) {
-                    return Some(Certificate {
+                if is_free(nest, &candidate, budget)? {
+                    return Ok(Some(Certificate {
                         nest: nest.name.clone(),
                         original_geometry: geometry.kind(),
                         original_sets: geometry.sets(),
                         fix: Fix::BumpExponent { from, to: e },
                         fixed_nest: nest.clone(),
                         fixed_geometry: candidate,
-                    });
+                    }));
                 }
             }
-            None
+            Ok(None)
         }
     }
 }
@@ -308,12 +335,33 @@ fn try_geometry(nest: &LoopNest, geometry: &Geometry) -> Option<Certificate> {
 /// search ([`DEFAULT_MAX_PAD`] is the conventional choice).
 #[must_use]
 pub fn prescribe(nest: &LoopNest, geometry: &Geometry, max_pad: u64) -> Option<Certificate> {
-    if is_free(nest, geometry) {
-        return None;
+    prescribe_with_budget(nest, geometry, max_pad, &NestBudget::default()).unwrap_or(None)
+}
+
+/// As [`prescribe`], but every candidate analysis runs under
+/// `nest_budget`, so a deadline-enforcing caller can abandon the whole
+/// repair search cooperatively.
+///
+/// # Errors
+///
+/// [`NestError::Cancelled`] when the budget's callback fires; all other
+/// analysis failures merely skip the offending candidate.
+pub fn prescribe_with_budget(
+    nest: &LoopNest,
+    geometry: &Geometry,
+    max_pad: u64,
+    nest_budget: &NestBudget<'_>,
+) -> Result<Option<Certificate>, NestError> {
+    if is_free(nest, geometry, nest_budget)? {
+        return Ok(None);
     }
-    try_padding(nest, geometry, max_pad)
-        .or_else(|| try_shrink(nest, geometry))
-        .or_else(|| try_geometry(nest, geometry))
+    if let Some(cert) = try_padding(nest, geometry, max_pad, nest_budget)? {
+        return Ok(Some(cert));
+    }
+    if let Some(cert) = try_shrink(nest, geometry, nest_budget)? {
+        return Ok(Some(cert));
+    }
+    try_geometry(nest, geometry, nest_budget)
 }
 
 #[cfg(test)]
@@ -461,6 +509,32 @@ mod tests {
         let cert = prescribe(&n, &Geometry::prime(13, 1).unwrap(), DEFAULT_MAX_PAD).unwrap();
         assert_eq!(cert.fix, Fix::BumpExponent { from: 13, to: 17 });
         assert!(cert.verify());
+    }
+
+    #[test]
+    fn cancelled_budget_aborts_the_search() {
+        // An interfering nest whose repair search runs many candidate
+        // analyses; an immediately-fired callback must surface as
+        // Cancelled, not as a bogus "no repair found".
+        let n = LoopNest::new(
+            "lat",
+            vec![AffineRef::new(
+                0,
+                vec![Term {
+                    coeff: 12,
+                    trip: 5000,
+                }],
+                0,
+            )],
+        );
+        let g = Geometry::pow2(32, 8).unwrap();
+        assert!(prescribe(&n, &g, DEFAULT_MAX_PAD).is_some());
+        let hook = || true;
+        let budget = NestBudget::with_cancel(&hook);
+        assert_eq!(
+            prescribe_with_budget(&n, &g, DEFAULT_MAX_PAD, &budget).err(),
+            Some(NestError::Cancelled)
+        );
     }
 
     #[test]

@@ -170,23 +170,48 @@ pub fn top_conflict_sets(events: &[TraceEvent], n: usize) -> Vec<(u64, u64)> {
 /// numbers (and errors) of any lines that failed to parse.
 pub type ReadOutcome = (Vec<TraceEvent>, Vec<(usize, ParseError)>);
 
-/// Reads a JSONL trace, returning the events and how many lines failed
-/// to parse (blank lines are skipped silently).
+/// Reads a JSONL trace, returning the events and the per-line failures
+/// (blank lines are skipped silently). Corruption never aborts the
+/// read: a line that is invalid UTF-8, torn JSON, or truncated mid-record
+/// becomes a [`ParseError`] entry with its 1-indexed line number, and
+/// reading continues with the next line. Even a mid-stream read error is
+/// recorded as a failure on the line where it occurred (the events
+/// gathered up to that point are preserved).
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the reader.
+/// None in practice — the `io::Result` wrapper is kept for API
+/// stability; all failure modes are reported through [`ReadOutcome`].
 pub fn read_jsonl(reader: impl BufRead) -> io::Result<ReadOutcome> {
+    let mut reader = reader;
     let mut events = Vec::new();
     let mut failures = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+    let mut buf = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        buf.clear();
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                // A torn read (e.g. a device error mid-file): report it
+                // on this line and stop; earlier events survive.
+                failures.push((lineno, ParseError::Malformed(format!("read error: {e}"))));
+                break;
+            }
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            failures.push((lineno, ParseError::Malformed("invalid UTF-8".into())));
+            continue;
+        };
+        let line = line.trim_end_matches(['\n', '\r']);
         if line.trim().is_empty() {
             continue;
         }
-        match TraceEvent::from_jsonl(&line) {
+        match TraceEvent::from_jsonl(line) {
             Ok(ev) => events.push(ev),
-            Err(e) => failures.push((lineno + 1, e)),
+            Err(e) => failures.push((lineno, e)),
         }
     }
     Ok((events, failures))
@@ -359,6 +384,62 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].0, 3);
+    }
+
+    #[test]
+    fn read_jsonl_survives_torn_and_non_utf8_lines() {
+        let good = cache_ev(1, 0, 0, None).to_jsonl();
+        // Line 2 is invalid UTF-8, line 3 is a record torn mid-way, and
+        // the final line is truncated (no trailing newline) — all must
+        // be reported without losing the good lines around them.
+        let torn = &good[..good.len() / 2];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(good.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&[0xff, 0xfe, 0x80, b'\n']);
+        bytes.extend_from_slice(torn.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(good.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(torn.as_bytes()); // EOF mid-record
+        let (events, failures) = read_jsonl(bytes.as_slice()).unwrap();
+        assert_eq!(events.len(), 2);
+        let lines: Vec<usize> = failures.iter().map(|(n, _)| *n).collect();
+        assert_eq!(lines, vec![2, 3, 5]);
+        assert!(failures[0].1.to_string().contains("UTF-8"));
+    }
+
+    #[test]
+    fn read_jsonl_reports_mid_stream_read_errors_without_losing_events() {
+        struct FailAfter<'a> {
+            first: &'a [u8],
+            done: bool,
+        }
+        impl io::Read for FailAfter<'_> {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if !self.first.is_empty() {
+                    let n = self.first.len().min(out.len());
+                    out[..n].copy_from_slice(&self.first[..n]);
+                    self.first = &self.first[n..];
+                    return Ok(n);
+                }
+                if self.done {
+                    return Ok(0);
+                }
+                self.done = true;
+                Err(io::Error::other("device torn away"))
+            }
+        }
+        let good = cache_ev(1, 0, 0, None).to_jsonl();
+        let text = format!("{good}\n{good}\n");
+        let reader = io::BufReader::new(FailAfter {
+            first: text.as_bytes(),
+            done: false,
+        });
+        let (events, failures) = read_jsonl(reader).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].1.to_string().contains("device torn away"));
     }
 
     #[test]

@@ -6,10 +6,12 @@
 pub mod analyze;
 pub mod event;
 pub mod metrics;
+pub mod shared;
 pub mod sink;
 pub mod timer;
 
 pub use event::{BankEventKind, MissClass, ParseError, PhaseKind, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use shared::{SharedMetrics, SharedSink};
 pub use sink::{JsonlSink, MeteringSink, NullSink, RingSink, TraceSink};
 pub use timer::ScopeTimer;

@@ -1,28 +1,61 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, format check, lint, and static analysis.
+# Local CI gate: build, test, format check, lint, static analysis, and a
+# daemon smoke test. Every stage runs under a hard timeout so a hung
+# build or a daemon that refuses to drain fails the gate instead of
+# wedging it.
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --workspace --all-targets"
-cargo build --release --workspace --all-targets
+# run <seconds> <args...>: one stage under a hard wall-clock cap.
+run() {
+    local cap="$1"
+    shift
+    echo "==> $*  (timeout ${cap}s)"
+    timeout --kill-after=10 "$cap" "$@"
+}
 
-echo "==> cargo test --workspace"
-cargo test -q --workspace
+run 1200 cargo build --release --workspace --all-targets
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+run 1200 cargo test -q --workspace
 
-echo "==> cargo clippy"
-cargo clippy --workspace --all-targets -- -D warnings
+run 300 cargo fmt --all --check
 
-echo "==> cargo clippy --tests"
-cargo clippy --workspace --tests -- -D warnings
+run 900 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> vcache check --src --programs"
-./target/release/vcache check --src --programs
+run 900 cargo clippy --workspace --tests -- -D warnings
 
-echo "==> vcache check --nests --prescribe"
-./target/release/vcache check --nests --prescribe
+run 300 ./target/release/vcache check --src --programs
+
+run 300 ./target/release/vcache check --nests --prescribe
+
+echo "==> daemon smoke  (timeout 120s)"
+timeout --kill-after=10 120 bash -c '
+    set -euo pipefail
+    ./target/release/vcache serve --addr 127.0.0.1:0 >serve.out 2>serve.err &
+    daemon=$!
+    trap "kill \"$daemon\" 2>/dev/null || true" EXIT
+    for _ in $(seq 100); do
+        grep -q "^listening on " serve.out && break
+        sleep 0.1
+    done
+    addr=$(sed -n "s/^listening on //p" serve.out | head -1)
+    [ -n "$addr" ] || { echo "daemon never printed its address"; exit 1; }
+
+    client="./target/release/vcache client"
+    $client ping --addr "$addr" >/dev/null
+    $client check --nests --prescribe --addr "$addr"
+    $client status --addr "$addr" | grep -q "serve.responses_ok"
+    $client shutdown --addr "$addr" >/dev/null
+
+# A leaked daemon never reaches here: wait blocks until the stage
+    # timeout kills the whole smoke test.
+    code=0
+    wait "$daemon" || code=$?
+    trap - EXIT
+    [ "$code" -eq 0 ] || { echo "daemon drained with exit code $code"; exit 1; }
+    grep -q "final metrics" serve.err || { echo "no final snapshot"; exit 1; }
+    rm -f serve.out serve.err
+'
 
 echo "CI gate passed."

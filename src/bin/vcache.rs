@@ -24,8 +24,10 @@ use prime_cache::core::fft::{plan_fft, plan_is_conflict_free};
 use prime_cache::machine::{CacheSpec, CcMachine, MachineConfig, MmMachine};
 use prime_cache::mersenne::MersenneModulus;
 use prime_cache::model::{cycles_per_result, Machine, MachineKind, Workload};
+use prime_cache::serve::{Client, FaultPlan, Server, ServerConfig};
 use prime_cache::trace::{analyze, JsonlSink, TraceSink};
 use prime_cache::workloads::{generate_program, StrideDistribution, Vcm};
+use serde::Value;
 
 const USAGE: &str = "\
 vcache — prime-mapped vector cache toolkit (Yang & Wu, ISCA 1992)
@@ -59,6 +61,21 @@ USAGE:
       every interfering nest row (VC102). With no layer switch, all three
       layers run. Exits non-zero on any finding not covered by the
       allowlist.
+  vcache serve [--addr <A>] [--unix <PATH>] [--workers <N>] [--queue <N>]
+               [--deadline-ms <N>] [--retry-after-ms <N>] [--faults <SPEC>] [--root <DIR>]
+      Run the analysis daemon (NDJSON over TCP, plus a Unix socket with
+      --unix). Prints `listening on <addr>` once bound; --addr defaults
+      to 127.0.0.1:0 (ephemeral port). SIGTERM/SIGINT drain gracefully
+      and print a final metrics snapshot. <SPEC> arms fault injection,
+      e.g. `seed=7,panic=0.02,delay=0.05:20,torn=0.02`.
+  vcache client <op> --addr <A> [--deadline-ms <N>] [--attempts <N>] [op flags]
+      Call a running daemon with retries (decorrelated-jitter backoff).
+      <op> is one of:
+        ping | status | shutdown
+        check    [--src] [--programs] [--nests] [--prescribe] [--json] [--root <DIR>]
+                 (remote equivalent of `vcache check`; --json output is
+                 byte-identical to the local command)
+        analyze  --trace <FILE> [--window <W>] [--top <N>]
   vcache help
       Show this message.
 ";
@@ -81,6 +98,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err("no command given".into());
     };
+    if command == "client" {
+        let Some(op) = args.get(1) else {
+            return Err("client needs an op: ping | status | shutdown | check | analyze".into());
+        };
+        let switches: &[&str] = match op.as_str() {
+            "check" => &["src", "programs", "nests", "prescribe", "json"],
+            _ => &[],
+        };
+        let flags = parse_flags(&args[2..], switches)?;
+        return client_cmd(op, &flags);
+    }
     let switches: &[&str] = match command.as_str() {
         "check" => &["src", "programs", "nests", "prescribe", "json"],
         _ => &[],
@@ -93,6 +121,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "compare" => compare(&flags).map(|()| ExitCode::SUCCESS),
         "analyze" => analyze_cmd(&flags).map(|()| ExitCode::SUCCESS),
         "check" => check_cmd(&flags),
+        "serve" => serve_cmd(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -353,10 +382,27 @@ fn analyze_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     for (line, err) in &errors {
         eprintln!("warning: {path}:{line}: skipping unparseable event: {err}");
     }
-    if events.is_empty() {
-        return Err(format!("{path} contains no trace events"));
+    if !errors.is_empty() {
+        eprintln!(
+            "warning: {path}: skipped {} unparseable line(s)",
+            errors.len()
+        );
     }
-    println!("{} events from {path}\n", events.len());
+    if events.is_empty() {
+        return Err(if errors.is_empty() {
+            format!("{path} contains no trace events")
+        } else {
+            format!(
+                "{path}: no trace events parsed ({} corrupt line(s) skipped)",
+                errors.len()
+            )
+        });
+    }
+    println!("{} events from {path}", events.len());
+    if !errors.is_empty() {
+        println!("({} corrupt line(s) skipped)", errors.len());
+    }
+    println!();
     print!(
         "{}",
         analyze::render_timelines(&analyze::miss_timelines(&events, window))
@@ -400,6 +446,200 @@ fn check_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Installs process-level handlers for SIGTERM/SIGINT that only set an
+/// atomic flag; the daemon watches the flag and drains gracefully. Raw
+/// libc FFI keeps the workspace dependency-free — this binary is the
+/// one place outside `#![forbid(unsafe_code)]` crate roots.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler; polled by the daemon's watcher thread.
+    pub static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn mark(_signum: i32) {
+        // Only async-signal-safe work: a single atomic store.
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = mark as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` registers an async-signal-safe handler that
+        // performs one atomic store and touches nothing else.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn triggered() -> bool {
+        TERMINATE.load(Ordering::SeqCst)
+    }
+}
+
+fn serve_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let fault_plan = match flags.get("faults") {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::none(),
+    };
+    let config = ServerConfig {
+        addr: get_or(flags, "addr", "127.0.0.1:0".to_string())?,
+        unix_path: flags.get("unix").map(std::path::PathBuf::from),
+        workers: get_or(flags, "workers", 4)?,
+        queue_capacity: get_or(flags, "queue", 64)?,
+        default_deadline_ms: get_or(flags, "deadline-ms", 10_000)?,
+        retry_after_ms: get_or(flags, "retry-after-ms", 50)?,
+        fault_plan,
+        root: get_or(flags, "root", ".".to_string())?.into(),
+    };
+    let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    #[cfg(unix)]
+    {
+        signals::install();
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || loop {
+            if signals::triggered() {
+                handle.trigger();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+
+    let snapshot = server.run().map_err(|e| format!("daemon failed: {e}"))?;
+    eprintln!("drained; final metrics:");
+    eprintln!("{}", snapshot.to_json());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn client_cmd(op: &str, flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let addr: String = get(flags, "addr")?;
+    let mut policy = prime_cache::serve::RetryPolicy::default();
+    policy.max_attempts = get_or(flags, "attempts", policy.max_attempts)?;
+    let mut client = Client::with_policy(addr, policy);
+    let deadline_ms: Option<u64> = match flags.get("deadline-ms") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| "invalid value for --deadline-ms".to_string())?,
+        ),
+        None => None,
+    };
+    match op {
+        "ping" | "status" | "shutdown" => {
+            let result = client
+                .call(op, Value::Obj(Vec::new()), deadline_ms)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&result).map_err(|e| e.to_string())?
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => client_check(&mut client, flags, deadline_ms),
+        "analyze" => client_analyze(&mut client, flags, deadline_ms),
+        other => Err(format!("unknown client op `{other}`")),
+    }
+}
+
+/// Remote `vcache check`: same switches, same output, same exit code.
+/// With `--json` the printed report is byte-identical to the local
+/// command (the order-preserving JSON value round-trips exactly).
+fn client_check(
+    client: &mut Client,
+    flags: &HashMap<String, String>,
+    deadline_ms: Option<u64>,
+) -> Result<ExitCode, String> {
+    let mut params = Vec::new();
+    for switch in ["src", "programs", "nests", "prescribe"] {
+        if flags.contains_key(switch) {
+            params.push((switch.to_string(), Value::Bool(true)));
+        }
+    }
+    if let Some(root) = flags.get("root") {
+        params.push(("root".to_string(), Value::Str(root.clone())));
+    }
+    let result = client
+        .call("check", Value::Obj(params), deadline_ms)
+        .map_err(|e| e.to_string())?;
+    let clean = matches!(result.get("clean"), Some(Value::Bool(true)));
+    if flags.contains_key("json") {
+        let report = result
+            .get("report")
+            .ok_or_else(|| "malformed check result: no `report`".to_string())?;
+        println!(
+            "{}",
+            serde_json::to_string(report).map_err(|e| e.to_string())?
+        );
+    } else {
+        match result.get("text") {
+            Some(Value::Str(text)) => print!("{text}"),
+            _ => return Err("malformed check result: no `text`".into()),
+        }
+    }
+    Ok(if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Remote `vcache analyze`: the daemon reads the trace file (a path on
+/// *its* filesystem) and returns the rendered tables.
+fn client_analyze(
+    client: &mut Client,
+    flags: &HashMap<String, String>,
+    deadline_ms: Option<u64>,
+) -> Result<ExitCode, String> {
+    let path: String = get(flags, "trace")?;
+    let mut params = vec![("path".to_string(), Value::Str(path.clone()))];
+    if let Some(window) = flags.get("window") {
+        let window: u64 = window
+            .parse()
+            .map_err(|_| "invalid value for --window".to_string())?;
+        params.push(("window".to_string(), Value::U64(window)));
+    }
+    if let Some(top) = flags.get("top") {
+        let top: u64 = top
+            .parse()
+            .map_err(|_| "invalid value for --top".to_string())?;
+        params.push(("top".to_string(), Value::U64(top)));
+    }
+    let result = client
+        .call("analyze_trace", Value::Obj(params), deadline_ms)
+        .map_err(|e| e.to_string())?;
+    let events = match result.get("events") {
+        Some(Value::U64(n)) => *n,
+        _ => return Err("malformed analyze result: no `events`".into()),
+    };
+    let skipped = match result.get("skipped") {
+        Some(Value::U64(n)) => *n,
+        _ => 0,
+    };
+    println!("{events} events from {path}");
+    if skipped > 0 {
+        println!("({skipped} corrupt line(s) skipped)");
+    }
+    for section in ["timelines", "banks", "conflicts"] {
+        if let Some(Value::Str(text)) = result.get(section) {
+            println!();
+            print!("{text}");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 #[cfg(test)]
@@ -492,6 +732,33 @@ mod tests {
         assert!(analyze_cmd(&flags(&[("trace", path), ("window", "0")])).is_err());
         assert!(analyze_cmd(&flags(&[("trace", "/nonexistent/trace.jsonl")])).is_err());
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn analyze_survives_a_torn_trace_file() {
+        let dir = std::env::temp_dir().join("vcache-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = r#"{"ev":"cache","seq":1,"word":8,"stream":0,"set":1,"miss":"compulsory","evicted":null}"#;
+        // One good line, one torn mid-record, one invalid UTF-8, one
+        // truncated at EOF: analysis proceeds on the surviving line.
+        let torn_path = dir.join("torn.jsonl");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(good.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&good.as_bytes()[..good.len() / 2]);
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&[0xff, 0x80, b'\n']);
+        bytes.extend_from_slice(&good.as_bytes()[..10]); // EOF mid-record
+        std::fs::write(&torn_path, &bytes).unwrap();
+        assert!(analyze_cmd(&flags(&[("trace", torn_path.to_str().unwrap())])).is_ok());
+        // A file where *zero* lines parse is still an error.
+        let dead_path = dir.join("dead.jsonl");
+        std::fs::write(&dead_path, b"not json\nalso not json\n").unwrap();
+        let err = analyze_cmd(&flags(&[("trace", dead_path.to_str().unwrap())])).unwrap_err();
+        assert!(err.contains("no trace events parsed"), "{err}");
+        assert!(err.contains("2 corrupt"), "{err}");
+        std::fs::remove_file(torn_path).unwrap();
+        std::fs::remove_file(dead_path).unwrap();
     }
 
     #[test]

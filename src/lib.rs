@@ -32,6 +32,7 @@
 //! | [`workloads`] | VCM traces, sub-block / FFT / matmul / LU kernels |
 //! | [`trace`] | structured tracing, metrics, and trace analysis |
 //! | [`check`] | static analysis: source lints + static conflict proofs |
+//! | [`serve`] | analysis daemon + retrying client (NDJSON protocol) |
 //!
 //! ## Quick start
 //!
@@ -66,5 +67,6 @@ pub use vcache_machine as machine;
 pub use vcache_mem as mem;
 pub use vcache_mersenne as mersenne;
 pub use vcache_model as model;
+pub use vcache_serve as serve;
 pub use vcache_trace as trace;
 pub use vcache_workloads as workloads;

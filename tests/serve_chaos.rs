@@ -1,0 +1,272 @@
+//! Out-of-process chaos tests for the analysis daemon: a fault-injected
+//! soak (panics, delays, torn writes) that the retrying client must ride
+//! out, a byte-identity check between local and remote `check --nests
+//! --json`, and a SIGTERM drain. These drive the real `vcache` binary,
+//! not an in-process server, so they also cover the CLI wiring and
+//! signal handling.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use prime_cache::check::{AffineRef, LoopNest, Term};
+use prime_cache::serve::{Client, ClientError, RetryPolicy};
+use serde::{Serialize, Value};
+
+const BIN: &str = env!("CARGO_BIN_EXE_vcache");
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `vcache serve` with the given extra args and scrapes the
+    /// ephemeral address from its `listening on <addr>` banner.
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(BIN)
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn daemon");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .expect("read banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn client(&self, attempts: u32) -> Client {
+        Client::with_policy(
+            self.addr.clone(),
+            RetryPolicy {
+                max_attempts: attempts,
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(250),
+                seed: 0xc4a05,
+            },
+        )
+    }
+
+    /// Waits (bounded) for the daemon to exit on its own; returns the
+    /// exit status and everything it wrote to stderr.
+    fn wait_exit(mut self, timeout: Duration) -> (ExitStatus, String) {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(_) => break,
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("daemon did not exit within {timeout:?}");
+                }
+                None => thread::sleep(Duration::from_millis(25)),
+            }
+        }
+        let status = self.child.wait().expect("wait");
+        let mut stderr = String::new();
+        if let Some(mut pipe) = self.child.stderr.take() {
+            let _ = pipe.read_to_string(&mut stderr);
+        }
+        (status, stderr)
+    }
+
+    /// SIGTERMs the daemon, then waits for the drain.
+    fn sigterm_and_wait(self) -> (ExitStatus, String) {
+        let pid = self.child.id().to_string();
+        let kill = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("send SIGTERM");
+        assert!(kill.success(), "kill -TERM failed");
+        self.wait_exit(Duration::from_secs(30))
+    }
+}
+
+/// Params for a small but real worker-pool op (the canonical nest suite
+/// would be slow under a 500-request soak; a single fast nest is not).
+fn nest_params() -> Value {
+    let nest = LoopNest::new(
+        "soak",
+        vec![AffineRef::new(0, vec![Term { coeff: 1, trip: 64 }], 0)],
+    );
+    Value::Obj(vec![
+        ("nest".into(), nest.to_value()),
+        (
+            "geometry".into(),
+            Value::Obj(vec![
+                ("kind".into(), Value::Str("prime".into())),
+                ("exponent".into(), Value::U64(5)),
+                ("line_words".into(), Value::U64(8)),
+            ]),
+        ),
+    ])
+}
+
+/// Looks up a counter inside a `status` result's metrics snapshot.
+fn counter(status: &Value, name: &str) -> u64 {
+    let Some(Value::Arr(counters)) = status
+        .get("metrics")
+        .and_then(|metrics| metrics.get("counters"))
+    else {
+        panic!("status without counters: {status:?}");
+    };
+    counters
+        .iter()
+        .find(|c| matches!(c.get("name"), Some(Value::Str(s)) if s == name))
+        .map_or(0, |c| match c.get("value") {
+            Some(Value::U64(v)) => *v,
+            other => panic!("counter {name} has non-u64 value {other:?}"),
+        })
+}
+
+#[test]
+fn chaos_soak_every_request_resolves_and_sigterm_drains() {
+    // Panics, delays, and torn writes all armed. Torn writes surface to
+    // clients as transport EOF, so retries (on fresh connections) are
+    // what makes the soak converge — exactly the claim under test.
+    let daemon = Daemon::spawn(&[
+        "--workers",
+        "4",
+        "--queue",
+        "32",
+        "--faults",
+        "seed=11,panic=0.15,delay=0.2:10,torn=0.08",
+    ]);
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 125; // 500 requests total
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let mut client = daemon.client(12);
+            thread::spawn(move || {
+                let (mut ok, mut typed) = (0u32, 0u32);
+                for i in 0..PER_CLIENT {
+                    // Mix control-plane and worker-pool ops; op choice is
+                    // deterministic per (client, iteration).
+                    let result = match (c + i) % 3 {
+                        0 => client.call("ping", Value::Null, Some(5_000)),
+                        1 => client.call("status", Value::Null, Some(5_000)),
+                        _ => client.call("analyze_nest", nest_params(), Some(5_000)),
+                    };
+                    match result {
+                        Ok(_) => ok += 1,
+                        // A typed server error is a well-formed outcome:
+                        // the request resolved to exactly one response.
+                        Err(ClientError::Server(_)) => typed += 1,
+                        Err(other) => {
+                            panic!("client {c} request {i}: untyped failure {other}")
+                        }
+                    }
+                }
+                (ok, typed)
+            })
+        })
+        .collect();
+
+    let mut total_ok = 0u32;
+    let mut total_typed = 0u32;
+    for w in workers {
+        let (ok, typed) = w.join().expect("client thread");
+        total_ok += ok;
+        total_typed += typed;
+    }
+    assert_eq!(total_ok + total_typed, (CLIENTS * PER_CLIENT) as u32);
+    // With panic=0.15 armed on the worker pool, some analyze_nest calls
+    // MUST have resolved as typed internal errors...
+    assert!(total_typed > 0, "fault plan never fired");
+    // ...and plenty must still have succeeded.
+    assert!(total_ok > 0, "no request ever succeeded");
+
+    // The daemon survived all of it.
+    let mut daemon = daemon;
+    assert!(
+        daemon.child.try_wait().expect("try_wait").is_none(),
+        "daemon exited during the soak"
+    );
+
+    // Crash isolation is observable: workers caught injected panics.
+    let status = daemon
+        .client(12)
+        .call("status", Value::Null, Some(5_000))
+        .expect("status after soak");
+    let panics = counter(&status, "serve.panics_caught");
+    assert!(panics > 0, "no panics caught: {status:?}");
+
+    // SIGTERM drains: exit code 0 and a final metrics snapshot.
+    let (exit, stderr) = daemon.sigterm_and_wait();
+    assert!(exit.success(), "drain exited nonzero: {exit:?}\n{stderr}");
+    assert!(
+        stderr.contains("final metrics"),
+        "no final snapshot in stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("serve.panics_caught"),
+        "snapshot lacks panic counter: {stderr}"
+    );
+}
+
+#[test]
+fn remote_check_json_is_byte_identical_to_local() {
+    let local = Command::new(BIN)
+        .args(["check", "--nests", "--json"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("local check");
+
+    let daemon = Daemon::spawn(&[]);
+    let remote = Command::new(BIN)
+        .args([
+            "client",
+            "check",
+            "--nests",
+            "--json",
+            "--addr",
+            &daemon.addr,
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("remote check");
+
+    assert_eq!(
+        local.status.code(),
+        remote.status.code(),
+        "exit codes differ: local stderr {:?}, remote stderr {:?}",
+        String::from_utf8_lossy(&local.stderr),
+        String::from_utf8_lossy(&remote.stderr)
+    );
+    assert_eq!(local.status.code(), Some(0), "canonical nest suite dirty");
+    assert!(
+        local.stdout == remote.stdout,
+        "local and remote --json reports differ:\nlocal:  {}\nremote: {}",
+        String::from_utf8_lossy(&local.stdout),
+        String::from_utf8_lossy(&remote.stdout)
+    );
+
+    // `client shutdown` stops the daemon cleanly (and is never retried).
+    let stop = Command::new(BIN)
+        .args(["client", "shutdown", "--addr", &daemon.addr])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("client shutdown");
+    assert!(
+        stop.status.success(),
+        "client shutdown failed: {}",
+        String::from_utf8_lossy(&stop.stderr)
+    );
+    let (exit, stderr) = daemon.wait_exit(Duration::from_secs(30));
+    assert!(exit.success(), "shutdown drain exited nonzero:\n{stderr}");
+}

@@ -273,6 +273,21 @@ impl Deserialize for char {
     }
 }
 
+// Pass-through impls: a `Value` serializes to itself, so protocol code
+// can embed already-converted payloads (or defer conversion) without
+// re-shaping them — object key order is preserved end to end.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Container impls
 // ---------------------------------------------------------------------------
