@@ -598,7 +598,8 @@ fn op_check(shared: &Shared, params: &Value) -> Result<Value, ErrorBody> {
     let src = bool_param(params, "src").map_err(bad)?;
     let programs = bool_param(params, "programs").map_err(bad)?;
     let nests = bool_param(params, "nests").map_err(bad)?;
-    let all = !src && !programs && !nests;
+    let workloads = bool_param(params, "workloads").map_err(bad)?;
+    let all = !src && !programs && !nests && !workloads;
     let options = CheckOptions {
         root: str_param(params, "root")
             .map_err(bad)?
@@ -607,6 +608,7 @@ fn op_check(shared: &Shared, params: &Value) -> Result<Value, ErrorBody> {
         programs: programs || all,
         nests: nests || all,
         prescribe: bool_param(params, "prescribe").map_err(bad)?,
+        workloads: workloads || all,
     };
     let report = run_check(&options).map_err(|e| match e {
         CheckError::Io(io) => ErrorBody::new(ErrorCode::IoError, io.to_string()),

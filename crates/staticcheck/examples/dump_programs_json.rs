@@ -14,6 +14,7 @@ fn main() -> ExitCode {
         programs: true,
         nests: false,
         prescribe: false,
+        workloads: false,
     }) {
         Ok(r) => r,
         Err(e) => {

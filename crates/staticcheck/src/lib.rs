@@ -26,6 +26,13 @@
 //! drift) and demands a verifying certificate per interfering row
 //! (`VC102`).
 //!
+//! **Workload certification** ([`worksuite`]) closes the loop back to the
+//! generators: every kernel in `vcache-workloads` is paired with a
+//! [`LoopNest`] lowering proven word-set-identical to its trace (or an
+//! explicit non-affine exclusion with a bounded envelope), with committed
+//! verdicts under both mappers. Drift or a word-set divergence is a
+//! `VC103` finding, run by `vcache check --workloads`.
+//!
 //! All layers are wired into `vcache check` and `scripts/ci.sh` as a
 //! failing gate. Property tests (see `tests/properties.rs` and
 //! `tests/nests.rs`) check the static verdicts against the
@@ -45,6 +52,7 @@ pub mod prescribe;
 pub mod report;
 pub mod source;
 pub mod suite;
+pub mod worksuite;
 
 use std::fmt;
 use std::io;
@@ -77,6 +85,8 @@ pub struct CheckOptions {
     /// With `nests`: require a verifying repair certificate per
     /// interfering row.
     pub prescribe: bool,
+    /// Run the workload-certification suite.
+    pub workloads: bool,
 }
 
 /// Error from [`run_check`].
@@ -118,6 +128,7 @@ pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
     let mut suite_results = Vec::new();
     let mut nest_results = Vec::new();
     let mut certificates = Vec::new();
+    let mut workload_results = Vec::new();
 
     if options.src {
         findings.extend(lint::scan_workspace(&options.root)?);
@@ -133,6 +144,11 @@ pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
         certificates = certs;
         findings.extend(drift);
     }
+    if options.workloads {
+        let (results, drift) = worksuite::run();
+        workload_results = results;
+        findings.extend(drift);
+    }
 
     // The allowlist only makes sense against a source scan: without one,
     // every entry would look stale (VC006) in a `--programs`-only run.
@@ -146,6 +162,7 @@ pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
         suite: suite_results,
         nests: nest_results,
         certificates,
+        workloads: workload_results,
     })
 }
 
@@ -170,6 +187,7 @@ mod tests {
             programs: true,
             nests: false,
             prescribe: false,
+            workloads: false,
         })
         .unwrap();
         assert!(!report.suite.is_empty());
@@ -184,10 +202,26 @@ mod tests {
             programs: false,
             nests: true,
             prescribe: true,
+            workloads: false,
         })
         .unwrap();
         assert_eq!(report.nests.len(), 18);
         assert!(!report.certificates.is_empty());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn workload_suite_run_emits_rows() {
+        let report = run_check(&CheckOptions {
+            root: PathBuf::from("/nonexistent-vcache-root"),
+            src: false,
+            programs: false,
+            nests: false,
+            prescribe: false,
+            workloads: true,
+        })
+        .unwrap();
+        assert!(!report.workloads.is_empty());
         assert!(report.is_clean(), "{}", report.render_text());
     }
 

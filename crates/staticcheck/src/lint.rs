@@ -7,7 +7,7 @@
 //! |-------|-----------|
 //! | VC001 | No `unwrap`/`expect`/`panic!`-family calls outside `#[cfg(test)]` items and `tests/`/`benches/` trees. |
 //! | VC002 | No raw `%` reduction inside the mapped-cache crates (`vcache-cache`, `vcache-core`): all geometry reduction routes through `MersenneModulus`/bit masks. |
-//! | VC003 | No truncating `as` casts on address-typed values (identifiers mentioning `addr`/`word`/`line`/`base` cast to sub-`u64` integers). |
+//! | VC003 | No truncating `as` casts on address-typed values (identifiers mentioning `addr`/`word`/`line`/`base` cast to sub-`u64` integers). In `crates/workloads/src/`, where every integer is a word address, stride, or dimension, the rule is strict: *any* `as` cast to a signed or sub-`u64` integer is a finding regardless of the identifier (use `signed_stride`/`i64::try_from`). |
 //! | VC004 | Every workspace crate root carries `#![forbid(unsafe_code)]` and a `//!` doc header. |
 //! | VC005 | Every traced simulator entry point `fn x_traced` has an untraced sibling `fn x` in the same file. |
 //!
@@ -35,7 +35,10 @@ pub const RULES: [(&str, &str); 5] = [
         "VC002",
         "no raw % modular reduction in the mapped-cache crates (use MersenneModulus)",
     ),
-    ("VC003", "no truncating casts on address-typed values"),
+    (
+        "VC003",
+        "no truncating casts on address-typed values (strict in the workload crate)",
+    ),
     (
         "VC004",
         "crate roots carry #![forbid(unsafe_code)] and a //! doc header",
@@ -219,17 +222,30 @@ fn vc002(file: &SourceFile) -> Vec<Finding> {
 }
 
 const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+/// Strict (workload-crate) targets add `i64`: a `u64 as i64` cast does
+/// not truncate bits but silently wraps large word addresses into
+/// negative strides — the bug class behind the `transpose_trace` stride
+/// cast.
+const STRICT_INTS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "i64"];
 const ADDR_MARKERS: [&str; 4] = ["addr", "word", "line", "base"];
+
+/// Paths where every integer is a word address, stride, or dimension, so
+/// VC003 applies regardless of identifier naming.
+fn vc003_is_strict(path: &str) -> bool {
+    path.starts_with("crates/workloads/src/")
+}
 
 /// VC003: truncating casts on address-typed expressions.
 fn vc003(file: &SourceFile) -> Vec<Finding> {
+    let strict = vc003_is_strict(&file.path);
     let mut findings = Vec::new();
     for (line_no, raw, code) in file.non_test_lines() {
         let mut offset = 0;
         while let Some(pos) = code[offset..].find(" as ") {
             let abs = offset + pos;
             let after = code[abs + 4..].trim_start();
-            let target = NARROW_INTS
+            let targets: &[&str] = if strict { &STRICT_INTS } else { &NARROW_INTS };
+            let target = targets
                 .iter()
                 .find(|t| after.starts_with(**t) && !ident_continues(after, t.len()));
             if let Some(target) = target {
@@ -240,7 +256,18 @@ fn vc003(file: &SourceFile) -> Vec<Finding> {
                     .next()
                     .unwrap_or("")
                     .to_ascii_lowercase();
-                if ADDR_MARKERS.iter().any(|m| before.contains(m)) {
+                if strict {
+                    findings.push(Finding::new(
+                        "VC003",
+                        &file.path,
+                        line_no,
+                        format!(
+                            "workload-crate value cast by `as {target}` \
+                             (addresses/strides; use signed_stride or i64::try_from)"
+                        ),
+                        raw,
+                    ));
+                } else if ADDR_MARKERS.iter().any(|m| before.contains(m)) {
                     findings.push(Finding::new(
                         "VC003",
                         &file.path,
@@ -410,6 +437,33 @@ mod tests {
             "fn f(line_words: u64) -> f64 { line_words as f64 }\n",
         ] {
             assert!(scan("crates/x/src/a.rs", ok).is_empty(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn vc003_is_strict_in_the_workload_crate() {
+        // No address marker on `q`, and `i64` is not a narrow target —
+        // yet in the workload crate both facts are irrelevant: every
+        // value is an address or stride, and `as i64` wraps.
+        let wrap = "fn f(q: u64) -> i64 { q as i64 }\n";
+        let f = scan("crates/workloads/src/extra.rs", wrap);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "VC003");
+        assert!(f[0].message.contains("signed_stride"), "{}", f[0].message);
+        // The same line elsewhere in the workspace is not a finding
+        // (the marker-based rule still governs there).
+        assert!(scan("crates/x/src/a.rs", wrap).is_empty());
+        // Narrow casts are flagged without a marker too.
+        let narrow = "fn f(q: u64) -> u32 { q as u32 }\n";
+        assert_eq!(scan("crates/workloads/src/kernels.rs", narrow).len(), 1);
+        // Widening and float casts stay fine, as do test modules.
+        for ok in [
+            "fn f(q: u32) -> u64 { q as u64 }\n",
+            "fn f(q: u64) -> f64 { q as f64 }\n",
+            "fn f(q: u64) -> usize { q as usize }\n",
+            "#[cfg(test)]\nmod tests {\n    fn t(q: u64) -> i64 { q as i64 }\n}\n",
+        ] {
+            assert!(scan("crates/workloads/src/vcm.rs", ok).is_empty(), "{ok}");
         }
     }
 

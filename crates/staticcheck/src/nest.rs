@@ -13,7 +13,7 @@
 use serde::{Deserialize, Serialize};
 use vcache_core::blocking::SubBlockPlan;
 use vcache_core::fft::FftStage;
-use vcache_workloads::{Program, VectorAccess};
+use vcache_workloads::{FftLayout, Program, VectorAccess};
 
 /// One loop dimension of an affine reference: contributes `coeff · i`
 /// to the word address for `i` in `0..trip`.
@@ -245,6 +245,28 @@ impl LoopNest {
     /// leave the signed range.
     #[must_use]
     pub fn blocked_matmul(n: u64, b: u64) -> Self {
+        Self::blocked_matmul_at(format!("matmul[n={n}, b={b}]"), (0, n * n, 2 * n * n), n, b)
+    }
+
+    /// [`Self::blocked_matmul`] with explicit matrix base addresses — the
+    /// bridge to the *numeric* kernel
+    /// (`vcache_workloads::numeric::matmul_blocked`), whose traced
+    /// buffers live wherever the caller placed them rather than at the
+    /// pattern generator's fixed `(0, n², 2n²)` layout. Word-for-word,
+    /// each reference covers exactly its matrix, so the nest's footprint
+    /// equals the scalar trace's footprint per stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero, does not divide `n`, or the coefficients
+    /// leave the signed range.
+    #[must_use]
+    pub fn blocked_matmul_at(
+        name: impl Into<String>,
+        (a_base, b_base, c_base): (u64, u64, u64),
+        n: u64,
+        b: u64,
+    ) -> Self {
         assert!(
             b > 0 && n.is_multiple_of(b),
             "blocking factor must divide n"
@@ -277,13 +299,325 @@ impl LoopNest {
             ]
         };
         Self {
-            name: format!("matmul[n={n}, b={b}]"),
+            name: name.into(),
+            leading_dim: Some(n),
+            refs: vec![
+                AffineRef::new(a_base, terms(0, block_stride, block), 0),
+                AffineRef::new(b_base, terms(block_stride, block, 0), 1),
+                AffineRef::new(c_base, terms(block_stride, 0, block), 2),
+            ],
+        }
+    }
+
+    /// Lowers blocked right-looking LU factorization on an `n × n`
+    /// column-major matrix in `b`-wide panels to two references per
+    /// panel `kb` (`k0 = kb·b`):
+    ///
+    /// * the **panel**: columns `k0 .. k0+b` from row `k0` down,
+    ///   `base + k0·n + k0 + j·n + i` (`j < b`, `i < n−k0`), tagged
+    ///   `streams.0`;
+    /// * the **trailing columns**: `k0+b .. n` from row `k0` down,
+    ///   tagged `streams.1` (omitted for the last panel, which has no
+    ///   trailing matrix).
+    ///
+    /// With `streams = (0, 1)` this matches the pattern generator
+    /// `vcache_workloads::blocked_lu_trace` word-for-word per stream;
+    /// with `streams = (0, 0)` it matches the single-buffer *numeric*
+    /// kernel `vcache_workloads::numeric::lu_blocked`, whose union of
+    /// panel trapezoids covers the whole matrix (panel 0's trailing
+    /// reference already spans every column right of the first panel
+    /// from row 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero, does not divide `n`, or `n` exceeds the
+    /// signed coefficient range.
+    #[must_use]
+    pub fn lu_blocked(
+        name: impl Into<String>,
+        base: u64,
+        n: u64,
+        b: u64,
+        streams: (u32, u32),
+    ) -> Self {
+        assert!(b > 0 && n.is_multiple_of(b), "panel width must divide n");
+        assert!(
+            i64::try_from(n).is_ok(),
+            "leading dimension exceeds the coefficient range"
+        );
+        let col = n as i64;
+        let mut refs = Vec::new();
+        for kb in 0..n / b {
+            let k0 = kb * b;
+            refs.push(AffineRef::new(
+                base + k0 * n + k0,
+                vec![
+                    Term {
+                        coeff: col,
+                        trip: b,
+                    },
+                    Term {
+                        coeff: 1,
+                        trip: n - k0,
+                    },
+                ],
+                streams.0,
+            ));
+            let trailing_cols = n - k0 - b;
+            if trailing_cols > 0 {
+                refs.push(AffineRef::new(
+                    base + (k0 + b) * n + k0,
+                    vec![
+                        Term {
+                            coeff: col,
+                            trip: trailing_cols,
+                        },
+                        Term {
+                            coeff: 1,
+                            trip: n - k0,
+                        },
+                    ],
+                    streams.1,
+                ));
+            }
+        }
+        Self {
+            name: name.into(),
+            leading_dim: Some(n),
+            refs,
+        }
+    }
+
+    /// Lowers the five-point stencil sweep over a `p × q` column-major
+    /// grid (`vcache_workloads::stencil5_trace`) to five two-deep
+    /// references — centre, north (−1), south (+1), west (−p), east
+    /// (+p) — each walking the `q−2` interior columns (`j < q−2`, outer,
+    /// coefficient `p`) of `p−2` interior rows (inner, unit stride),
+    /// streams 0–4 in that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has no interior (`p < 3` or `q < 3`) or `p`
+    /// exceeds the signed coefficient range.
+    #[must_use]
+    pub fn stencil5(base: u64, p: u64, q: u64) -> Self {
+        assert!(p >= 3 && q >= 3, "stencil needs an interior");
+        assert!(
+            i64::try_from(p).is_ok(),
+            "leading dimension exceeds the coefficient range"
+        );
+        let col = p as i64;
+        // First interior point of the first interior column.
+        let centre = base + p + 1;
+        let offsets = [0i64, -1, 1, -col, col];
+        let refs = offsets
+            .iter()
+            .enumerate()
+            .map(|(stream, &off)| {
+                // Offsets are within ±p of centre ≥ p + 1 ≥ 4, so the
+                // shifted base never underflows.
+                let shifted = centre.wrapping_add_signed(off);
+                AffineRef::new(
+                    shifted,
+                    vec![
+                        Term {
+                            coeff: col,
+                            trip: q - 2,
+                        },
+                        Term {
+                            coeff: 1,
+                            trip: p - 2,
+                        },
+                    ],
+                    stream as u32,
+                )
+            })
+            .collect();
+        Self {
+            name: format!("stencil5[{p}x{q}]"),
+            leading_dim: Some(p),
+            refs,
+        }
+    }
+
+    /// Lowers one full radix-2 butterfly stage over `n` points with span
+    /// `span` (`vcache_workloads::fft_stage_trace`): each group of
+    /// `2·span` points is one contiguous run (top and bottom halves
+    /// interleave into it), groups stride by `2·span` — so the stage is
+    /// the two-deep nest `base + g·2span + i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `span` is not a power of two, `span ≥ n`, or the
+    /// group stride exceeds the signed coefficient range.
+    #[must_use]
+    pub fn fft_butterfly_stage(base: u64, n: u64, span: u64, stream: u32) -> Self {
+        assert!(n.is_power_of_two(), "FFT size must be a power of two");
+        assert!(span.is_power_of_two() && span < n, "bad butterfly span");
+        let group = 2 * span;
+        assert!(
+            i64::try_from(group).is_ok(),
+            "group stride exceeds the coefficient range"
+        );
+        Self {
+            name: format!("fft-stage[n={n}, span={span}]"),
+            leading_dim: None,
+            refs: vec![AffineRef::new(
+                base,
+                vec![
+                    Term {
+                        coeff: group as i64,
+                        trip: n / group,
+                    },
+                    Term {
+                        coeff: 1,
+                        trip: group,
+                    },
+                ],
+                stream,
+            )],
+        }
+    }
+
+    /// Lowers one full phase of the blocked 2-D FFT
+    /// (`vcache_workloads::fft_phase_trace`): `count` transforms of
+    /// `points` elements `stride` apart, consecutive transforms starting
+    /// 1 word apart for the row phase (`stride > 1`) and `points` words
+    /// apart for the column phase (`stride == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` or `points` is zero, or either exceeds the
+    /// signed coefficient range.
+    #[must_use]
+    pub fn fft_phase(base: u64, stride: u64, points: u64, count: u64, stream: u32) -> Self {
+        assert!(stride > 0 && points > 0, "degenerate FFT phase");
+        let step = if stride == 1 { points } else { 1 };
+        assert!(
+            i64::try_from(stride).is_ok() && i64::try_from(step).is_ok(),
+            "stride exceeds the coefficient range"
+        );
+        Self {
+            name: format!("fft-phase[{count}x{points} @ stride {stride}]"),
+            leading_dim: None,
+            refs: vec![AffineRef::new(
+                base,
+                vec![
+                    Term {
+                        coeff: step as i64,
+                        trip: count,
+                    },
+                    Term {
+                        coeff: stride as i64,
+                        trip: points,
+                    },
+                ],
+                stream,
+            )],
+        }
+    }
+
+    /// Lowers the full blocked 2-D FFT of §4
+    /// (`vcache_workloads::fft_two_dim_trace`): phase 1 walks each of
+    /// the `B2` rows `log2 B1` times at stride `B2`, phase 2 walks each
+    /// of the `B1` columns `log2 B2` times at unit stride. The stage
+    /// loops are dead dimensions (coefficient 0), kept so each
+    /// reference's iteration space mirrors the trace's revisit
+    /// structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not a power of two ≥ 2, or `B2`
+    /// exceeds the signed coefficient range.
+    #[must_use]
+    pub fn fft_two_dim(layout: FftLayout) -> Self {
+        let FftLayout { b1, b2 } = layout;
+        assert!(
+            b1.is_power_of_two() && b1 >= 2,
+            "B1 must be a power of two >= 2"
+        );
+        assert!(
+            b2.is_power_of_two() && b2 >= 2,
+            "B2 must be a power of two >= 2"
+        );
+        assert!(
+            i64::try_from(b2).is_ok(),
+            "row stride exceeds the coefficient range"
+        );
+        let row_stride = b2 as i64;
+        Self {
+            name: format!("fft2d[B1={b1}, B2={b2}]"),
             leading_dim: None,
             refs: vec![
-                AffineRef::new(0, terms(0, block_stride, block), 0),
-                AffineRef::new(n * n, terms(block_stride, block, 0), 1),
-                AffineRef::new(2 * n * n, terms(block_stride, 0, block), 2),
+                // Phase 1: row r, stage (dead), point k → r + k·B2.
+                AffineRef::new(
+                    0,
+                    vec![
+                        Term { coeff: 1, trip: b2 },
+                        Term {
+                            coeff: 0,
+                            trip: u64::from(b1.ilog2()),
+                        },
+                        Term {
+                            coeff: row_stride,
+                            trip: b1,
+                        },
+                    ],
+                    0,
+                ),
+                // Phase 2: column c, stage (dead), point i → c·B2 + i.
+                AffineRef::new(
+                    0,
+                    vec![
+                        Term {
+                            coeff: row_stride,
+                            trip: b1,
+                        },
+                        Term {
+                            coeff: 0,
+                            trip: u64::from(b2.ilog2()),
+                        },
+                        Term { coeff: 1, trip: b2 },
+                    ],
+                    0,
+                ),
             ],
+        }
+    }
+
+    /// Lowers the in-place radix-2 FFT over separate re/im buffers
+    /// (`vcache_workloads::numeric::fft_radix2`): every butterfly stage
+    /// touches all `n` points of both buffers, so each buffer is one
+    /// unit-stride reference with a dead stage dimension mirroring the
+    /// `log2 n` revisits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 2.
+    #[must_use]
+    pub fn fft_radix2(re_base: u64, im_base: u64, n: u64) -> Self {
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "length must be a power of two >= 2"
+        );
+        let stages = u64::from(n.ilog2());
+        let buffer = |base, stream| {
+            AffineRef::new(
+                base,
+                vec![
+                    Term {
+                        coeff: 0,
+                        trip: stages,
+                    },
+                    Term { coeff: 1, trip: n },
+                ],
+                stream,
+            )
+        };
+        Self {
+            name: format!("fft-radix2[n={n}]"),
+            leading_dim: None,
+            refs: vec![buffer(re_base, 0), buffer(im_base, 1)],
         }
     }
 
@@ -481,6 +815,98 @@ mod tests {
             .map(|(w, _)| w)
             .collect();
         assert_eq!(words, (16..24).collect::<Vec<_>>());
+    }
+
+    /// Per-stream word set of a program, for lowering/trace comparisons.
+    fn word_set(p: &Program) -> std::collections::BTreeSet<(u64, u32)> {
+        p.words().collect()
+    }
+
+    #[test]
+    fn lu_nest_matches_the_pattern_trace_per_stream() {
+        let nest = LoopNest::lu_blocked("lu", 0, 16, 4, (0, 1));
+        assert_eq!(nest.leading_dim, Some(16));
+        let lowered = nest.to_program(1 << 20).unwrap();
+        let trace = vcache_workloads::blocked_lu_trace(16, 4);
+        assert_eq!(word_set(&lowered), word_set(&trace));
+    }
+
+    #[test]
+    fn lu_nest_with_merged_streams_covers_the_whole_matrix() {
+        // The numeric kernel touches every element of its single buffer.
+        let nest = LoopNest::lu_blocked("lu", 100, 8, 4, (0, 0));
+        let words: std::collections::BTreeSet<u64> = nest
+            .to_program(1 << 20)
+            .unwrap()
+            .words()
+            .map(|(w, _)| w)
+            .collect();
+        assert_eq!(words, (100..164).collect());
+    }
+
+    #[test]
+    fn stencil5_nest_matches_the_trace_per_stream() {
+        let nest = LoopNest::stencil5(7, 10, 5);
+        let lowered = nest.to_program(1 << 20).unwrap();
+        let trace = vcache_workloads::stencil5_trace(7, 10, 5);
+        assert_eq!(word_set(&lowered), word_set(&trace));
+    }
+
+    #[test]
+    fn fft_butterfly_stage_matches_the_trace() {
+        for span in [1, 2, 4, 8] {
+            let nest = LoopNest::fft_butterfly_stage(3, 16, span, 2);
+            let lowered = nest.to_program(1 << 20).unwrap();
+            let trace = vcache_workloads::fft_stage_trace(3, 16, span, 2);
+            assert_eq!(word_set(&lowered), word_set(&trace), "span {span}");
+        }
+    }
+
+    #[test]
+    fn fft_phase_nest_matches_the_trace() {
+        // Row phase (stride > 1) and column phase (stride 1).
+        for (stride, points, count) in [(8, 4, 8), (1, 8, 4)] {
+            let nest = LoopNest::fft_phase(0, stride, points, count, 0);
+            let lowered = nest.to_program(1 << 20).unwrap();
+            let trace = vcache_workloads::fft_phase_trace(0, stride, points, count, 0);
+            assert_eq!(word_set(&lowered), word_set(&trace), "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn fft_two_dim_nest_matches_the_trace_including_revisits() {
+        let layout = FftLayout { b1: 8, b2: 4 };
+        let nest = LoopNest::fft_two_dim(layout);
+        let lowered = nest.to_program(1 << 20).unwrap();
+        let trace = vcache_workloads::fft_two_dim_trace(layout);
+        assert_eq!(word_set(&lowered), word_set(&trace));
+        // Dead stage dimensions mirror the trace's revisit volume too.
+        assert_eq!(lowered.total_elements(), trace.total_elements());
+    }
+
+    #[test]
+    fn matmul_nest_with_bases_matches_the_numeric_kernel() {
+        use vcache_workloads::numeric::{matmul_blocked, TracedBuffer};
+        let (n, block) = (8, 4);
+        let a = TracedBuffer::zeros(0, n * n, 0);
+        let b = TracedBuffer::zeros(1000, n * n, 1);
+        let mut c = TracedBuffer::zeros(5000, n * n, 2);
+        let log = matmul_blocked(&a, &b, &mut c, n, block);
+        let nest = LoopNest::blocked_matmul_at("mm", (0, 1000, 5000), n as u64, block as u64);
+        let lowered = nest.to_program(1 << 20).unwrap();
+        assert_eq!(word_set(&lowered), word_set(&log.to_program("mm")));
+    }
+
+    #[test]
+    fn fft_radix2_nest_matches_the_numeric_kernel() {
+        use vcache_workloads::numeric::{fft_radix2, TracedBuffer};
+        let n = 32;
+        let mut re = TracedBuffer::from_values(64, vec![1.0; n], 0);
+        let mut im = TracedBuffer::zeros(4096, n, 1);
+        let log = fft_radix2(&mut re, &mut im);
+        let nest = LoopNest::fft_radix2(64, 4096, n as u64);
+        let lowered = nest.to_program(1 << 20).unwrap();
+        assert_eq!(word_set(&lowered), word_set(&log.to_program("fft")));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::lint::Finding;
 use crate::nestsuite::NestSuiteResult;
 use crate::prescribe::Certificate;
 use crate::suite::SuiteResult;
+use crate::worksuite::WorkloadSuiteResult;
 
 /// The combined outcome of a `vcache check` run.
 #[derive(Debug, Clone, Serialize)]
@@ -21,6 +22,9 @@ pub struct Report {
     /// Verified repair certificates for interfering nest rows (empty
     /// unless `--nests --prescribe`).
     pub certificates: Vec<Certificate>,
+    /// Workload-certification rows (empty when `--workloads` was not
+    /// requested).
+    pub workloads: Vec<WorkloadSuiteResult>,
 }
 
 impl Report {
@@ -75,6 +79,19 @@ impl Report {
                 ));
             }
         }
+        if !self.workloads.is_empty() {
+            out.push_str("\nworkload certification:\n");
+            for r in &self.workloads {
+                let mark = if r.ok { "ok  " } else { "FAIL" };
+                out.push_str(&format!(
+                    "  [{mark}] {:<28} {:<6} expected {:<9} got {}\n",
+                    r.workload,
+                    r.geometry,
+                    format!("{:?}", r.expected),
+                    r.verdict_label()
+                ));
+            }
+        }
         if !self.certificates.is_empty() {
             out.push_str("\nrepair certificates:\n");
             for c in &self.certificates {
@@ -103,6 +120,14 @@ impl Report {
                 ", nests {}/{} ok",
                 self.nests.len() - bad,
                 self.nests.len()
+            ));
+        }
+        if !self.workloads.is_empty() {
+            let bad = self.workloads.iter().filter(|r| !r.ok).count();
+            out.push_str(&format!(
+                ", workloads {}/{} ok",
+                self.workloads.len() - bad,
+                self.workloads.len()
             ));
         }
         out.push('\n');
@@ -143,6 +168,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            workloads: vec![],
         };
         assert!(report.is_clean());
         let report = Report {
@@ -150,6 +176,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            workloads: vec![],
         };
         assert!(!report.is_clean());
         assert_eq!(report.failing().count(), 1);
@@ -162,6 +189,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            workloads: vec![],
         };
         let text = report.render_text();
         assert!(text.contains("[allow] VC001"));
@@ -176,6 +204,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            workloads: vec![],
         };
         let json = report.to_json().unwrap();
         let compact = json.replace(": ", ":");

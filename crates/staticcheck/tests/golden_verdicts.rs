@@ -25,6 +25,7 @@ fn check_programs_json_matches_golden_file() {
         programs: true,
         nests: false,
         prescribe: false,
+        workloads: false,
     }) {
         Ok(r) => r,
         Err(e) => panic!("canonical suite run failed: {e}"),

@@ -1,0 +1,297 @@
+//! Differential validation of the workload-certification suite against
+//! the cache simulator.
+//!
+//! Two oracles, mirroring `tests/nests.rs` but anchored to the actual
+//! generator traces rather than hand-built nests:
+//!
+//! 1. Every canonical [`worksuite`] case is replayed through `CacheSim`
+//!    under both canonical geometries — the *trace itself*, in the
+//!    generator's access order, not the lowering. Since the suite proves
+//!    the lowering word-set-identical to the trace, the nest verdict
+//!    must agree with the replay: `ConflictFree` ⟺ zero conflict misses
+//!    (the reverse direction whenever the footprint fits capacity). For
+//!    non-affine rows a `ConflictFree` envelope is a *superset* of the
+//!    footprint, so the traced replay must still be clean.
+//!
+//! 2. A property sweep: ≥100 random (workload, geometry) pairs drawn
+//!    from every affine generator family, each checked for word-set
+//!    equality against its lowering and verdict agreement with the
+//!    simulator.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcache_cache::CacheSim;
+use vcache_check::suite::EXPONENT;
+use vcache_check::worksuite::{cases, Lowering, WORKSET_CAP};
+use vcache_check::{analyze_nest, Geometry, LoopNest};
+use vcache_workloads::{
+    blocked_lu_trace, blocked_matmul_trace, fft_phase_trace, fft_stage_trace, fft_two_dim_trace,
+    generate_program, matrix_trace, saxpy_trace, stencil5_trace, transpose_trace, FftLayout,
+    MatrixSweep, Program, Vcm,
+};
+
+/// Builds the simulator matching a static geometry.
+fn sim_for(geometry: &Geometry) -> CacheSim {
+    let made = match geometry {
+        Geometry::Pow2 { sets, line_words } => CacheSim::direct_mapped(*sets, *line_words),
+        Geometry::Prime {
+            modulus,
+            line_words,
+        } => CacheSim::prime_mapped(modulus.exponent(), *line_words),
+    };
+    match made {
+        Ok(sim) => sim,
+        Err(e) => panic!("simulator for {geometry} failed: {e}"),
+    }
+}
+
+/// Replays `program` twice through the simulator for `geometry`;
+/// returns `(conflict_misses, distinct_lines)`.
+fn replay(program: &Program, geometry: &Geometry) -> (u64, u64) {
+    let words: Vec<(u64, u32)> = program.words().collect();
+    let lines: BTreeSet<u64> = words
+        .iter()
+        .map(|(w, _)| w / geometry.line_words())
+        .collect();
+    let mut sim = sim_for(geometry);
+    let conflicts = sim.replay_sweeps(words.iter().copied(), 2);
+    (conflicts, lines.len() as u64)
+}
+
+/// Word-set (per stream) of a flat program.
+fn program_word_set(program: &Program) -> BTreeSet<(u64, u32)> {
+    program.words().collect()
+}
+
+/// Word-set (per stream) of a lowered nest.
+fn nest_word_set(nest: &LoopNest) -> BTreeSet<(u64, u32)> {
+    let Some(program) = nest.to_program(WORKSET_CAP) else {
+        panic!("{}: nest too large to lower", nest.name);
+    };
+    program.words().collect()
+}
+
+/// Checks one (trace, nest, geometry) triple: the abstract verdict on
+/// the nest must agree with a simulator replay of the trace. Returns
+/// `Ok(is_free)` or a disagreement description.
+fn check_against_replay(
+    label: &str,
+    trace: &Program,
+    nest: &LoopNest,
+    geometry: &Geometry,
+) -> Result<bool, String> {
+    let analysis =
+        analyze_nest(nest, geometry).map_err(|e| format!("{label}: analysis failed: {e}"))?;
+    let (conflicts, distinct) = replay(trace, geometry);
+    let free = analysis.verdict.is_conflict_free();
+    let fits = distinct <= geometry.sets();
+    if free && conflicts != 0 {
+        return Err(format!(
+            "{label} on {geometry}: statically conflict-free but the traced kernel \
+             replayed with {conflicts} conflict misses"
+        ));
+    }
+    if !free && fits && conflicts == 0 {
+        return Err(format!(
+            "{label} on {geometry}: statically {} but the traced kernel replayed clean",
+            analysis.verdict
+        ));
+    }
+    Ok(free)
+}
+
+/// Every canonical workload case, replayed end to end: the generator's
+/// own access stream through `CacheSim` versus the certified verdict.
+#[test]
+fn canonical_workload_cases_agree_with_the_simulator() {
+    for case in cases() {
+        let geometries = [
+            Geometry::pow2(1 << EXPONENT, case.line_words),
+            Geometry::prime(EXPONENT, case.line_words),
+        ];
+        for geometry in geometries {
+            let geometry = match geometry {
+                Ok(g) => g,
+                Err(e) => panic!("{}: bad geometry: {e}", case.name),
+            };
+            match &case.lowering {
+                Lowering::Exact(nest) => {
+                    // The suite proves trace ≡ nest word sets; here the
+                    // verdict must survive contact with the simulator.
+                    if let Err(msg) = check_against_replay(case.name, &case.trace, nest, &geometry)
+                    {
+                        panic!("{msg}");
+                    }
+                }
+                Lowering::NonAffine { envelope, .. } => {
+                    // A conflict-free envelope bounds a superset of the
+                    // footprint: the traced kernel must replay clean.
+                    let analysis = match analyze_nest(envelope, &geometry) {
+                        Ok(a) => a,
+                        Err(e) => panic!("{}: envelope analysis failed: {e}", case.name),
+                    };
+                    if analysis.verdict.is_conflict_free() {
+                        let (conflicts, _) = replay(&case.trace, &geometry);
+                        assert_eq!(
+                            conflicts, 0,
+                            "{} on {geometry}: conflict-free envelope but the traced \
+                             kernel saw {conflicts} conflict misses",
+                            case.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exact lowerings really are exact: independent of the suite's own
+/// validation, the word sets must match per stream.
+#[test]
+fn canonical_exact_lowerings_are_word_set_identical() {
+    let mut exact = 0usize;
+    for case in cases() {
+        if let Lowering::Exact(nest) = &case.lowering {
+            assert_eq!(
+                nest_word_set(nest),
+                program_word_set(&case.trace),
+                "{}: lowered word set differs from the trace",
+                case.name
+            );
+            exact += 1;
+        }
+    }
+    assert!(exact >= 14, "only {exact} exact lowerings covered");
+}
+
+/// One random (trace, lowering) pair from a random generator family.
+fn random_workload(rng: &mut StdRng, case: usize) -> (Program, LoopNest) {
+    match rng.random_range(0..10u64) {
+        0 => {
+            let (p, q) = (rng.random_range(1..=32u64), rng.random_range(1..=16u64));
+            let b_base = 1 << 20;
+            (
+                transpose_trace(0, b_base, p, q),
+                LoopNest::transpose(0, b_base, p, q),
+            )
+        }
+        1 => {
+            let (p, q) = (rng.random_range(3..=40u64), rng.random_range(3..=12u64));
+            (stencil5_trace(0, p, q), LoopNest::stencil5(0, p, q))
+        }
+        2 => {
+            let b = [2u64, 4, 8][rng.random_range(0..3u64) as usize];
+            let n = b * rng.random_range(2..=4u64);
+            (blocked_matmul_trace(n, b), LoopNest::blocked_matmul(n, b))
+        }
+        3 => {
+            let b = [4u64, 8][rng.random_range(0..2u64) as usize];
+            let n = b * rng.random_range(2..=5u64);
+            (
+                blocked_lu_trace(n, b),
+                LoopNest::lu_blocked(format!("rand-lu[{case}]"), 0, n, b, (0, 1)),
+            )
+        }
+        4 => {
+            let n = 1u64 << rng.random_range(4..=9u64);
+            let span = 1u64 << rng.random_range(0..n.trailing_zeros() as u64);
+            (
+                fft_stage_trace(0, n, span, 0),
+                LoopNest::fft_butterfly_stage(0, n, span, 0),
+            )
+        }
+        5 => {
+            let stride = if rng.random_range(0..2u64) == 0 {
+                1
+            } else {
+                rng.random_range(2..=64u64)
+            };
+            let points = 1u64 << rng.random_range(2..=4u64);
+            let count = rng.random_range(2..=12u64);
+            (
+                fft_phase_trace(0, stride, points, count, 0),
+                LoopNest::fft_phase(0, stride, points, count, 0),
+            )
+        }
+        6 => {
+            let layout = FftLayout {
+                b1: 1 << rng.random_range(1..=5u64),
+                b2: 1 << rng.random_range(1..=5u64),
+            };
+            (fft_two_dim_trace(layout), LoopNest::fft_two_dim(layout))
+        }
+        7 => {
+            let (p, q) = (rng.random_range(1..=128u64), rng.random_range(1..=64u64));
+            let sweep = match rng.random_range(0..3u64) {
+                0 => MatrixSweep::Row(rng.random_range(0..p)),
+                1 => MatrixSweep::Column(rng.random_range(0..q)),
+                _ => MatrixSweep::Diagonal,
+            };
+            let trace = Program::new(
+                format!("rand-matrix[{case}]"),
+                vec![matrix_trace(0, p, q, sweep, 0)],
+            );
+            let nest = LoopNest::from_program(&trace);
+            (trace, nest)
+        }
+        8 => {
+            let y_base = rng.random_range(1000..=2_000_000u64);
+            let n = rng.random_range(1..=256u64);
+            let trace = saxpy_trace(0, y_base, n);
+            let nest = LoopNest::from_program(&trace);
+            (trace, nest)
+        }
+        _ => {
+            let vcm = Vcm::blocked_matmul(1 << rng.random_range(1..=4u64));
+            let trace = generate_program(&vcm, rng.random_range(32..=512u64), rng.random());
+            let nest = LoopNest::from_program(&trace);
+            (trace, nest)
+        }
+    }
+}
+
+/// Satellite property test: ≥100 random workload/geometry pairs, each
+/// proven word-set-identical to its lowering and verdict-consistent
+/// with the simulator.
+#[test]
+fn random_workload_lowerings_agree_with_the_simulator() {
+    let mut rng = StdRng::seed_from_u64(0x0057_A71C_C3EC);
+    let (mut checked, mut free_seen, mut conflict_seen) = (0u64, 0u64, 0u64);
+    for case in 0..120usize {
+        let (trace, nest) = random_workload(&mut rng, case);
+        assert_eq!(
+            nest_word_set(&nest),
+            program_word_set(&trace),
+            "case {case} ({}): lowered word set differs from the trace",
+            trace.name
+        );
+        let exponent = [5u32, 7, 13][rng.random_range(0..3u64) as usize];
+        let line_words = 1u64 << rng.random_range(0..4u64);
+        let geometries = [
+            Geometry::pow2(1 << exponent, line_words),
+            Geometry::prime(exponent, line_words),
+        ];
+        for geometry in geometries {
+            let geometry = match geometry {
+                Ok(g) => g,
+                Err(e) => panic!("case {case}: bad geometry: {e}"),
+            };
+            match check_against_replay(&trace.name, &trace, &nest, &geometry) {
+                Ok(true) => free_seen += 1,
+                Ok(false) => conflict_seen += 1,
+                Err(msg) => panic!("case {case}: {msg}"),
+            }
+            checked += 1;
+        }
+    }
+    // The acceptance bar: at least 100 random workload/geometry pairs
+    // validated against ground truth, with both verdict classes seen.
+    assert!(checked >= 100, "only {checked} pairs checked");
+    assert!(free_seen >= 10, "only {free_seen} conflict-free pairs");
+    assert!(
+        conflict_seen >= 10,
+        "only {conflict_seen} interfering pairs"
+    );
+}

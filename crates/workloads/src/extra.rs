@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::program::{Program, VectorAccess};
+use crate::program::{signed_stride, Program, VectorAccess};
 
 /// Out-of-place transpose `B = Aᵀ` of a `p × q` column-major matrix:
 /// reads `A` column-wise (stride 1) paired with writes to `B` row-wise
@@ -14,10 +14,12 @@ use crate::program::{Program, VectorAccess};
 ///
 /// # Panics
 ///
-/// Panics if either dimension is zero.
+/// Panics if either dimension is zero, or if `q` exceeds `i64::MAX` (a
+/// raw cast would wrap it into a negative, backwards-walking stride).
 #[must_use]
 pub fn transpose_trace(a_base: u64, b_base: u64, p: u64, q: u64) -> Program {
     assert!(p > 0 && q > 0, "matrix dimensions must be positive");
+    let row_stride = signed_stride(q);
     let mut prog = Program::new(format!("transpose[{p}x{q}]"), Vec::new());
     for j in 0..q {
         // Column j of A (stride 1) is row j of B (stride q).
@@ -25,7 +27,7 @@ pub fn transpose_trace(a_base: u64, b_base: u64, p: u64, q: u64) -> Program {
         read.paired_with_next = true;
         prog.accesses.push(read);
         prog.accesses
-            .push(VectorAccess::single(b_base + j, q as i64, p, 1));
+            .push(VectorAccess::single(b_base + j, row_stride, p, 1));
     }
     prog
 }
@@ -48,16 +50,21 @@ pub fn stencil5_trace(base: u64, p: u64, q: u64) -> Program {
         let len = p - 2;
         // Centre, north (−1), south (+1): one contiguous region — model as
         // three overlapping unit-stride streams; west/east are a column
-        // away on either side.
-        for (stream, col_base) in [
+        // away on either side. The five loads of a column group happen
+        // concurrently (one fused stencil update), so all but the last are
+        // paired with their successor, the same convention as
+        // `transpose_trace` — not five sequential passes.
+        let columns = [
             (0u32, centre),
             (1, centre - 1),
             (2, centre + 1),
             (3, centre - p),
             (4, centre + p),
-        ] {
-            prog.accesses
-                .push(VectorAccess::single(col_base, 1, len, stream));
+        ];
+        for (slot, (stream, col_base)) in columns.iter().enumerate() {
+            let mut access = VectorAccess::single(*col_base, 1, len, *stream);
+            access.paired_with_next = slot + 1 < columns.len();
+            prog.accesses.push(access);
         }
     }
     prog
@@ -67,11 +74,18 @@ pub fn stencil5_trace(base: u64, p: u64, q: u64) -> Program {
 /// `[base, base + span)` — sparse matrix / table-lookup traffic with no
 /// exploitable stride at all, the regime where *neither* mapping helps
 /// and both caches should agree (a negative control for experiments).
+///
+/// # Panics
+///
+/// Panics if `span` is zero: an empty address window admits no gather,
+/// and fabricating addresses instead (the old `span.max(1)` clamp) would
+/// corrupt the trace's role as a negative control.
 #[must_use]
 pub fn gather_trace(base: u64, span: u64, n: u64, seed: u64) -> Program {
+    assert!(span > 0, "gather span must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
     let accesses = (0..n)
-        .map(|_| VectorAccess::single(base + rng.random_range(0..span.max(1)), 1, 1, 0))
+        .map(|_| VectorAccess::single(base + rng.random_range(0..span), 1, 1, 0))
         .collect();
     Program::new(format!("gather[n={n}, span={span}]"), accesses)
 }
@@ -119,6 +133,24 @@ mod tests {
     }
 
     #[test]
+    fn stencil_column_groups_are_concurrent_streams() {
+        let prog = stencil5_trace(0, 10, 5);
+        // Within each 5-access column group the first four loads are
+        // paired with their successor (one fused update, five live
+        // streams); the group's last access closes the chain, so groups
+        // stay independent.
+        for (i, access) in prog.accesses.iter().enumerate() {
+            let in_group = i % 5;
+            assert_eq!(
+                access.paired_with_next,
+                in_group < 4,
+                "access {i} (stream {})",
+                access.stream
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "interior")]
     fn stencil_needs_interior() {
         let _ = stencil5_trace(0, 2, 5);
@@ -131,5 +163,13 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.accesses.iter().all(|x| (100..1100).contains(&x.base)));
         assert_ne!(a, gather_trace(100, 1000, 64, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "span must be positive")]
+    fn gather_rejects_zero_span() {
+        // A zero-span gather used to clamp to span 1 and fabricate
+        // addresses; it must refuse like its sibling generators.
+        let _ = gather_trace(100, 0, 64, 1);
     }
 }

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::program::{Program, VectorAccess};
+use crate::program::{signed_stride, Program, VectorAccess};
 
 /// Which sweep of a matrix to trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -37,9 +37,9 @@ pub fn matrix_trace(base: u64, p: u64, q: u64, sweep: MatrixSweep, stream: u32) 
         }
         MatrixSweep::Row(i) => {
             assert!(i < p, "row {i} out of range for {p}x{q}");
-            VectorAccess::single(base + i, p as i64, q, stream)
+            VectorAccess::single(base + i, signed_stride(p), q, stream)
         }
-        MatrixSweep::Diagonal => VectorAccess::single(base, (p + 1) as i64, p.min(q), stream),
+        MatrixSweep::Diagonal => VectorAccess::single(base, signed_stride(p + 1), p.min(q), stream),
     }
 }
 
@@ -225,7 +225,7 @@ pub fn fft_phase_trace(base: u64, stride: u64, points: u64, count: u64, stream: 
     assert!(stride > 0 && points > 0, "degenerate FFT phase");
     let step = if stride == 1 { points } else { 1 };
     let accesses = (0..count)
-        .map(|t| VectorAccess::single(base + t * step, stride as i64, points, stream))
+        .map(|t| VectorAccess::single(base + t * step, signed_stride(stride), points, stream))
         .collect();
     Program::new(
         format!("fft-phase[{count}x{points} @ stride {stride}]"),
@@ -259,7 +259,7 @@ pub fn fft_two_dim_trace(layout: FftLayout) -> Program {
     for r in 0..b2 {
         for _stage in 0..row_reuse {
             prog.accesses
-                .push(VectorAccess::single(r, b2 as i64, b1, 0));
+                .push(VectorAccess::single(r, signed_stride(b2), b1, 0));
         }
     }
     // Phase 2: column FFTs. Column c occupies words c·B2 … c·B2+B2−1.

@@ -40,5 +40,5 @@ pub use kernels::{
     blocked_lu_trace, blocked_matmul_trace, fft_phase_trace, fft_stage_trace, fft_two_dim_trace,
     matrix_trace, saxpy_trace, subblock_trace, FftLayout, MatrixSweep,
 };
-pub use program::{Program, VectorAccess};
+pub use program::{signed_stride, Program, VectorAccess};
 pub use vcm::{generate_program, StrideDistribution, Vcm};

@@ -19,6 +19,24 @@ pub struct VectorAccess {
     pub paired_with_next: bool,
 }
 
+/// Converts a word stride or matrix dimension to the signed stride type
+/// used by [`VectorAccess`], rejecting values a raw `as i64` cast would
+/// silently wrap negative (lint VC003's extended class for this crate).
+///
+/// # Panics
+///
+/// Panics if `value` exceeds `i64::MAX` words.
+#[must_use]
+pub fn signed_stride(value: u64) -> i64 {
+    assert!(
+        i64::try_from(value).is_ok(),
+        "stride/dimension {value} exceeds the signed stride range"
+    );
+    // Infallible after the assert above; `unwrap_or_default` keeps the
+    // conversion checked without a panicking call in library code.
+    i64::try_from(value).unwrap_or_default()
+}
+
 impl VectorAccess {
     /// A single-stream access.
     #[must_use]
@@ -107,6 +125,19 @@ mod tests {
         assert_eq!(p.total_elements(), 5);
         let words: Vec<_> = p.words().collect();
         assert_eq!(words, vec![(0, 0), (1, 0), (2, 0), (10, 1), (12, 1)]);
+    }
+
+    #[test]
+    fn signed_stride_round_trips_in_range_values() {
+        assert_eq!(signed_stride(0), 0);
+        assert_eq!(signed_stride(10_000), 10_000);
+        assert_eq!(signed_stride(i64::MAX as u64), i64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "signed stride range")]
+    fn signed_stride_rejects_wrapping_values() {
+        let _ = signed_stride(u64::MAX);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::program::{Program, VectorAccess};
+use crate::program::{signed_stride, Program, VectorAccess};
 
 /// Distribution of one vector's access stride.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -187,14 +187,19 @@ pub fn generate_program(vcm: &Vcm, total_elements: u64, seed: u64) -> Program {
             if is_ds_sweep {
                 accesses.push(VectorAccess {
                     base: block_base,
-                    stride: s1 as i64,
+                    stride: signed_stride(s1),
                     length: b,
                     stream: 0,
                     paired_with_next: true,
                 });
-                accesses.push(VectorAccess::single(second_base, s2 as i64, second_len, 1));
+                accesses.push(VectorAccess::single(
+                    second_base,
+                    signed_stride(s2),
+                    second_len,
+                    1,
+                ));
             } else {
-                accesses.push(VectorAccess::single(block_base, s1 as i64, b, 0));
+                accesses.push(VectorAccess::single(block_base, signed_stride(s1), b, 0));
             }
         }
     }

@@ -29,6 +29,8 @@ run 300 ./target/release/vcache check --src --programs
 
 run 300 ./target/release/vcache check --nests --prescribe
 
+run 300 ./target/release/vcache check --workloads
+
 echo "==> daemon smoke  (timeout 120s)"
 timeout --kill-after=10 120 bash -c '
     set -euo pipefail

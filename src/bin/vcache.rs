@@ -52,15 +52,18 @@ USAGE:
   vcache analyze --trace <FILE> [--window <W>] [--top <N>]
       Read a JSONL trace and print per-stream miss timelines (one row per
       W-access window), bank occupancy, and the top N conflicting sets.
-  vcache check [--src] [--programs] [--nests] [--prescribe] [--json] [--root <DIR>]
+  vcache check [--src] [--programs] [--nests] [--prescribe] [--workloads] [--json]
+               [--root <DIR>]
       Static analysis gate. --src runs the workspace source lints
       (VC001-VC005, allowlist in staticcheck.allow); --programs runs the
       canonical static-verdict suite (Layer 2, VC100 on drift); --nests
       runs the affine loop-nest suite (Layer 3, VC101 on drift), and
       --prescribe additionally demands a verifying repair certificate for
-      every interfering nest row (VC102). With no layer switch, all three
-      layers run. Exits non-zero on any finding not covered by the
-      allowlist.
+      every interfering nest row (VC102); --workloads certifies every
+      generator in vcache-workloads against its loop-nest lowering
+      (word-set equality or an explicit non-affine exclusion, VC103 on
+      drift). With no layer switch, all layers run. Exits non-zero on any
+      finding not covered by the allowlist.
   vcache serve [--addr <A>] [--unix <PATH>] [--workers <N>] [--queue <N>]
                [--deadline-ms <N>] [--retry-after-ms <N>] [--faults <SPEC>] [--root <DIR>]
       Run the analysis daemon (NDJSON over TCP, plus a Unix socket with
@@ -72,7 +75,8 @@ USAGE:
       Call a running daemon with retries (decorrelated-jitter backoff).
       <op> is one of:
         ping | status | shutdown
-        check    [--src] [--programs] [--nests] [--prescribe] [--json] [--root <DIR>]
+        check    [--src] [--programs] [--nests] [--prescribe] [--workloads] [--json]
+                 [--root <DIR>]
                  (remote equivalent of `vcache check`; --json output is
                  byte-identical to the local command)
         analyze  --trace <FILE> [--window <W>] [--top <N>]
@@ -103,14 +107,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             return Err("client needs an op: ping | status | shutdown | check | analyze".into());
         };
         let switches: &[&str] = match op.as_str() {
-            "check" => &["src", "programs", "nests", "prescribe", "json"],
+            "check" => &["src", "programs", "nests", "prescribe", "workloads", "json"],
             _ => &[],
         };
         let flags = parse_flags(&args[2..], switches)?;
         return client_cmd(op, &flags);
     }
     let switches: &[&str] = match command.as_str() {
-        "check" => &["src", "programs", "nests", "prescribe", "json"],
+        "check" => &["src", "programs", "nests", "prescribe", "workloads", "json"],
         _ => &[],
     };
     let flags = parse_flags(&args[1..], switches)?;
@@ -424,8 +428,9 @@ fn check_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let src = flags.contains_key("src");
     let programs = flags.contains_key("programs");
     let nests = flags.contains_key("nests");
+    let workloads = flags.contains_key("workloads");
     // With no layer switch given, run every layer.
-    let all = !src && !programs && !nests;
+    let all = !src && !programs && !nests && !workloads;
     let options = CheckOptions {
         root: flags
             .get("root")
@@ -434,6 +439,7 @@ fn check_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         programs: programs || all,
         nests: nests || all,
         prescribe: flags.contains_key("prescribe"),
+        workloads: workloads || all,
     };
     let report = run_check(&options).map_err(|e| e.to_string())?;
     if flags.contains_key("json") {
@@ -564,7 +570,7 @@ fn client_check(
     deadline_ms: Option<u64>,
 ) -> Result<ExitCode, String> {
     let mut params = Vec::new();
-    for switch in ["src", "programs", "nests", "prescribe"] {
+    for switch in ["src", "programs", "nests", "prescribe", "workloads"] {
         if flags.contains_key(switch) {
             params.push((switch.to_string(), Value::Bool(true)));
         }
@@ -799,6 +805,14 @@ mod tests {
         // --nests --prescribe needs no filesystem either: the canonical
         // nest suite and its repair certificates must pass anywhere.
         let code = check_cmd(&flags(&[("nests", "true"), ("prescribe", "true")])).unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn check_workload_layer_is_green() {
+        // --workloads needs no filesystem: the workload-certification
+        // suite builds its traces in memory and must pass anywhere.
+        let code = check_cmd(&flags(&[("workloads", "true")])).unwrap();
         assert_eq!(code, ExitCode::SUCCESS);
     }
 
