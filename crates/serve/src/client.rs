@@ -103,6 +103,16 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's `status` result — the input both `vcache
+    /// stat` renderers ([`crate::stat`]) consume.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] once the outcome is final.
+    pub fn status(&mut self) -> Result<Value, ClientError> {
+        self.call("status", Value::Null, None)
+    }
+
     /// Issues `op` and returns the `result` value, retrying per policy.
     ///
     /// # Errors

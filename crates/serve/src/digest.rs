@@ -1,0 +1,128 @@
+//! Canonical request digests: the content address a verdict cache keys
+//! on (DESIGN.md §8).
+//!
+//! Two requests that mean the same thing must digest identically, so the
+//! digest is taken over a *canonical* form: the op name plus the params
+//! value with every object's keys sorted recursively. Wire-level
+//! accidents — key order, whitespace, the correlation id — do not
+//! participate. The hash is 128 bits built from two independent FNV-1a
+//! 64-bit passes (different offset bases) over the same bytes: not
+//! cryptographic, but collision-safe at verdict-cache scale and
+//! dependency-free.
+
+use serde::Value;
+
+/// Recursively sorts every object's keys; arrays keep their order
+/// (position is meaningful in params), scalars pass through.
+fn canonicalize(value: &Value) -> Value {
+    match value {
+        Value::Obj(fields) => {
+            let mut sorted: Vec<(String, Value)> = fields
+                .iter()
+                .map(|(k, v)| (k.clone(), canonicalize(v)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Obj(sorted)
+        }
+        Value::Arr(items) => Value::Arr(items.iter().map(canonicalize).collect()),
+        other => other.clone(),
+    }
+}
+
+/// One FNV-1a 64 pass from the given offset basis.
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// The standard FNV-1a 64 offset basis.
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, independent basis (the standard one's halves swapped) for
+/// the upper hash.
+const FNV_BASIS_ALT: u64 = 0x8422_2325_cbf2_9ce4;
+
+/// The canonical digest of one request: 32 lowercase hex characters over
+/// `op` and the canonicalized `params`. Stable across key order and
+/// serialization accidents; this exact format is golden-pinned.
+#[must_use]
+pub fn request_digest(op: &str, params: &Value) -> String {
+    let canonical = serde_json::to_string(&canonicalize(params)).unwrap_or_default();
+    let text = format!("{op}\n{canonical}");
+    let h1 = fnv1a(text.as_bytes(), FNV_BASIS);
+    let h2 = fnv1a(text.as_bytes(), FNV_BASIS_ALT);
+    format!("{h1:016x}{h2:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_order_does_not_matter() {
+        let a = Value::Obj(vec![
+            ("x".into(), Value::U64(1)),
+            (
+                "inner".into(),
+                Value::Obj(vec![
+                    ("b".into(), Value::U64(2)),
+                    ("a".into(), Value::U64(3)),
+                ]),
+            ),
+        ]);
+        let b = Value::Obj(vec![
+            (
+                "inner".into(),
+                Value::Obj(vec![
+                    ("a".into(), Value::U64(3)),
+                    ("b".into(), Value::U64(2)),
+                ]),
+            ),
+            ("x".into(), Value::U64(1)),
+        ]);
+        assert_eq!(request_digest("check", &a), request_digest("check", &b));
+    }
+
+    #[test]
+    fn op_params_and_array_order_all_matter() {
+        let params = Value::Arr(vec![Value::U64(1), Value::U64(2)]);
+        let swapped = Value::Arr(vec![Value::U64(2), Value::U64(1)]);
+        assert_ne!(
+            request_digest("check", &params),
+            request_digest("analyze_nest", &params)
+        );
+        assert_ne!(
+            request_digest("check", &params),
+            request_digest("check", &swapped)
+        );
+        assert_ne!(
+            request_digest("check", &Value::Null),
+            request_digest("check", &Value::U64(0))
+        );
+    }
+
+    #[test]
+    fn digest_format_is_pinned() {
+        let d = request_digest("ping", &Value::Null);
+        assert_eq!(d.len(), 32);
+        assert!(d
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        // Golden: this value may only change with a DESIGN.md §8 bump.
+        assert_eq!(d, "c56bc202c61726d841bdf5abeec8b083");
+        let again = request_digest(
+            "status",
+            &Value::Obj(vec![("window".into(), Value::U64(256))]),
+        );
+        assert_eq!(
+            again,
+            request_digest(
+                "status",
+                &Value::Obj(vec![("window".into(), Value::U64(256))]),
+            )
+        );
+    }
+}

@@ -37,12 +37,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod digest;
 pub mod fault;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod stat;
 
 pub use client::{Client, ClientError, RetryPolicy};
+pub use digest::request_digest;
 pub use fault::{FaultInjector, FaultPlan};
 pub use protocol::{ErrorBody, ErrorCode, GeometrySpec, Request, Response, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -24,7 +24,20 @@
 //! signal wired up by the binary) stops the accept loops, drains every
 //! queued request, lets connection threads finish their in-flight
 //! exchange, and returns the final [`MetricsSnapshot`].
+//!
+//! **Request spans** (DESIGN.md §8): every request line mints a root
+//! span labelled with its op, carrying the wire correlation id and the
+//! canonical [`crate::digest`] of the request. The stages it crosses —
+//! queue wait, worker execution, the analyzer's phases via the
+//! [`NestBudget`] observer hook — open children, so one request yields
+//! one complete tree whatever its fate: a shed request finishes its
+//! `queue_wait` span with `shed`, a cancelled analysis closes its phase
+//! spans with `cancelled`, and a panicking handler's spans record
+//! themselves from `Drop` during the unwind. Span export is optional
+//! (`span_path`); without it the collector only counts.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,12 +50,15 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize, Value};
 use vcache_check::{
-    analyze_nest_with_budget, prescribe_with_budget, run_check, CheckError, CheckOptions, LoopNest,
-    NestBudget, NestError,
+    analyze_nest_with_budget, prescribe_with_budget, run_check_observed, CheckError, CheckOptions,
+    LoopNest, NestBudget, NestError,
 };
 use vcache_trace::analyze;
-use vcache_trace::{MetricsSnapshot, SharedMetrics};
+use vcache_trace::{
+    MetricsSnapshot, RollingWindow, SharedMetrics, SpanCollector, SpanContext, SpanHandle,
+};
 
+use crate::digest::request_digest;
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::protocol::{
     bool_param, str_param, u64_param, ErrorBody, ErrorCode, GeometrySpec, Request, Response,
@@ -59,6 +75,9 @@ const READ_POLL: Duration = Duration::from_millis(250);
 const LATENCY_BOUNDS_US: [u64; 12] = [
     100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 2_000_000,
 ];
+/// Raw samples kept per op for the exact rolling-window quantiles the
+/// `status` op reports.
+const OP_WINDOW: usize = 256;
 
 /// Everything configurable about a daemon instance.
 #[derive(Debug, Clone)]
@@ -79,6 +98,12 @@ pub struct ServerConfig {
     pub fault_plan: FaultPlan,
     /// Workspace root for `check` requests.
     pub root: PathBuf,
+    /// Export every finished request span as a JSONL line to this file
+    /// (`None`: spans are counted but not exported).
+    pub span_path: Option<PathBuf>,
+    /// Requests taking at least this long emit a structured
+    /// `slow_request` log line on stderr (0 disables).
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +117,8 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             fault_plan: FaultPlan::none(),
             root: PathBuf::from("."),
+            span_path: None,
+            slow_request_ms: 1_000,
         }
     }
 }
@@ -102,18 +129,30 @@ struct Job {
     reply: SyncSender<Response>,
     received: Instant,
     deadline: Instant,
+    /// Open since enqueue; the worker (or the shedding pusher) closes
+    /// it, so queue time is always attributed.
+    queue_span: SpanHandle,
+    /// Lets the worker open its `worker` span under the request root,
+    /// which stays on the connection thread.
+    root_ctx: SpanContext,
 }
 
 /// State shared by every thread of one daemon instance.
 struct Shared {
     queue: Bounded<Job>,
     metrics: SharedMetrics,
+    spans: SpanCollector,
     injector: FaultInjector,
     shutdown: AtomicBool,
     in_flight: AtomicU64,
     default_deadline: Duration,
     retry_after_ms: u64,
     root: PathBuf,
+    started: Instant,
+    /// Slow-request log threshold (`None` disables).
+    slow_request: Option<Duration>,
+    /// Per-op rolling latency windows feeding the `status` op.
+    op_windows: Mutex<BTreeMap<String, RollingWindow>>,
 }
 
 impl Shared {
@@ -178,15 +217,26 @@ impl Server {
         };
         let metrics = SharedMetrics::default();
         metrics.register_histogram("serve.latency_us", &LATENCY_BOUNDS_US);
+        let spans = match &config.span_path {
+            Some(path) => SpanCollector::to_file(path)?,
+            None => SpanCollector::new(),
+        };
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_capacity),
             metrics,
+            spans,
             injector: FaultInjector::new(config.fault_plan),
             shutdown: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
             default_deadline: Duration::from_millis(config.default_deadline_ms.max(1)),
             retry_after_ms: config.retry_after_ms,
             root: config.root,
+            started: Instant::now(),
+            slow_request: match config.slow_request_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            op_windows: Mutex::new(BTreeMap::new()),
         });
         Ok(Self {
             listener,
@@ -285,6 +335,7 @@ impl Server {
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
+        let _ = self.shared.spans.flush();
         Ok(self.shared.metrics.snapshot())
     }
 }
@@ -396,23 +447,34 @@ fn serve_connection<R: Read, W: Write>(
 
 /// Resolves one request line to a response. The bool asks the caller to
 /// close the connection afterwards (used by `shutdown`).
+///
+/// This is where request identity is born: every line — even an
+/// unparseable one — gets a root span, and every root span is finished
+/// here with the response's outcome after per-op latency accounting.
 fn dispatch_line(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
+    let received = Instant::now();
     let request = match Request::from_json(line) {
         Ok(request) => request,
         Err(msg) => {
-            return (
-                Response::err(0, ErrorBody::new(ErrorCode::BadRequest, msg)),
-                false,
-            );
+            let root = shared.spans.root("malformed", 0, None);
+            let response = Response::err(0, ErrorBody::new(ErrorCode::BadRequest, msg));
+            finish_request(shared, root, "malformed", 0, None, received, &response);
+            return (response, false);
         }
     };
     let id = request.id;
-    match request.op.as_str() {
+    let digest = request_digest(&request.op, &request.params);
+    let op = request.op.clone();
+    let root = shared.spans.root(&op, id, Some(digest.clone()));
+    let (response, close_after) = match request.op.as_str() {
         // Control-plane ops run inline on the connection thread so they
         // respond even when the queue is saturated.
         "ping" | "status" => {
             let deadline = Instant::now() + shared.default_deadline;
-            let response = match handle_request(shared, &request, deadline) {
+            let handler = root.child("handler");
+            let result = handle_request(shared, &request, deadline, &handler);
+            handler.finish(result.as_ref().map_or_else(|e| e.code.as_str(), |_| "ok"));
+            let response = match result {
                 Ok(v) => Response::ok(id, v),
                 Err(e) => Response::err(id, e),
             };
@@ -432,11 +494,67 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
             ),
             false,
         ),
-        _ => (enqueue_and_wait(request, shared), false),
-    }
+        _ => (enqueue_and_wait(request, shared, &root), false),
+    };
+    finish_request(shared, root, &op, id, Some(digest), received, &response);
+    (response, close_after)
 }
 
-fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> Response {
+/// Closes a request's root span with the response outcome, records the
+/// socket-to-response latency (overall and per-op, histogram and rolling
+/// window), and emits the structured slow-request log when the
+/// configured threshold is crossed.
+fn finish_request(
+    shared: &Arc<Shared>,
+    root: SpanHandle,
+    op: &str,
+    req_id: u64,
+    digest: Option<String>,
+    received: Instant,
+    response: &Response,
+) {
+    let status = response
+        .outcome
+        .as_ref()
+        .map_or_else(|body| body.code.as_str(), |_| "ok");
+    let elapsed = received.elapsed();
+    let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+    let name = format!("serve.latency_us.{op}");
+    shared.metrics.with(|m| {
+        m.register_histogram(&name, &LATENCY_BOUNDS_US);
+        m.observe(&name, micros);
+    });
+    shared
+        .op_windows
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .entry(op.to_string())
+        .or_insert_with(|| RollingWindow::new(OP_WINDOW))
+        .record(micros);
+    if shared
+        .slow_request
+        .is_some_and(|threshold| elapsed >= threshold)
+    {
+        shared.metrics.count("serve.slow_requests", 1);
+        let record = Value::Obj(vec![(
+            "slow_request".into(),
+            Value::Obj(vec![
+                ("op".into(), Value::Str(op.to_string())),
+                ("req_id".into(), Value::U64(req_id)),
+                ("span".into(), Value::U64(root.id())),
+                ("digest".into(), digest.map_or(Value::Null, Value::Str)),
+                ("dur_us".into(), Value::U64(micros)),
+                ("status".into(), Value::Str(status.to_string())),
+            ]),
+        )]);
+        if let Ok(line) = serde_json::to_string(&record) {
+            eprintln!("{line}");
+        }
+    }
+    root.finish(status);
+}
+
+fn enqueue_and_wait(request: Request, shared: &Arc<Shared>, root: &SpanHandle) -> Response {
     let id = request.id;
     let received = Instant::now();
     let deadline = received
@@ -449,6 +567,8 @@ fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> Response {
         reply: reply_tx,
         received,
         deadline,
+        queue_span: root.child("queue_wait"),
+        root_ctx: root.context(),
     };
     match shared.queue.try_push(job) {
         Ok(()) => {
@@ -464,7 +584,10 @@ fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> Response {
                 ),
             }
         }
-        Err(PushError::Full(_)) => {
+        // A rejected push hands the job back, so its queue span closes
+        // with the precise reason the request never reached a worker.
+        Err(PushError::Full(job)) => {
+            job.queue_span.finish("shed");
             shared.metrics.count("serve.sheds", 1);
             let mut body = ErrorBody::new(
                 ErrorCode::Overloaded,
@@ -473,10 +596,13 @@ fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> Response {
             body.retry_after_ms = Some(shared.retry_after_ms);
             Response::err(id, body)
         }
-        Err(PushError::Closed(_)) => Response::err(
-            id,
-            ErrorBody::new(ErrorCode::ShuttingDown, "daemon is draining"),
-        ),
+        Err(PushError::Closed(job)) => {
+            job.queue_span.finish("shutting_down");
+            Response::err(
+                id,
+                ErrorBody::new(ErrorCode::ShuttingDown, "daemon is draining"),
+            )
+        }
     }
 }
 
@@ -510,10 +636,24 @@ fn update_queue_gauge(shared: &Shared) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        let Job {
+            request,
+            reply,
+            received,
+            deadline,
+            queue_span,
+            root_ctx,
+        } = job;
+        queue_span.finish("ok");
         update_queue_gauge(shared);
         let in_flight = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         shared.metrics.gauge("serve.in_flight", in_flight as f64);
 
+        // The worker span is created (and finished) outside the unwind
+        // boundary: a panicking handler loses its phase spans to Drop
+        // (status `panic`) but the worker span still closes with the
+        // typed outcome the client sees.
+        let worker_span = root_ctx.child("worker");
         let fault = shared.injector.roll_handler();
         if let Some(delay) = fault.delay {
             shared.metrics.count("serve.faults.delay", 1);
@@ -524,38 +664,91 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.metrics.count("serve.faults.panic", 1);
                 panic!("injected fault");
             }
-            handle_request(shared, &job.request, job.deadline)
+            handle_request(shared, &request, deadline, &worker_span)
         }));
-        let response = match outcome {
-            Ok(Ok(result)) => Response::ok(job.request.id, result),
-            Ok(Err(body)) => Response::err(job.request.id, body),
+        let (response, status) = match outcome {
+            Ok(Ok(result)) => (Response::ok(request.id, result), "ok"),
+            Ok(Err(body)) => {
+                let status = body.code.as_str();
+                (Response::err(request.id, body), status)
+            }
             Err(_) => {
                 shared.metrics.count("serve.panics_caught", 1);
-                Response::err(
-                    job.request.id,
-                    ErrorBody::new(
-                        ErrorCode::InternalError,
-                        "handler panicked; worker recovered",
+                (
+                    Response::err(
+                        request.id,
+                        ErrorBody::new(
+                            ErrorCode::InternalError,
+                            "handler panicked; worker recovered",
+                        ),
                     ),
+                    "panic",
                 )
             }
         };
-        let micros = u64::try_from(job.received.elapsed().as_micros()).unwrap_or(u64::MAX);
+        worker_span.finish(status);
+        let micros = u64::try_from(received.elapsed().as_micros()).unwrap_or(u64::MAX);
         shared.metrics.observe("serve.latency_us", micros);
         let in_flight = shared.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
         shared.metrics.gauge("serve.in_flight", in_flight as f64);
         // The connection may already be gone (torn write, client hangup)
         // — a failed send is not an error.
-        let _ = job.reply.send(response);
+        let _ = reply.send(response);
+    }
+}
+
+/// A stack of phase spans driven by the `(phase, begin)` observer
+/// callbacks of [`NestBudget`] and `run_check_observed`: each `begin`
+/// opens a child of the deepest open phase (or of the handler's span),
+/// so nested phases — `prescribe` re-running the analyzer, say — nest in
+/// the tree exactly as they nested in time. The observers guarantee
+/// balance on success *and* error; [`PhaseSpans::drain`] is the
+/// belt-and-braces close for anything still open on an error path.
+struct PhaseSpans<'a> {
+    parent: &'a SpanHandle,
+    stack: RefCell<Vec<SpanHandle>>,
+}
+
+impl<'a> PhaseSpans<'a> {
+    fn new(parent: &'a SpanHandle) -> Self {
+        Self {
+            parent,
+            stack: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn observe(&self, phase: &str, begin: bool) {
+        let mut stack = self.stack.borrow_mut();
+        if begin {
+            let span = match stack.last() {
+                Some(open) => open.child(phase),
+                None => self.parent.child(phase),
+            };
+            stack.push(span);
+        } else if let Some(span) = stack.pop() {
+            span.finish("ok");
+        }
+    }
+
+    /// Closes every still-open phase with `status`, innermost first.
+    fn drain(self, status: &str) {
+        let mut stack = self.stack.into_inner();
+        while let Some(span) = stack.pop() {
+            span.finish(status);
+        }
     }
 }
 
 /// Dispatches one request to its handler. Every failure is a typed
 /// [`ErrorBody`]; panics are the caller's (`catch_unwind`) problem.
+/// `span` is the request's enclosing span (the worker span, or the
+/// inline `handler` span for control-plane ops) — handlers hang their
+/// phase children off it.
 fn handle_request(
     shared: &Shared,
     request: &Request,
     deadline: Instant,
+    span: &SpanHandle,
 ) -> Result<Value, ErrorBody> {
     if Instant::now() >= deadline {
         return Err(ErrorBody::new(
@@ -568,10 +761,10 @@ fn handle_request(
             ("pong".into(), Value::Bool(true)),
             ("version".into(), Value::U64(PROTOCOL_VERSION)),
         ])),
-        "status" => Ok(op_status(shared)),
-        "check" => op_check(shared, &request.params),
-        "analyze_nest" => op_analyze_nest(&request.params, deadline),
-        "analyze_trace" => op_analyze_trace(&request.params),
+        "status" => Ok(op_status(shared, span)),
+        "check" => op_check(shared, &request.params, span),
+        "analyze_nest" => op_analyze_nest(&request.params, deadline, span),
+        "analyze_trace" => op_analyze_trace(&request.params, span),
         other => Err(ErrorBody::new(
             ErrorCode::BadRequest,
             format!("unknown op {other:?}"),
@@ -579,21 +772,63 @@ fn handle_request(
     }
 }
 
-fn op_status(shared: &Shared) -> Value {
+fn op_status(shared: &Shared, span: &SpanHandle) -> Value {
+    let snap_span = span.child("snapshot");
     let snapshot = shared.metrics.snapshot();
+    let counts = shared.spans.counts();
+    let uptime_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let ops: Vec<(String, Value)> = {
+        let windows = shared
+            .op_windows
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        windows
+            .iter()
+            .map(|(op, w)| {
+                let mut fields = vec![
+                    ("count".into(), Value::U64(w.seen())),
+                    ("window".into(), Value::U64(w.len() as u64)),
+                ];
+                if let (Some(p50), Some(p95), Some(p99), Some(mean), Some(max)) = (
+                    w.quantile(0.50),
+                    w.quantile(0.95),
+                    w.quantile(0.99),
+                    w.mean(),
+                    w.max(),
+                ) {
+                    fields.push(("p50_us".into(), Value::U64(p50)));
+                    fields.push(("p95_us".into(), Value::U64(p95)));
+                    fields.push(("p99_us".into(), Value::U64(p99)));
+                    fields.push(("mean_us".into(), Value::F64(mean)));
+                    fields.push(("max_us".into(), Value::U64(max)));
+                }
+                (op.clone(), Value::Obj(fields))
+            })
+            .collect()
+    };
+    snap_span.finish("ok");
     Value::Obj(vec![
         ("version".into(), Value::U64(PROTOCOL_VERSION)),
+        ("uptime_ms".into(), Value::U64(uptime_ms)),
         ("queue_depth".into(), Value::U64(shared.queue.len() as u64)),
         (
             "in_flight".into(),
             Value::U64(shared.in_flight.load(Ordering::SeqCst)),
         ),
         ("draining".into(), Value::Bool(shared.shutting_down())),
+        (
+            "spans".into(),
+            Value::Obj(vec![
+                ("opened".into(), Value::U64(counts.opened)),
+                ("finished".into(), Value::U64(counts.finished)),
+            ]),
+        ),
+        ("ops".into(), Value::Obj(ops)),
         ("metrics".into(), snapshot.to_value()),
     ])
 }
 
-fn op_check(shared: &Shared, params: &Value) -> Result<Value, ErrorBody> {
+fn op_check(shared: &Shared, params: &Value, span: &SpanHandle) -> Result<Value, ErrorBody> {
     let bad = |msg: String| ErrorBody::new(ErrorCode::BadRequest, msg);
     let src = bool_param(params, "src").map_err(bad)?;
     let programs = bool_param(params, "programs").map_err(bad)?;
@@ -610,10 +845,21 @@ fn op_check(shared: &Shared, params: &Value) -> Result<Value, ErrorBody> {
         prescribe: bool_param(params, "prescribe").map_err(bad)?,
         workloads: workloads || all,
     };
-    let report = run_check(&options).map_err(|e| match e {
-        CheckError::Io(io) => ErrorBody::new(ErrorCode::IoError, io.to_string()),
-        other => ErrorBody::new(ErrorCode::AnalysisFailed, other.to_string()),
-    })?;
+    let phases = PhaseSpans::new(span);
+    let outcome = {
+        let obs = |phase: &'static str, begin: bool| phases.observe(phase, begin);
+        run_check_observed(&options, &obs)
+    };
+    let report = match outcome {
+        Ok(report) => report,
+        Err(e) => {
+            phases.drain("error");
+            return Err(match e {
+                CheckError::Io(io) => ErrorBody::new(ErrorCode::IoError, io.to_string()),
+                other => ErrorBody::new(ErrorCode::AnalysisFailed, other.to_string()),
+            });
+        }
+    };
     Ok(Value::Obj(vec![
         ("clean".into(), Value::Bool(report.is_clean())),
         ("report".into(), report.to_value()),
@@ -621,7 +867,11 @@ fn op_check(shared: &Shared, params: &Value) -> Result<Value, ErrorBody> {
     ]))
 }
 
-fn op_analyze_nest(params: &Value, deadline: Instant) -> Result<Value, ErrorBody> {
+fn op_analyze_nest(
+    params: &Value,
+    deadline: Instant,
+    span: &SpanHandle,
+) -> Result<Value, ErrorBody> {
     let bad = |msg: String| ErrorBody::new(ErrorCode::BadRequest, msg);
     let nest_value = params
         .get("nest")
@@ -638,19 +888,38 @@ fn op_analyze_nest(params: &Value, deadline: Instant) -> Result<Value, ErrorBody
     let want_prescription = bool_param(params, "prescribe").map_err(bad)?;
     let max_pad = u64_param(params, "max_pad").map_err(bad)?.unwrap_or(8);
 
-    let cancelled = move || Instant::now() >= deadline;
-    let budget = NestBudget::with_cancel(&cancelled);
-    let analysis = analyze_nest_with_budget(&nest, &geometry, &budget).map_err(nest_error)?;
-    let mut pairs = vec![("analysis".to_string(), analysis.to_value())];
-    if want_prescription && !analysis.verdict.is_conflict_free() {
-        let certificate =
-            prescribe_with_budget(&nest, &geometry, max_pad, &budget).map_err(nest_error)?;
-        pairs.push((
-            "certificate".to_string(),
-            certificate.map_or(Value::Null, |c| c.to_value()),
-        ));
+    let phases = PhaseSpans::new(span);
+    let outcome = {
+        let cancelled = move || Instant::now() >= deadline;
+        let obs = |phase: &'static str, begin: bool| phases.observe(phase, begin);
+        let budget = NestBudget::with_cancel(&cancelled).with_observer(&obs);
+        analyze_nest_with_budget(&nest, &geometry, &budget).and_then(|analysis| {
+            let mut pairs = vec![("analysis".to_string(), analysis.to_value())];
+            if want_prescription && !analysis.verdict.is_conflict_free() {
+                // The prescriber re-runs the analyzer per candidate fix;
+                // bracketing it here nests those phases under one
+                // `prescribe` span.
+                phases.observe("prescribe", true);
+                let certificate = prescribe_with_budget(&nest, &geometry, max_pad, &budget);
+                phases.observe("prescribe", false);
+                pairs.push((
+                    "certificate".to_string(),
+                    certificate?.map_or(Value::Null, |c| c.to_value()),
+                ));
+            }
+            Ok(pairs)
+        })
+    };
+    match outcome {
+        Ok(pairs) => Ok(Value::Obj(pairs)),
+        Err(e) => {
+            phases.drain(match e {
+                NestError::Cancelled => "cancelled",
+                _ => "error",
+            });
+            Err(nest_error(e))
+        }
     }
-    Ok(Value::Obj(pairs))
 }
 
 fn nest_error(e: NestError) -> ErrorBody {
@@ -663,7 +932,7 @@ fn nest_error(e: NestError) -> ErrorBody {
     }
 }
 
-fn op_analyze_trace(params: &Value) -> Result<Value, ErrorBody> {
+fn op_analyze_trace(params: &Value, span: &SpanHandle) -> Result<Value, ErrorBody> {
     let bad = |msg: String| ErrorBody::new(ErrorCode::BadRequest, msg);
     let path = str_param(params, "path")
         .map_err(bad)?
@@ -674,10 +943,15 @@ fn op_analyze_trace(params: &Value) -> Result<Value, ErrorBody> {
     }
     let top = usize::try_from(u64_param(params, "top").map_err(bad)?.unwrap_or(10))
         .map_err(|_| bad("param `top` out of range".into()))?;
-    let file = std::fs::File::open(&path)
-        .map_err(|e| ErrorBody::new(ErrorCode::IoError, format!("cannot open {path}: {e}")))?;
-    let (events, errors) = analyze::read_jsonl(BufReader::new(file))
-        .map_err(|e| ErrorBody::new(ErrorCode::IoError, format!("cannot read {path}: {e}")))?;
+    let read_span = span.child("read");
+    let parsed = std::fs::File::open(&path)
+        .map_err(|e| ErrorBody::new(ErrorCode::IoError, format!("cannot open {path}: {e}")))
+        .and_then(|file| {
+            analyze::read_jsonl(BufReader::new(file))
+                .map_err(|e| ErrorBody::new(ErrorCode::IoError, format!("cannot read {path}: {e}")))
+        });
+    read_span.finish(parsed.as_ref().map_or_else(|e| e.code.as_str(), |_| "ok"));
+    let (events, errors) = parsed?;
     if events.is_empty() {
         return Err(ErrorBody::new(
             ErrorCode::AnalysisFailed,
@@ -687,7 +961,8 @@ fn op_analyze_trace(params: &Value) -> Result<Value, ErrorBody> {
             ),
         ));
     }
-    Ok(Value::Obj(vec![
+    let analyze_span = span.child("analyze");
+    let result = Value::Obj(vec![
         ("events".into(), Value::U64(events.len() as u64)),
         ("skipped".into(), Value::U64(errors.len() as u64)),
         (
@@ -708,5 +983,7 @@ fn op_analyze_trace(params: &Value) -> Result<Value, ErrorBody> {
                 &events, top,
             ))),
         ),
-    ]))
+    ]);
+    analyze_span.finish("ok");
+    Ok(result)
 }

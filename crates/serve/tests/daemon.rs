@@ -331,3 +331,93 @@ fn malformed_and_unknown_requests_get_bad_request() {
     handle.trigger();
     runner.join().unwrap();
 }
+
+#[test]
+fn span_export_yields_complete_trees_with_phase_attribution() {
+    let dir = std::env::temp_dir().join(format!("vcache-daemon-spans-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let span_path = dir.join("spans.jsonl");
+    let (addr, handle, _metrics, runner) = boot(ServerConfig {
+        workers: 1,
+        span_path: Some(span_path.clone()),
+        slow_request_ms: 0, // exercise the "disabled" setting
+        ..ServerConfig::default()
+    });
+
+    // One cooperative cancellation, one clean analysis, one inline op.
+    let response = raw_call(&addr, &nest_params(&slow_nest(), Some(200)));
+    assert_eq!(
+        response.outcome.unwrap_err().code,
+        ErrorCode::DeadlineExceeded
+    );
+    raw_call(&addr, &nest_params(&fast_nest(), Some(5_000)))
+        .outcome
+        .expect("fast nest should analyze");
+    raw_call(&addr, &Request::new(1, "ping"))
+        .outcome
+        .expect("ping");
+
+    handle.trigger();
+    runner.join().unwrap();
+
+    let text = std::fs::read_to_string(&span_path).unwrap();
+    let spans: Vec<vcache_trace::SpanRecord> = text
+        .lines()
+        .map(|l| vcache_trace::SpanRecord::from_jsonl(l).unwrap())
+        .collect();
+
+    // Complete trees: every span finished (no Drop-fallback statuses),
+    // every parent present in the same tree.
+    for span in &spans {
+        assert_ne!(span.status, "abandoned", "unclosed span: {span}");
+        assert_ne!(span.status, "panic", "panicked span: {span}");
+        if let Some(parent) = span.parent {
+            let parent = spans
+                .iter()
+                .find(|s| s.span == parent)
+                .unwrap_or_else(|| panic!("orphan span: {span}"));
+            assert_eq!(parent.request, span.request, "tree crossed: {span}");
+        }
+    }
+
+    // The cancelled request: worker closed with the typed outcome, and
+    // the interrupted enumeration phase still closed (balanced observer).
+    let cancelled_root = spans
+        .iter()
+        .find(|s| s.is_root() && s.status == "deadline_exceeded")
+        .expect("cancelled analyze_nest root");
+    let in_tree = |label: &str| {
+        spans
+            .iter()
+            .any(|s| s.request == cancelled_root.request && s.label == label)
+    };
+    assert!(in_tree("queue_wait") && in_tree("worker"), "{text}");
+    assert!(in_tree("enumerate"), "no enumerate phase recorded: {text}");
+
+    // The clean request carries analyzer phases under its worker span.
+    let ok_root = spans
+        .iter()
+        .find(|s| s.is_root() && s.label == "analyze_nest" && s.status == "ok")
+        .expect("clean analyze_nest root");
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.request == ok_root.request && s.label == "lineset"),
+        "{text}"
+    );
+
+    // Inline ops span too, without touching the queue.
+    let ping_root = spans
+        .iter()
+        .find(|s| s.is_root() && s.label == "ping")
+        .expect("ping root");
+    assert!(ping_root.digest.is_some() && ping_root.req_id == Some(1));
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.request == ping_root.request && s.label == "handler"),
+        "{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -72,6 +72,13 @@ pub struct NestBudget<'a> {
     /// Returns `true` once the analysis should be abandoned (e.g. a
     /// deadline passed). `None` never cancels.
     pub cancelled: Option<&'a (dyn Fn() -> bool + 'a)>,
+    /// Phase observer: called as `(phase, true)` when an analysis phase
+    /// opens and `(phase, false)` when it closes. Phases are `lineset`,
+    /// `rules`, and `enumerate`; an `Err` return (cancellation, budget
+    /// exhaustion) still closes the open phase before propagating, so
+    /// begin/end calls always balance. `None` observes nothing and the
+    /// analysis runs the identical code path.
+    pub observer: Option<&'a (dyn Fn(&'static str, bool) + 'a)>,
 }
 
 impl Default for NestBudget<'_> {
@@ -79,6 +86,7 @@ impl Default for NestBudget<'_> {
         Self {
             max_words: MAX_NEST_WORDS,
             cancelled: None,
+            observer: None,
         }
     }
 }
@@ -91,7 +99,31 @@ impl<'a> NestBudget<'a> {
         Self {
             max_words: MAX_NEST_WORDS,
             cancelled: Some(cancelled),
+            observer: None,
         }
+    }
+
+    /// The same budget with a phase observer attached.
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'a (dyn Fn(&'static str, bool) + 'a)) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+/// Runs `f` bracketed by the budget's phase observer, when present: the
+/// observer sees `(phase, true)` before and `(phase, false)` after, and
+/// `f`'s result passes through untouched — an `Err` closes the phase on
+/// the way out because `f` returns the whole `Result`.
+fn observe_phase<T>(budget: &NestBudget<'_>, phase: &'static str, f: impl FnOnce() -> T) -> T {
+    match budget.observer {
+        Some(observer) => {
+            observer(phase, true);
+            let out = f();
+            observer(phase, false);
+            out
+        }
+        None => f(),
     }
 }
 
@@ -847,12 +879,13 @@ pub fn analyze_nest_with_budget(
 ) -> Result<NestAnalysis, NestError> {
     let mut poll = CancelPoll::new(nest_budget);
     let line_words = geometry.line_words();
-    let line_sets: Vec<LineSet> = nest
-        .refs
-        .iter()
-        .enumerate()
-        .map(|(i, r)| line_set(r, line_words, i))
-        .collect::<Result<_, _>>()?;
+    let line_sets: Vec<LineSet> = observe_phase(nest_budget, "lineset", || {
+        nest.refs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| line_set(r, line_words, i))
+            .collect::<Result<_, _>>()
+    })?;
 
     let mut proofs = Vec::new();
     let mut conflicts: Vec<Witness> = Vec::new();
@@ -882,67 +915,71 @@ pub fn analyze_nest_with_budget(
         }
     };
 
-    for (i, ls) in line_sets.iter().enumerate() {
-        let component = Component::Within { r: i };
-        match decide_within(ls, geometry) {
-            Some(d) => record(&mut proofs, &mut conflicts, component, &d, geometry),
-            None => undecided.push(component),
-        }
-    }
-    for i in 0..line_sets.len() {
-        for j in (i + 1)..line_sets.len() {
-            let component = Component::Pair { a: i, b: j };
-            match decide_pair(&line_sets[i], &line_sets[j], geometry) {
+    observe_phase(nest_budget, "rules", || {
+        for (i, ls) in line_sets.iter().enumerate() {
+            let component = Component::Within { r: i };
+            match decide_within(ls, geometry) {
                 Some(d) => record(&mut proofs, &mut conflicts, component, &d, geometry),
                 None => undecided.push(component),
             }
         }
-    }
+        for i in 0..line_sets.len() {
+            for j in (i + 1)..line_sets.len() {
+                let component = Component::Pair { a: i, b: j };
+                match decide_pair(&line_sets[i], &line_sets[j], geometry) {
+                    Some(d) => record(&mut proofs, &mut conflicts, component, &d, geometry),
+                    None => undecided.push(component),
+                }
+            }
+        }
+    });
 
     // Exact fallback for whatever the abstract rules left open.
-    let max_words = nest_budget.max_words;
-    let mut budget = max_words;
-    let mut enumerated: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
-    let mut set_maps: BTreeMap<usize, BTreeMap<u64, u64>> = BTreeMap::new();
-    let needed: Vec<usize> = {
-        let mut v: Vec<usize> = undecided
-            .iter()
-            .flat_map(|c| match *c {
-                Component::Within { r } => vec![r],
-                Component::Pair { a, b } => vec![a, b],
-            })
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
-    };
-    for &i in &needed {
-        let lines = enumerate_lines(
-            &nest.refs[i],
-            &line_sets[i],
-            line_words,
-            &mut budget,
-            max_words,
-            &mut poll,
-        )?;
-        let mut map = BTreeMap::new();
-        for &line in &lines {
-            poll.tick(1)?;
-            map.entry(geometry.set_of_line(line)).or_insert(line);
-        }
-        set_maps.insert(i, map);
-        enumerated.insert(i, lines);
-    }
-    let enumerated_lines = max_words - budget;
-    for component in undecided {
-        let d = match component {
-            Component::Within { r } => scan_within(&enumerated[&r], geometry, &mut poll)?,
-            Component::Pair { a, b } => {
-                scan_pair(&set_maps[&a], &enumerated[&b], geometry, &mut poll)?
-            }
+    let enumerated_lines = observe_phase(nest_budget, "enumerate", || {
+        let max_words = nest_budget.max_words;
+        let mut budget = max_words;
+        let mut enumerated: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        let mut set_maps: BTreeMap<usize, BTreeMap<u64, u64>> = BTreeMap::new();
+        let needed: Vec<usize> = {
+            let mut v: Vec<usize> = undecided
+                .iter()
+                .flat_map(|c| match *c {
+                    Component::Within { r } => vec![r],
+                    Component::Pair { a, b } => vec![a, b],
+                })
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
         };
-        record(&mut proofs, &mut conflicts, component, &d, geometry);
-    }
+        for &i in &needed {
+            let lines = enumerate_lines(
+                &nest.refs[i],
+                &line_sets[i],
+                line_words,
+                &mut budget,
+                max_words,
+                &mut poll,
+            )?;
+            let mut map = BTreeMap::new();
+            for &line in &lines {
+                poll.tick(1)?;
+                map.entry(geometry.set_of_line(line)).or_insert(line);
+            }
+            set_maps.insert(i, map);
+            enumerated.insert(i, lines);
+        }
+        for component in undecided {
+            let d = match component {
+                Component::Within { r } => scan_within(&enumerated[&r], geometry, &mut poll)?,
+                Component::Pair { a, b } => {
+                    scan_pair(&set_maps[&a], &enumerated[&b], geometry, &mut poll)?
+                }
+            };
+            record(&mut proofs, &mut conflicts, component, &d, geometry);
+        }
+        Ok::<u64, NestError>(max_words - budget)
+    })?;
 
     // Classify: self beats cross, matching Layer 2.
     let is_self =
@@ -1198,12 +1235,79 @@ mod tests {
         let n = nest1("lat", 0, vec![t(12, 50)]);
         let budget = NestBudget {
             max_words: 4,
-            cancelled: None,
+            ..NestBudget::default()
         };
         assert!(matches!(
             analyze_nest_with_budget(&n, &pow2(32, 8), &budget),
             Err(NestError::TooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn phase_observer_brackets_every_phase_in_order() {
+        use std::cell::RefCell;
+        let events: RefCell<Vec<(&'static str, bool)>> = RefCell::new(Vec::new());
+        let obs = |phase: &'static str, begin: bool| events.borrow_mut().push((phase, begin));
+        // Lattice shape: forces the enumeration fallback, so all three
+        // phases do real work.
+        let n = nest1("lat", 0, vec![t(12, 50)]);
+        let budget = NestBudget::default().with_observer(&obs);
+        analyze_nest_with_budget(&n, &pow2(32, 8), &budget).unwrap();
+        assert_eq!(
+            events.into_inner(),
+            vec![
+                ("lineset", true),
+                ("lineset", false),
+                ("rules", true),
+                ("rules", false),
+                ("enumerate", true),
+                ("enumerate", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn phase_observer_balances_even_when_cancelled() {
+        use std::cell::RefCell;
+        let events: RefCell<Vec<(&'static str, bool)>> = RefCell::new(Vec::new());
+        let obs = |phase: &'static str, begin: bool| events.borrow_mut().push((phase, begin));
+        let n = nest1("slow", 0, vec![t(3, 1 << 18), t(7, 2)]);
+        let hook = || true; // cancel at the first poll
+        let budget = NestBudget::with_cancel(&hook).with_observer(&obs);
+        assert_eq!(
+            analyze_nest_with_budget(&n, &pow2(32, 8), &budget).err(),
+            Some(NestError::Cancelled)
+        );
+        let events = events.into_inner();
+        // Every begun phase ended, including the one that was cancelled.
+        let mut open: Vec<&'static str> = Vec::new();
+        for (phase, begin) in &events {
+            if *begin {
+                open.push(phase);
+            } else {
+                assert_eq!(open.pop(), Some(*phase), "unbalanced: {events:?}");
+            }
+        }
+        assert!(open.is_empty(), "phases left open: {open:?}");
+        assert!(events.contains(&("enumerate", true)));
+    }
+
+    #[test]
+    fn observed_analysis_is_identical_to_unobserved() {
+        let obs = |_phase: &'static str, _begin: bool| {};
+        for terms in [
+            vec![t(12, 50)],
+            vec![t(4096, 8191)],
+            vec![t(100, 3), t(1, 4)],
+        ] {
+            let n = nest1("same", 0, terms);
+            for g in [pow2(32, 8), prime(13, 8)] {
+                let plain = analyze_nest(&n, &g).unwrap();
+                let budget = NestBudget::default().with_observer(&obs);
+                let observed = analyze_nest_with_budget(&n, &g, &budget).unwrap();
+                assert_eq!(format!("{plain:?}"), format!("{observed:?}"));
+            }
+        }
     }
 
     #[test]

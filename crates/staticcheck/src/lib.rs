@@ -3,11 +3,11 @@
 //!
 //! **Layer 1** ([`lint`]) scans the workspace's Rust sources with a small
 //! hand-rolled lexer ([`source`]) and enforces the repo's invariants as
-//! named rules `VC001`–`VC005` (no panicking calls in library code, no raw
+//! named rules `VC001`–`VC007` (no panicking calls in library code, no raw
 //! `%` in the mapped-cache crates, no truncating address casts, crate-root
-//! hygiene, traced/untraced API pairing). Accepted findings live in a
-//! committed [`allowlist`] with mandatory justifications; stale entries
-//! are themselves findings.
+//! hygiene, traced/untraced API pairing, request spans on serve op
+//! handlers). Accepted findings live in a committed [`allowlist`] with
+//! mandatory justifications; stale entries are themselves findings.
 //!
 //! **Layer 2** ([`conflict`]) applies the paper's number theory (orbit
 //! sizes `S / gcd(S, stride)`, Eq. 8, the §4 sub-block rule) to *prove*,
@@ -124,6 +124,47 @@ impl From<io::Error> for CheckError {
 ///
 /// Returns [`CheckError`] on I/O failure or a malformed allowlist.
 pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
+    run_check_inner(options, None)
+}
+
+/// [`run_check`] with a phase observer: `observer` sees `(phase, true)`
+/// when a layer opens and `(phase, false)` when it closes, in run order.
+/// Phases are `lex` (source lints + allowlist), `orbits` (Layer-2
+/// suite), `absint` (Layer-3 nest suite, prescriptions included), and
+/// `workloads` — only the requested ones fire. The report is identical
+/// to [`run_check`]'s (the traced/untraced pairing this workspace pins
+/// with VC005).
+///
+/// # Errors
+///
+/// As [`run_check`].
+pub fn run_check_observed(
+    options: &CheckOptions,
+    observer: &dyn Fn(&'static str, bool),
+) -> Result<Report, CheckError> {
+    run_check_inner(options, Some(observer))
+}
+
+fn run_check_inner(
+    options: &CheckOptions,
+    observer: Option<&dyn Fn(&'static str, bool)>,
+) -> Result<Report, CheckError> {
+    fn observed<T>(
+        observer: Option<&dyn Fn(&'static str, bool)>,
+        phase: &'static str,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        match observer {
+            Some(obs) => {
+                obs(phase, true);
+                let out = f();
+                obs(phase, false);
+                out
+            }
+            None => f(),
+        }
+    }
+
     let mut findings = Vec::new();
     let mut suite_results = Vec::new();
     let mut nest_results = Vec::new();
@@ -131,27 +172,38 @@ pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
     let mut workload_results = Vec::new();
 
     if options.src {
-        findings.extend(lint::scan_workspace(&options.root)?);
+        observed(observer, "lex", || -> Result<(), CheckError> {
+            findings.extend(lint::scan_workspace(&options.root)?);
+            Ok(())
+        })?;
     }
     if options.programs {
-        let (results, drift) = suite::run();
-        suite_results = results;
-        findings.extend(drift);
+        observed(observer, "orbits", || {
+            let (results, drift) = suite::run();
+            suite_results = results;
+            findings.extend(drift);
+        });
     }
     if options.nests {
-        let (results, certs, drift) = nestsuite::run(options.prescribe);
-        nest_results = results;
-        certificates = certs;
-        findings.extend(drift);
+        observed(observer, "absint", || {
+            let (results, certs, drift) = nestsuite::run(options.prescribe);
+            nest_results = results;
+            certificates = certs;
+            findings.extend(drift);
+        });
     }
     if options.workloads {
-        let (results, drift) = worksuite::run();
-        workload_results = results;
-        findings.extend(drift);
+        observed(observer, "workloads", || {
+            let (results, drift) = worksuite::run();
+            workload_results = results;
+            findings.extend(drift);
+        });
     }
 
     // The allowlist only makes sense against a source scan: without one,
     // every entry would look stale (VC006) in a `--programs`-only run.
+    // It runs after all layers (any finding is suppressible) and outside
+    // any phase — it is a microsecond-scale filter, not analysis work.
     if options.src {
         let entries = read_allowlist(&options.root)?;
         allowlist::apply(&mut findings, &entries, ALLOWLIST_FILE);
@@ -223,6 +275,33 @@ mod tests {
         .unwrap();
         assert!(!report.workloads.is_empty());
         assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_brackets_phases() {
+        use std::cell::RefCell;
+        let options = CheckOptions {
+            root: PathBuf::from("/nonexistent-vcache-root"),
+            src: false,
+            programs: true,
+            nests: true,
+            prescribe: false,
+            workloads: false,
+        };
+        let plain = run_check(&options).unwrap();
+        let events: RefCell<Vec<(&'static str, bool)>> = RefCell::new(Vec::new());
+        let obs = |phase: &'static str, begin: bool| events.borrow_mut().push((phase, begin));
+        let observed = run_check_observed(&options, &obs).unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{observed:?}"));
+        assert_eq!(
+            events.into_inner(),
+            vec![
+                ("orbits", true),
+                ("orbits", false),
+                ("absint", true),
+                ("absint", false),
+            ]
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Layer 1: source lints enforcing the workspace's coding invariants.
 //!
-//! Each rule has a stable identifier (`VC001`–`VC005`) so findings can be
+//! Each rule has a stable identifier (`VC001`–`VC007`) so findings can be
 //! allowlisted and tracked across refactors:
 //!
 //! | Rule  | Invariant |
@@ -10,6 +10,7 @@
 //! | VC003 | No truncating `as` casts on address-typed values (identifiers mentioning `addr`/`word`/`line`/`base` cast to sub-`u64` integers). In `crates/workloads/src/`, where every integer is a word address, stride, or dimension, the rule is strict: *any* `as` cast to a signed or sub-`u64` integer is a finding regardless of the identifier (use `signed_stride`/`i64::try_from`). |
 //! | VC004 | Every workspace crate root carries `#![forbid(unsafe_code)]` and a `//!` doc header. |
 //! | VC005 | Every traced simulator entry point `fn x_traced` has an untraced sibling `fn x` in the same file. |
+//! | VC007 | Every serve op handler (`fn op_*` under `crates/serve/src/`) takes a request span, so no request stage can silently drop out of the span tree. |
 //!
 //! The rules are lexical (see [`crate::source`]): `.expect(` is only
 //! flagged when its first argument is a string literal, so the model
@@ -26,7 +27,7 @@ use serde::Serialize;
 use crate::source::SourceFile;
 
 /// All Layer-1 rule identifiers, with their one-line descriptions.
-pub const RULES: [(&str, &str); 5] = [
+pub const RULES: [(&str, &str); 6] = [
     (
         "VC001",
         "no unwrap/expect/panic! outside #[cfg(test)] and tests/",
@@ -47,6 +48,7 @@ pub const RULES: [(&str, &str); 5] = [
         "VC005",
         "traced/untraced simulator entry points come in pairs",
     ),
+    ("VC007", "serve op handlers thread a request span"),
 ];
 
 /// One lint (or semantic-suite) finding.
@@ -148,6 +150,9 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
         findings.extend(vc005(file));
         if file.path.starts_with("crates/cache/src/") || file.path.starts_with("crates/core/src/") {
             findings.extend(vc002(file));
+        }
+        if file.path.starts_with("crates/serve/src/") {
+            findings.extend(vc007(file));
         }
     }
     findings
@@ -367,6 +372,73 @@ fn vc005(file: &SourceFile) -> Vec<Finding> {
         .collect()
 }
 
+/// The first `fn op_<name>` defined on this line (identifier-boundary
+/// checked so `serve_fn op_x` in a string or a `reop_` prefix cannot
+/// match), or `None`.
+fn op_handler_name(code: &str) -> Option<String> {
+    let mut rest = code;
+    loop {
+        let pos = rest.find("fn op_")?;
+        let boundary = pos == 0
+            || rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+        let after = &rest[pos + 3..];
+        if boundary {
+            let name: String = after
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.len() > "op_".len() {
+                return Some(name);
+            }
+        }
+        rest = after;
+    }
+}
+
+/// VC007: serve op handlers take a request span. The daemon's span-tree
+/// completeness guarantee ("every accepted request yields a full tree")
+/// only holds if no handler can run outside a span; this rule makes the
+/// omission a lint instead of a silent observability hole.
+fn vc007(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..file.code_lines.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let Some(name) = op_handler_name(&file.code_lines[i]) else {
+            continue;
+        };
+        // Join the signature: this code line plus what follows until the
+        // body opens. Signatures in this workspace fit well inside the
+        // bound; an unterminated one is checked as-is.
+        let mut sig = String::new();
+        for line in file.code_lines.iter().skip(i).take(8) {
+            sig.push_str(line);
+            sig.push(' ');
+            if line.contains('{') || line.contains(';') {
+                break;
+            }
+        }
+        let sig = sig.split('{').next().unwrap_or("");
+        if !sig.contains("span") {
+            findings.push(Finding::new(
+                "VC007",
+                &file.path,
+                i + 1,
+                format!(
+                    "serve op handler `fn {name}` does not take a request span \
+                     (add a `span: &SpanHandle` parameter)"
+                ),
+                &file.raw_lines[i],
+            ));
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,8 +566,36 @@ mod tests {
     }
 
     #[test]
+    fn vc007_serve_op_handlers_must_take_a_span() {
+        // Spanless handler in serve src: flagged.
+        let lonely = "//! d\nfn op_ping(shared: &Shared) -> Value {\n    Value::Null\n}\n";
+        let f = scan("crates/serve/src/server.rs", lonely);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "VC007");
+        assert!(f[0].message.contains("fn op_ping"), "{}", f[0].message);
+        assert_eq!(f[0].line, 2);
+
+        // Span parameter anywhere in the (multi-line) signature: clean.
+        let spanned = "//! d\nfn op_check(\n    shared: &Shared,\n    span: &SpanHandle,\n) -> Value {\n    Value::Null\n}\n";
+        assert!(scan("crates/serve/src/server.rs", spanned).is_empty());
+
+        // `span` in the body alone does not satisfy the rule.
+        let body_only =
+            "//! d\nfn op_status(shared: &Shared) -> Value {\n    let span = 1;\n    Value::Null\n}\n";
+        assert_eq!(scan("crates/serve/src/server.rs", body_only).len(), 1);
+
+        // Non-handler fns, test modules, and other crates are exempt.
+        let other_fn = "//! d\nfn dispatch(shared: &Shared) -> Value { Value::Null }\n";
+        assert!(scan("crates/serve/src/server.rs", other_fn).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn op_fake() -> u64 { 1 }\n}\n";
+        assert!(scan("crates/serve/src/server.rs", in_test).is_empty());
+        assert!(scan("crates/core/src/lanes.rs", lonely).is_empty());
+        assert!(scan("crates/serve/tests/daemon.rs", lonely).is_empty());
+    }
+
+    #[test]
     fn rule_table_is_complete() {
-        assert_eq!(RULES.len(), 5);
+        assert_eq!(RULES.len(), 6);
         assert!(RULES
             .iter()
             .all(|(id, d)| id.starts_with("VC") && !d.is_empty()));

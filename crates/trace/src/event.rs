@@ -299,7 +299,7 @@ impl std::error::Error for ParseError {}
 
 /// A parsed scalar: the only value shapes trace lines contain.
 #[derive(Debug, Clone, PartialEq)]
-enum Lit {
+pub(crate) enum Lit {
     Null,
     Str(String),
     /// Raw number text, reparsed per target type to keep u64 exactness.
@@ -314,7 +314,7 @@ fn need_field<'a>(fields: &'a [(String, Lit)], key: &'static str) -> Result<&'a 
         .ok_or(ParseError::MissingField(key))
 }
 
-fn need_u64(fields: &[(String, Lit)], key: &'static str) -> Result<u64, ParseError> {
+pub(crate) fn need_u64(fields: &[(String, Lit)], key: &'static str) -> Result<u64, ParseError> {
     match need_field(fields, key)? {
         Lit::Num(raw) => raw
             .parse()
@@ -323,7 +323,10 @@ fn need_u64(fields: &[(String, Lit)], key: &'static str) -> Result<u64, ParseErr
     }
 }
 
-fn opt_u64(fields: &[(String, Lit)], key: &'static str) -> Result<Option<u64>, ParseError> {
+pub(crate) fn opt_u64(
+    fields: &[(String, Lit)],
+    key: &'static str,
+) -> Result<Option<u64>, ParseError> {
     match need_field(fields, key)? {
         Lit::Null => Ok(None),
         Lit::Num(raw) => raw
@@ -343,14 +346,17 @@ fn need_f64(fields: &[(String, Lit)], key: &'static str) -> Result<f64, ParseErr
     }
 }
 
-fn need_str<'a>(fields: &'a [(String, Lit)], key: &'static str) -> Result<&'a str, ParseError> {
+pub(crate) fn need_str<'a>(
+    fields: &'a [(String, Lit)],
+    key: &'static str,
+) -> Result<&'a str, ParseError> {
     match need_field(fields, key)? {
         Lit::Str(s) => Ok(s),
         other => Err(ParseError::BadValue(key, format!("{other:?}"))),
     }
 }
 
-fn opt_str<'a>(
+pub(crate) fn opt_str<'a>(
     fields: &'a [(String, Lit)],
     key: &'static str,
 ) -> Result<Option<&'a str>, ParseError> {
@@ -362,7 +368,7 @@ fn opt_str<'a>(
 }
 
 /// Parses `{"key": scalar, ...}` — the only JSON shape trace lines use.
-fn parse_flat_object(line: &str) -> Result<Vec<(String, Lit)>, ParseError> {
+pub(crate) fn parse_flat_object(line: &str) -> Result<Vec<(String, Lit)>, ParseError> {
     let err = |why: &str| ParseError::Malformed(why.to_string());
     let bytes = line.as_bytes();
     let mut pos = 0usize;

@@ -8,10 +8,12 @@ pub mod event;
 pub mod metrics;
 pub mod shared;
 pub mod sink;
+pub mod span;
 pub mod timer;
 
 pub use event::{BankEventKind, MissClass, ParseError, PhaseKind, TraceEvent};
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, RollingWindow};
 pub use shared::{SharedMetrics, SharedSink};
 pub use sink::{JsonlSink, MeteringSink, NullSink, RingSink, TraceSink};
+pub use span::{SpanCollector, SpanContext, SpanCounts, SpanHandle, SpanRecord};
 pub use timer::ScopeTimer;

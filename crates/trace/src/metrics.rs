@@ -201,6 +201,148 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+impl HistogramSnapshot {
+    /// Exact nearest-rank quantile resolved to a bucket upper bound.
+    ///
+    /// `q` is clamped to `[0, 1]`; the rank is `ceil(q · total)`
+    /// (minimum 1), and the answer is the upper bound of the bucket
+    /// containing that rank — i.e. an upper bound on the true quantile
+    /// that is tight to the bucket resolution. An observation equal to a
+    /// bound reports that bound exactly (the `v == bound` placement is
+    /// pinned by a regression test below). Ranks landing in the overflow
+    /// bucket report [`u64::MAX`]. Returns `None` on an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let scaled = (q * self.total as f64).ceil();
+        // total is a real observation count; the f64 round-trip is exact
+        // far beyond any plausible request volume.
+        let rank = if scaled < 1.0 {
+            1
+        } else if scaled >= self.total as f64 {
+            self.total
+        } else {
+            scaled as u64
+        };
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Mean of observed values; `None` on an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+}
+
+/// A bounded ring of raw samples for **exact** recent quantiles — the
+/// complement to [`HistogramSnapshot::percentile`], which is bucket-
+/// resolution over all time. The window keeps the last `cap` values
+/// verbatim; quantiles sort a copy (cheap at window sizes of a few
+/// hundred) and use the same nearest-rank convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollingWindow {
+    cap: usize,
+    samples: Vec<u64>,
+    next: usize,
+    seen: u64,
+}
+
+impl RollingWindow {
+    /// A window holding the most recent `cap` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "rolling window needs capacity");
+        Self {
+            cap,
+            samples: Vec::with_capacity(cap),
+            next: 0,
+            seen: 0,
+        }
+    }
+
+    /// Records one sample, evicting the oldest once full.
+    pub fn record(&mut self, value: u64) {
+        if self.samples.len() < self.cap {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next] = value;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.seen += 1;
+    }
+
+    /// Exact nearest-rank quantile over the windowed samples; `None`
+    /// when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * sorted.len() as f64).ceil();
+        let idx = if rank < 1.0 {
+            0
+        } else {
+            (rank as usize).min(sorted.len()) - 1
+        };
+        Some(sorted[idx])
+    }
+
+    /// Mean of the windowed samples; `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|&v| u128::from(v)).sum();
+        Some(sum as f64 / self.samples.len() as f64)
+    }
+
+    /// Largest windowed sample; `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Samples currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True until the first sample arrives.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples ever recorded (including evicted ones).
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
 /// Everything a [`MetricsRegistry`] held at one instant. Sorted by
 /// name within each section, so snapshots compare deterministically.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -402,6 +544,85 @@ mod tests {
         assert_eq!(merged.counter("y"), 5);
         assert_eq!(merged.gauges[0].value, 9.0);
         assert_eq!(merged.histograms[0].total, 2);
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_le_bucket() {
+        // Regression pin: `v == bound` counts in the bucket whose upper
+        // bound it equals, never the next one up. A percentile resolving
+        // to such an observation therefore reports the bound itself.
+        let mut h = Histogram::new(&[10, 20]);
+        h.observe(10);
+        h.observe(20);
+        assert_eq!(h.counts(), &[1, 1, 0]);
+        let snap = snapshot_of(&h, "edge");
+        assert_eq!(snap.percentile(0.5), Some(10));
+        assert_eq!(snap.percentile(1.0), Some(20));
+    }
+
+    fn snapshot_of(h: &Histogram, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.into(),
+            bounds: h.bounds().to_vec(),
+            counts: h.counts().to_vec(),
+            total: h.total(),
+            sum: h.sum(),
+        }
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_counts() {
+        let mut h = Histogram::new(&[1, 2, 4, 8]);
+        // 10 observations: 5×1, 3×2, 1×4, 1×7.
+        for v in [1, 1, 1, 1, 1, 2, 2, 2, 4, 7] {
+            h.observe(v);
+        }
+        let s = snapshot_of(&h, "lat");
+        assert_eq!(s.percentile(0.0), Some(1)); // rank clamps to 1
+        assert_eq!(s.percentile(0.5), Some(1)); // rank 5 of 10
+        assert_eq!(s.percentile(0.8), Some(2)); // rank 8
+        assert_eq!(s.percentile(0.9), Some(4)); // rank 9
+        assert_eq!(s.percentile(0.99), Some(8)); // rank 10 → 7 ≤ 8
+        assert_eq!(s.percentile(1.0), Some(8));
+        assert_eq!(s.mean(), Some(2.2));
+    }
+
+    #[test]
+    fn percentile_overflow_and_empty_cases() {
+        let empty = snapshot_of(&Histogram::new(&[1]), "e");
+        assert_eq!(empty.percentile(0.5), None);
+        assert_eq!(empty.mean(), None);
+
+        let mut h = Histogram::new(&[1, 2]);
+        h.observe(1);
+        h.observe(100); // overflow bucket
+        let s = snapshot_of(&h, "o");
+        assert_eq!(s.percentile(0.5), Some(1));
+        assert_eq!(s.percentile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rolling_window_is_exact_and_evicts_oldest() {
+        let mut w = RollingWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.quantile(0.5), None);
+        assert_eq!(w.mean(), None);
+        for v in [10, 20, 30, 40] {
+            w.record(v);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.quantile(0.5), Some(20)); // rank 2 of 4
+        assert_eq!(w.quantile(1.0), Some(40));
+        assert_eq!(w.mean(), Some(25.0));
+        assert_eq!(w.max(), Some(40));
+        // Two more evict 10 and 20; the window is now {30,40,50,60}.
+        w.record(50);
+        w.record(60);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.seen(), 6);
+        assert_eq!(w.quantile(0.0), Some(30));
+        assert_eq!(w.quantile(0.5), Some(40));
+        assert_eq!(w.max(), Some(60));
     }
 
     #[test]

@@ -31,10 +31,15 @@ run 300 ./target/release/vcache check --nests --prescribe
 
 run 300 ./target/release/vcache check --workloads
 
+# Trace-overhead budget: instrumented analysis must stay within 1.5x of
+# the untraced fast path (and the phase observer must fire per phase,
+# never per enumeration step).
+run 300 ./target/release/span_overhead
+
 echo "==> daemon smoke  (timeout 120s)"
 timeout --kill-after=10 120 bash -c '
     set -euo pipefail
-    ./target/release/vcache serve --addr 127.0.0.1:0 >serve.out 2>serve.err &
+    ./target/release/vcache serve --addr 127.0.0.1:0 --spans serve.spans >serve.out 2>serve.err &
     daemon=$!
     trap "kill \"$daemon\" 2>/dev/null || true" EXIT
     for _ in $(seq 100); do
@@ -48,6 +53,8 @@ timeout --kill-after=10 120 bash -c '
     $client ping --addr "$addr" >/dev/null
     $client check --nests --prescribe --addr "$addr"
     $client status --addr "$addr" | grep -q "serve.responses_ok"
+    ./target/release/vcache stat --addr "$addr" | grep -q "^  uptime"
+    ./target/release/vcache stat --prom --addr "$addr" | grep -q "^vcache_serve_requests_total"
     $client shutdown --addr "$addr" >/dev/null
 
 # A leaked daemon never reaches here: wait blocks until the stage
@@ -57,7 +64,12 @@ timeout --kill-after=10 120 bash -c '
     trap - EXIT
     [ "$code" -eq 0 ] || { echo "daemon drained with exit code $code"; exit 1; }
     grep -q "final metrics" serve.err || { echo "no final snapshot"; exit 1; }
-    rm -f serve.out serve.err
+    # Every span exported by the smoke traffic was finished properly.
+    [ -s serve.spans ] || { echo "no span export"; exit 1; }
+    if grep -q "\"status\":\"abandoned\"" serve.spans; then
+        echo "abandoned span in export"; exit 1
+    fi
+    rm -f serve.out serve.err serve.spans
 '
 
 echo "CI gate passed."

@@ -55,7 +55,7 @@ USAGE:
   vcache check [--src] [--programs] [--nests] [--prescribe] [--workloads] [--json]
                [--root <DIR>]
       Static analysis gate. --src runs the workspace source lints
-      (VC001-VC005, allowlist in staticcheck.allow); --programs runs the
+      (VC001-VC007, allowlist in staticcheck.allow); --programs runs the
       canonical static-verdict suite (Layer 2, VC100 on drift); --nests
       runs the affine loop-nest suite (Layer 3, VC101 on drift), and
       --prescribe additionally demands a verifying repair certificate for
@@ -66,11 +66,19 @@ USAGE:
       finding not covered by the allowlist.
   vcache serve [--addr <A>] [--unix <PATH>] [--workers <N>] [--queue <N>]
                [--deadline-ms <N>] [--retry-after-ms <N>] [--faults <SPEC>] [--root <DIR>]
+               [--spans <FILE>] [--slow-ms <N>]
       Run the analysis daemon (NDJSON over TCP, plus a Unix socket with
       --unix). Prints `listening on <addr>` once bound; --addr defaults
       to 127.0.0.1:0 (ephemeral port). SIGTERM/SIGINT drain gracefully
       and print a final metrics snapshot. <SPEC> arms fault injection,
-      e.g. `seed=7,panic=0.02,delay=0.05:20,torn=0.02`.
+      e.g. `seed=7,panic=0.02,delay=0.05:20,torn=0.02`. With --spans,
+      every request's span tree (DESIGN.md §8) is appended to FILE as
+      JSONL; requests slower than --slow-ms (default 1000, 0 disables)
+      are logged to stderr as structured slow_request lines.
+  vcache stat --addr <A> [--prom] [--json] [--attempts <N>]
+      Fetch a running daemon's status and render it: a human summary by
+      default, the Prometheus text exposition with --prom, or the raw
+      status JSON with --json.
   vcache client <op> --addr <A> [--deadline-ms <N>] [--attempts <N>] [op flags]
       Call a running daemon with retries (decorrelated-jitter backoff).
       <op> is one of:
@@ -115,6 +123,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     let switches: &[&str] = match command.as_str() {
         "check" => &["src", "programs", "nests", "prescribe", "workloads", "json"],
+        "stat" => &["prom", "json"],
         _ => &[],
     };
     let flags = parse_flags(&args[1..], switches)?;
@@ -126,6 +135,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "analyze" => analyze_cmd(&flags).map(|()| ExitCode::SUCCESS),
         "check" => check_cmd(&flags),
         "serve" => serve_cmd(&flags),
+        "stat" => stat_cmd(&flags).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -506,6 +516,8 @@ fn serve_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         retry_after_ms: get_or(flags, "retry-after-ms", 50)?,
         fault_plan,
         root: get_or(flags, "root", ".".to_string())?.into(),
+        span_path: flags.get("spans").map(std::path::PathBuf::from),
+        slow_request_ms: get_or(flags, "slow-ms", 1_000)?,
     };
     let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -530,6 +542,26 @@ fn serve_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     eprintln!("drained; final metrics:");
     eprintln!("{}", snapshot.to_json());
     Ok(ExitCode::SUCCESS)
+}
+
+/// `vcache stat`: one `status` round trip, three renderings.
+fn stat_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr: String = get(flags, "addr")?;
+    let mut policy = prime_cache::serve::RetryPolicy::default();
+    policy.max_attempts = get_or(flags, "attempts", policy.max_attempts)?;
+    let mut client = Client::with_policy(addr, policy);
+    let status = client.status().map_err(|e| e.to_string())?;
+    if flags.contains_key("prom") {
+        print!("{}", prime_cache::serve::stat::render_prom(&status));
+    } else if flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&status).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", prime_cache::serve::stat::render_summary(&status));
+    }
+    Ok(())
 }
 
 fn client_cmd(op: &str, flags: &HashMap<String, String>) -> Result<ExitCode, String> {

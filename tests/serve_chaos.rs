@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use prime_cache::check::{AffineRef, LoopNest, Term};
 use prime_cache::serve::{Client, ClientError, RetryPolicy};
+use prime_cache::trace::SpanRecord;
 use serde::{Serialize, Value};
 
 const BIN: &str = env!("CARGO_BIN_EXE_vcache");
@@ -21,6 +22,10 @@ const BIN: &str = env!("CARGO_BIN_EXE_vcache");
 struct Daemon {
     child: Child,
     addr: String,
+    /// Drains the daemon's stderr from the moment it spawns: with
+    /// `--slow-ms` armed the soak emits hundreds of slow-request lines,
+    /// and an unread pipe would fill and deadlock the daemon mid-test.
+    stderr_drain: thread::JoinHandle<String>,
 }
 
 impl Daemon {
@@ -37,6 +42,12 @@ impl Daemon {
             .spawn()
             .expect("spawn daemon");
         let stdout = child.stdout.take().expect("daemon stdout");
+        let mut stderr_pipe = child.stderr.take().expect("daemon stderr");
+        let stderr_drain = thread::spawn(move || {
+            let mut buffer = String::new();
+            let _ = stderr_pipe.read_to_string(&mut buffer);
+            buffer
+        });
         let mut banner = String::new();
         BufReader::new(stdout)
             .read_line(&mut banner)
@@ -46,7 +57,11 @@ impl Daemon {
             .strip_prefix("listening on ")
             .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
             .to_string();
-        Daemon { child, addr }
+        Daemon {
+            child,
+            addr,
+            stderr_drain,
+        }
     }
 
     fn client(&self, attempts: u32) -> Client {
@@ -76,10 +91,7 @@ impl Daemon {
             }
         }
         let status = self.child.wait().expect("wait");
-        let mut stderr = String::new();
-        if let Some(mut pipe) = self.child.stderr.take() {
-            let _ = pipe.read_to_string(&mut stderr);
-        }
+        let stderr = self.stderr_drain.join().expect("stderr drain thread");
         (status, stderr)
     }
 
@@ -137,6 +149,12 @@ fn chaos_soak_every_request_resolves_and_sigterm_drains() {
     // Panics, delays, and torn writes all armed. Torn writes surface to
     // clients as transport EOF, so retries (on fresh connections) are
     // what makes the soak converge — exactly the claim under test.
+    // Spans are exported so the drain can audit one complete tree per
+    // accepted request; --slow-ms 1 makes the injected 10ms delays
+    // surface as structured slow_request lines.
+    let span_path =
+        std::env::temp_dir().join(format!("vcache-chaos-spans-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&span_path);
     let daemon = Daemon::spawn(&[
         "--workers",
         "4",
@@ -144,6 +162,10 @@ fn chaos_soak_every_request_resolves_and_sigterm_drains() {
         "32",
         "--faults",
         "seed=11,panic=0.15,delay=0.2:10,torn=0.08",
+        "--spans",
+        span_path.to_str().expect("utf-8 temp path"),
+        "--slow-ms",
+        "1",
     ]);
 
     const CLIENTS: usize = 4;
@@ -217,6 +239,147 @@ fn chaos_soak_every_request_resolves_and_sigterm_drains() {
         stderr.contains("serve.panics_caught"),
         "snapshot lacks panic counter: {stderr}"
     );
+    // The injected 10ms delays crossed the 1ms threshold, so the drain
+    // left structured slow-request lines behind.
+    assert!(
+        stderr.contains("{\"slow_request\":{\"op\":"),
+        "no structured slow_request log in stderr: {stderr}"
+    );
+
+    audit_span_trees(&span_path, &stderr);
+    let _ = std::fs::remove_file(&span_path);
+}
+
+/// The span-tree audit run over the chaos soak's export: every accepted
+/// request — shed, panicked, delayed, or clean — must have left exactly
+/// one *complete* span tree behind (DESIGN.md §8).
+fn audit_span_trees(span_path: &std::path::Path, final_stderr: &str) {
+    use std::collections::HashMap;
+
+    let text = std::fs::read_to_string(span_path).expect("read span export");
+    let spans: Vec<SpanRecord> = text
+        .lines()
+        .map(|line| {
+            SpanRecord::from_jsonl(line)
+                .unwrap_or_else(|e| panic!("unparseable span line {line:?}: {e}"))
+        })
+        .collect();
+    assert!(!spans.is_empty(), "soak produced no spans");
+
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.span, s)).collect();
+    assert_eq!(by_id.len(), spans.len(), "duplicate span ids in export");
+
+    let mut roots = 0u64;
+    let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for span in &spans {
+        // Completeness: a span that reached the export was *finished* —
+        // the Drop fallback would have stamped it "abandoned".
+        assert_ne!(
+            span.status, "abandoned",
+            "unclosed span leaked into the export: {span}"
+        );
+        match span.parent {
+            None => {
+                roots += 1;
+                assert!(
+                    span.req_id.is_some(),
+                    "root span without a wire correlation id: {span}"
+                );
+                assert!(
+                    span.label == "malformed" || span.digest.is_some(),
+                    "root span without a canonical digest: {span}"
+                );
+            }
+            Some(parent) => {
+                let parent = by_id
+                    .get(&parent)
+                    .unwrap_or_else(|| panic!("orphan span (parent missing): {span}"));
+                assert_eq!(
+                    parent.request, span.request,
+                    "span crossed request trees: {span} under {parent}"
+                );
+                children.entry(parent.span).or_default().push(span);
+            }
+        }
+    }
+
+    // One root per accepted request: the server counts `serve.requests`
+    // once per non-empty line, and every such line mints a root span.
+    let requests = final_snapshot_counter(final_stderr, "serve.requests");
+    assert_eq!(
+        roots, requests,
+        "span roots disagree with serve.requests ({roots} vs {requests})"
+    );
+
+    // Attribution: children fit inside their parent's recorded wall
+    // time. Starts and durations come from one monotonic epoch, so the
+    // slack only covers microsecond rounding at both ends.
+    const SLACK_US: u64 = 50;
+    for (parent_id, kids) in &children {
+        let parent = by_id[parent_id];
+        let parent_end = parent.start_us + parent.dur_us;
+        let mut kid_sum = 0u64;
+        for kid in kids {
+            assert!(
+                kid.start_us + SLACK_US >= parent.start_us
+                    && kid.start_us + kid.dur_us <= parent_end + SLACK_US,
+                "child span escapes its parent's window: {kid} under {parent}"
+            );
+            kid_sum += kid.dur_us;
+        }
+        // Siblings never overlap (queue wait precedes the worker; phases
+        // nest), so their durations also sum within the parent's.
+        assert!(
+            kid_sum <= parent.dur_us + SLACK_US * kids.len() as u64,
+            "children of span {parent_id} sum to {kid_sum}us > parent {}us",
+            parent.dur_us
+        );
+    }
+
+    // The soak's specific shapes all occurred: queue waits and worker
+    // execution for pool ops, analyzer phases under workers, inline
+    // handlers for control-plane ops, and spans finished by the panic
+    // path (crash isolation is visible in the trace).
+    let label_count = |label: &str| spans.iter().filter(|s| s.label == label).count();
+    assert!(label_count("queue_wait") > 0, "no queue_wait spans");
+    assert!(label_count("worker") > 0, "no worker spans");
+    assert!(label_count("handler") > 0, "no inline handler spans");
+    assert!(
+        label_count("lineset") > 0 && label_count("rules") > 0,
+        "no analyzer phase spans under the workers"
+    );
+    assert!(
+        spans.iter().any(|s| s.status == "panic"),
+        "injected panics left no panic-status spans"
+    );
+    // Every ok analyze_nest tree has both queue and worker attribution.
+    for root in spans
+        .iter()
+        .filter(|s| s.is_root() && s.label == "analyze_nest" && s.status == "ok")
+    {
+        let kids = &children[&root.span];
+        for want in ["queue_wait", "worker"] {
+            assert!(
+                kids.iter().any(|k| k.label == want),
+                "ok analyze_nest tree lacks a {want} child: {root}"
+            );
+        }
+    }
+}
+
+/// Pulls one counter out of the `final metrics` JSON snapshot the daemon
+/// prints to stderr on drain.
+fn final_snapshot_counter(stderr: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let at = stderr
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {name} in final snapshot: {stderr}"));
+    stderr[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {name} value in final snapshot: {e}"))
 }
 
 #[test]
