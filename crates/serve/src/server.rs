@@ -763,7 +763,7 @@ fn handle_request(
         ])),
         "status" => Ok(op_status(shared, span)),
         "check" => op_check(shared, &request.params, span),
-        "analyze_nest" => op_analyze_nest(&request.params, deadline, span),
+        "analyze_nest" => op_analyze_nest(shared, &request.params, deadline, span),
         "analyze_trace" => op_analyze_trace(&request.params, span),
         other => Err(ErrorBody::new(
             ErrorCode::BadRequest,
@@ -860,6 +860,16 @@ fn op_check(shared: &Shared, params: &Value, span: &SpanHandle) -> Result<Value,
             });
         }
     };
+    // Surface the enumeration-freedom gate operationally: the counter
+    // stays at zero for as long as the relational domain holds.
+    let enumerated: u64 = report
+        .nests
+        .iter()
+        .map(|r| r.enumerated_lines)
+        .chain(report.battery.iter().map(|r| r.enumerated_lines))
+        .chain(report.workloads.iter().map(|r| r.enumerated_lines))
+        .sum();
+    shared.metrics.count("serve.enumerated_lines", enumerated);
     Ok(Value::Obj(vec![
         ("clean".into(), Value::Bool(report.is_clean())),
         ("report".into(), report.to_value()),
@@ -868,6 +878,7 @@ fn op_check(shared: &Shared, params: &Value, span: &SpanHandle) -> Result<Value,
 }
 
 fn op_analyze_nest(
+    shared: &Shared,
     params: &Value,
     deadline: Instant,
     span: &SpanHandle,
@@ -894,6 +905,9 @@ fn op_analyze_nest(
         let obs = |phase: &'static str, begin: bool| phases.observe(phase, begin);
         let budget = NestBudget::with_cancel(&cancelled).with_observer(&obs);
         analyze_nest_with_budget(&nest, &geometry, &budget).and_then(|analysis| {
+            shared
+                .metrics
+                .count("serve.enumerated_lines", analysis.enumerated_lines);
             let mut pairs = vec![("analysis".to_string(), analysis.to_value())];
             if want_prescription && !analysis.verdict.is_conflict_free() {
                 // The prescriber re-runs the analyzer per candidate fix;

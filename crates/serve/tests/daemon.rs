@@ -60,8 +60,10 @@ fn nest_params(nest: &LoopNest, deadline_ms: Option<u64>) -> Request {
     request
 }
 
-/// A Lattice-shaped nest whose exact enumeration walks ~2^22 steps —
-/// seconds of work, far beyond a short deadline.
+/// A Lattice-shaped nest whose exact enumeration walks 2^24 steps —
+/// hundreds of milliseconds of work, beyond a short deadline. Four
+/// odd-stride dimensions overflow the relational domain's class-split
+/// cap (8·8·8·2 classes > MAX_CLASSES), so it genuinely falls back.
 fn slow_nest() -> LoopNest {
     LoopNest::new(
         "slow",
@@ -70,9 +72,11 @@ fn slow_nest() -> LoopNest {
             vec![
                 Term {
                     coeff: 3,
-                    trip: 1 << 21,
+                    trip: 1 << 17,
                 },
-                Term { coeff: 7, trip: 2 },
+                Term { coeff: 5, trip: 8 },
+                Term { coeff: 7, trip: 8 },
+                Term { coeff: 9, trip: 2 },
             ],
             0,
         )],
@@ -89,7 +93,7 @@ fn fast_nest() -> LoopNest {
 
 #[test]
 fn deadline_exceeded_is_typed_and_the_worker_stays_usable() {
-    let (addr, handle, _metrics, runner) = boot(ServerConfig {
+    let (addr, handle, metrics, runner) = boot(ServerConfig {
         workers: 1, // one worker: the second request reuses the survivor
         ..ServerConfig::default()
     });
@@ -121,6 +125,19 @@ fn deadline_exceeded_is_typed_and_the_worker_stays_usable() {
     let result = response.outcome.expect("fast nest should analyze");
     let analysis = result.get("analysis").expect("analysis in result");
     assert!(analysis.get("verdict").is_some());
+
+    // The successful analysis registers the enumeration-freedom counter;
+    // the relational domain decides the fast nest without materializing
+    // lines, so it must read zero.
+    let snapshot = metrics.snapshot();
+    assert!(
+        snapshot
+            .counters
+            .iter()
+            .any(|c| c.name == "serve.enumerated_lines"),
+        "serve.enumerated_lines counter not registered"
+    );
+    assert_eq!(snapshot.counter("serve.enumerated_lines"), 0);
 
     handle.trigger();
     runner.join().unwrap();

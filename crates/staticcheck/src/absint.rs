@@ -30,16 +30,27 @@
 //! * **CosetDisjoint** — residues of a set with congruence step `g` lie
 //!   in the coset `first + ⟨gcd(g, S)⟩`; two references whose cosets are
 //!   disjoint (`first_a ≢ first_b mod gcd(g_a, g_b, S)`) cannot meet.
-//! * **Enumerated** — exact fallback for anything undecided, bounded by
-//!   [`MAX_NEST_WORDS`] total work; exceeding the bound is an error, not
-//!   a silent approximation.
+//! * **BoundedOffset / CosetSeparated** — the relational domain
+//!   ([`crate::relational`]): congruence-class splitting turns
+//!   [`Shape::Lattice`] references into exact carry-free sub-lattices,
+//!   difference-bound matrices bound each pair's achievable line
+//!   difference, and CRT over the difference lattice decides exactly
+//!   whether a nonzero multiple of `S` is achievable — with a concrete
+//!   witness when it is. These fire on every component the shape rules
+//!   leave open, *before* any enumeration.
+//! * **Enumerated** — exact fallback for anything still undecided (each
+//!   such component carries a machine-readable
+//!   [`FallbackReason`]), bounded by [`MAX_NEST_WORDS`] total work;
+//!   exceeding the bound is an error, not a silent approximation.
 //!
 //! Because every inconclusive abstract rule falls through to exact
 //! enumeration (or a hard error), the final verdict is *exact*, not
 //! merely sound: `ConflictFree` ⇔ zero conflict misses in a double-sweep
 //! replay, within cache capacity. The differential tests in
 //! `tests/nests.rs` hold this against the simulator for hundreds of
-//! random nests.
+//! random nests — and the relational rules make the fallback a dormant
+//! safety net: the canonical suites and the seeded random battery all
+//! decide with `enumerated_lines == 0`.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -49,6 +60,7 @@ use vcache_mersenne::numtheory::gcd;
 
 use crate::conflict::{Geometry, MAX_ANALYZED_WORDS};
 use crate::nest::{AffineRef, LoopNest};
+use crate::relational;
 
 /// Total enumeration budget (in lines/words materialized) for one nest
 /// analysis; abstract rules are unaffected by this bound.
@@ -79,6 +91,12 @@ pub struct NestBudget<'a> {
     /// begin/end calls always balance. `None` observes nothing and the
     /// analysis runs the identical code path.
     pub observer: Option<&'a (dyn Fn(&'static str, bool) + 'a)>,
+    /// Run the relational domain ([`crate::relational`]) on components
+    /// the shape rules leave open, before falling back to enumeration.
+    /// On by default; tests and benchmarks disable it to exercise the
+    /// enumeration/cancellation machinery and to measure the fallback
+    /// path it replaced.
+    pub relational: bool,
 }
 
 impl Default for NestBudget<'_> {
@@ -87,6 +105,7 @@ impl Default for NestBudget<'_> {
             max_words: MAX_NEST_WORDS,
             cancelled: None,
             observer: None,
+            relational: true,
         }
     }
 }
@@ -97,9 +116,8 @@ impl<'a> NestBudget<'a> {
     #[must_use]
     pub fn with_cancel(cancelled: &'a (dyn Fn() -> bool + 'a)) -> Self {
         Self {
-            max_words: MAX_NEST_WORDS,
             cancelled: Some(cancelled),
-            observer: None,
+            ..Self::default()
         }
     }
 
@@ -281,7 +299,7 @@ impl LineSet {
 /// progression `{0, g, 2g, …, span}` for `g = gcd(coeffs)`. The classic
 /// criterion: absorb coefficients in ascending order; `c` extends a
 /// dense-so-far prefix iff `c ≤ span + g`.
-fn progression_span(sorted: &[(u64, u64)], g: u64) -> (bool, u128) {
+pub(crate) fn progression_span(sorted: &[(u64, u64)], g: u64) -> (bool, u128) {
     let mut span: u128 = 0;
     for &(c, trip) in sorted {
         if u128::from(c) > span + u128::from(g) {
@@ -456,6 +474,13 @@ pub enum Rule {
     PairWindow,
     /// The references' residue cosets are disjoint.
     CosetDisjoint,
+    /// Relational: a DBM bounds the pair's achievable line difference to
+    /// a window containing no nonzero multiple of the set count, or an
+    /// exhaustive walk of the bounded difference box settles it.
+    BoundedOffset,
+    /// Relational: congruence-class separation over the difference
+    /// lattice — disjoint residue cosets, or a CRT-constructed witness.
+    CosetSeparated,
     /// Exact enumeration fallback.
     Enumerated,
 }
@@ -503,6 +528,18 @@ pub struct Witness {
     pub line_b: u64,
     /// The shared set.
     pub set: u64,
+}
+
+/// Why one component fell through every symbolic rule to the
+/// enumeration fallback. The reason strings are machine-readable
+/// literals (enforced by lint VC008), so a shrinking fallback stays
+/// auditable: any nonzero `enumerated_lines` names its cause.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FallbackReason {
+    /// The component that was not settled symbolically.
+    pub component: Component,
+    /// Machine-readable reason (e.g. `class-split-overflow`).
+    pub reason: String,
 }
 
 /// Layer-3 verdict for one (nest, geometry) pair.
@@ -568,6 +605,9 @@ pub struct NestAnalysis {
     /// Lines materialized by enumeration fallbacks (0 = decided purely
     /// abstractly).
     pub enumerated_lines: u64,
+    /// Machine-readable reasons for every component that needed the
+    /// enumeration fallback (empty = fully symbolic).
+    pub fallback_reasons: Vec<FallbackReason>,
 }
 
 /// Outcome of one decision rule.
@@ -915,6 +955,7 @@ pub fn analyze_nest_with_budget(
         }
     };
 
+    let mut fallback_reasons: Vec<FallbackReason> = Vec::new();
     observe_phase(nest_budget, "rules", || {
         for (i, ls) in line_sets.iter().enumerate() {
             let component = Component::Within { r: i };
@@ -930,6 +971,39 @@ pub fn analyze_nest_with_budget(
                     Some(d) => record(&mut proofs, &mut conflicts, component, &d, geometry),
                     None => undecided.push(component),
                 }
+            }
+        }
+        // Relational pass: everything the shape rules left open gets the
+        // DBM + congruence-class treatment before any enumeration.
+        if nest_budget.relational {
+            undecided.retain(|&component| {
+                let outcome = match component {
+                    Component::Within { r } => relational::decide_within(&nest.refs[r], geometry),
+                    Component::Pair { a, b } => {
+                        relational::decide_pair(&nest.refs[a], &nest.refs[b], geometry)
+                    }
+                };
+                if let Some(reason) = outcome.enumeration_reason() {
+                    fallback_reasons.push(FallbackReason {
+                        component,
+                        reason: reason.to_owned(),
+                    });
+                    return true;
+                }
+                let d = match outcome {
+                    relational::RelOutcome::Free(rule) => Decision::free(rule),
+                    relational::RelOutcome::Conflict(rule, a, b) => Decision::conflict(rule, a, b),
+                    _ => return true, // unreachable: reason handled above
+                };
+                record(&mut proofs, &mut conflicts, component, &d, geometry);
+                false
+            });
+        } else {
+            for component in &undecided {
+                fallback_reasons.push(FallbackReason {
+                    component: *component,
+                    reason: "relational-domain-disabled".to_owned(),
+                });
             }
         }
     });
@@ -1019,6 +1093,7 @@ pub fn analyze_nest_with_budget(
         witness,
         fits_capacity,
         enumerated_lines,
+        fallback_reasons,
     })
 }
 
@@ -1110,21 +1185,76 @@ mod tests {
     }
 
     #[test]
-    fn lattice_fallback_enumerates_and_bounds() {
-        // Unaligned wide stride: falls to enumeration, still exact.
+    fn lattice_nests_are_decided_symbolically() {
+        // Unaligned wide stride: the relational domain settles it with
+        // zero enumeration. 50 words at stride 12 span 76 lines over 32
+        // sets ⇒ must conflict.
         let n = nest1("lat", 0, vec![t(12, 50)]);
         let a = analyze_nest(&n, &pow2(32, 8)).unwrap();
-        assert!(a.enumerated_lines > 0);
-        // 50 words at stride 12 = 600 word span = 75+1 lines region; far
-        // more lines than 32 sets touched ⇒ must conflict.
+        assert_eq!(a.enumerated_lines, 0);
+        assert!(a.fallback_reasons.is_empty(), "{:?}", a.fallback_reasons);
         assert_eq!(a.verdict, NestVerdict::SelfInterfering);
-        // Budget rejection: an unaligned huge footprint cannot be
-        // enumerated.
+        let w = a.witness.unwrap();
+        assert_ne!(w.line_a, w.line_b);
+        // The enumeration path still exists and agrees, when forced.
+        let budget = NestBudget {
+            relational: false,
+            ..NestBudget::default()
+        };
+        let forced = analyze_nest_with_budget(&n, &pow2(32, 8), &budget).unwrap();
+        assert!(forced.enumerated_lines > 0);
+        assert_eq!(forced.verdict, a.verdict);
+        assert_eq!(
+            forced.fallback_reasons[0].reason,
+            "relational-domain-disabled"
+        );
+    }
+
+    #[test]
+    fn footprints_beyond_the_enumeration_cap_are_decided() {
+        // An unaligned footprint the fallback could never materialize
+        // is now settled symbolically…
         let big = nest1("big", 0, vec![t(3, MAX_NEST_WORDS / 2), t(7, 3)]);
+        let a = analyze_nest(&big, &pow2(32, 8)).unwrap();
+        assert_eq!(a.enumerated_lines, 0);
+        assert_eq!(a.verdict, NestVerdict::SelfInterfering);
+        // …while the enumeration path alone still rejects it as too
+        // large, so the budget machinery stays honest.
+        let budget = NestBudget {
+            relational: false,
+            ..NestBudget::default()
+        };
         assert!(matches!(
-            analyze_nest(&big, &pow2(32, 8)),
+            analyze_nest_with_budget(&big, &pow2(32, 8), &budget),
             Err(NestError::TooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn relational_and_enumerated_verdicts_agree() {
+        // Cross-validation: for unaligned shapes small enough to
+        // enumerate, the symbolic decision must match the exact walk
+        // under both mappers.
+        let shapes = [
+            vec![t(12, 50)],
+            vec![t(20, 40), t(6, 5)],
+            vec![t(28, 30)],
+            vec![t(12, 50), t(7, 3)],
+        ];
+        let enumerate_only = NestBudget {
+            relational: false,
+            ..NestBudget::default()
+        };
+        for terms in shapes {
+            let n = nest1("x", 5, terms);
+            for g in [pow2(32, 8), prime(5, 8)] {
+                let symbolic = analyze_nest(&n, &g).unwrap();
+                let walked = analyze_nest_with_budget(&n, &g, &enumerate_only).unwrap();
+                assert_eq!(symbolic.verdict, walked.verdict, "{} {g}", n.name);
+                assert_eq!(symbolic.enumerated_lines, 0, "{} {g}", n.name);
+                assert!(walked.enumerated_lines > 0, "{} {g}", n.name);
+            }
+        }
     }
 
     #[test]
@@ -1206,7 +1336,12 @@ mod tests {
         // finishing the ~2^19-step walk.
         let cancel = |count: &AtomicU64| count.fetch_add(1, Ordering::Relaxed) >= 1;
         let hook = || cancel(&calls);
-        let budget = NestBudget::with_cancel(&hook);
+        // Relational off: this test exercises the enumeration fallback's
+        // cancellation machinery, which the domain would bypass.
+        let budget = NestBudget {
+            relational: false,
+            ..NestBudget::with_cancel(&hook)
+        };
         assert_eq!(
             analyze_nest_with_budget(&n, &pow2(32, 8), &budget).err(),
             Some(NestError::Cancelled)
@@ -1235,6 +1370,7 @@ mod tests {
         let n = nest1("lat", 0, vec![t(12, 50)]);
         let budget = NestBudget {
             max_words: 4,
+            relational: false,
             ..NestBudget::default()
         };
         assert!(matches!(
@@ -1273,7 +1409,10 @@ mod tests {
         let obs = |phase: &'static str, begin: bool| events.borrow_mut().push((phase, begin));
         let n = nest1("slow", 0, vec![t(3, 1 << 18), t(7, 2)]);
         let hook = || true; // cancel at the first poll
-        let budget = NestBudget::with_cancel(&hook).with_observer(&obs);
+        let budget = NestBudget {
+            relational: false,
+            ..NestBudget::with_cancel(&hook).with_observer(&obs)
+        };
         assert_eq!(
             analyze_nest_with_budget(&n, &pow2(32, 8), &budget).err(),
             Some(NestError::Cancelled)

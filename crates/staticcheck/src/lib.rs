@@ -3,11 +3,12 @@
 //!
 //! **Layer 1** ([`lint`]) scans the workspace's Rust sources with a small
 //! hand-rolled lexer ([`source`]) and enforces the repo's invariants as
-//! named rules `VC001`–`VC007` (no panicking calls in library code, no raw
+//! named rules `VC001`–`VC008` (no panicking calls in library code, no raw
 //! `%` in the mapped-cache crates, no truncating address casts, crate-root
 //! hygiene, traced/untraced API pairing, request spans on serve op
-//! handlers). Accepted findings live in a committed [`allowlist`] with
-//! mandatory justifications; stale entries are themselves findings.
+//! handlers, the relational-domain contract). Accepted findings live in a
+//! committed [`allowlist`] with mandatory justifications; stale entries
+//! are themselves findings.
 //!
 //! **Layer 2** ([`conflict`]) applies the paper's number theory (orbit
 //! sizes `S / gcd(S, stride)`, Eq. 8, the §4 sub-block rule) to *prove*,
@@ -44,11 +45,13 @@
 
 pub mod absint;
 pub mod allowlist;
+pub mod battery;
 pub mod conflict;
 pub mod lint;
 pub mod nest;
 pub mod nestsuite;
 pub mod prescribe;
+pub mod relational;
 pub mod report;
 pub mod source;
 pub mod suite;
@@ -169,6 +172,7 @@ fn run_check_inner(
     let mut suite_results = Vec::new();
     let mut nest_results = Vec::new();
     let mut certificates = Vec::new();
+    let mut battery_results = Vec::new();
     let mut workload_results = Vec::new();
 
     if options.src {
@@ -189,6 +193,11 @@ fn run_check_inner(
             let (results, certs, drift) = nestsuite::run(options.prescribe);
             nest_results = results;
             certificates = certs;
+            findings.extend(drift);
+            // The randomized enumeration-freedom battery rides the nest
+            // layer: same domain, statistical rather than canonical.
+            let (rows, drift) = battery::run();
+            battery_results = rows;
             findings.extend(drift);
         });
     }
@@ -214,6 +223,7 @@ fn run_check_inner(
         suite: suite_results,
         nests: nest_results,
         certificates,
+        battery: battery_results,
         workloads: workload_results,
     })
 }
@@ -257,7 +267,7 @@ mod tests {
             workloads: false,
         })
         .unwrap();
-        assert_eq!(report.nests.len(), 18);
+        assert_eq!(report.nests.len(), 28);
         assert!(!report.certificates.is_empty());
         assert!(report.is_clean(), "{}", report.render_text());
     }

@@ -11,6 +11,7 @@
 //! | VC004 | Every workspace crate root carries `#![forbid(unsafe_code)]` and a `//!` doc header. |
 //! | VC005 | Every traced simulator entry point `fn x_traced` has an untraced sibling `fn x` in the same file. |
 //! | VC007 | Every serve op handler (`fn op_*` under `crates/serve/src/`) takes a request span, so no request stage can silently drop out of the span tree. |
+//! | VC008 | The relational-domain contract in `crates/staticcheck/src/`: no `Shape::Lattice` sites outside `absint.rs` internals, and every `NeedsEnumeration(` site carries a machine-readable reason (a string literal, the declaration, or a forwarded `reason` binding). |
 //!
 //! The rules are lexical (see [`crate::source`]): `.expect(` is only
 //! flagged when its first argument is a string literal, so the model
@@ -27,7 +28,7 @@ use serde::Serialize;
 use crate::source::SourceFile;
 
 /// All Layer-1 rule identifiers, with their one-line descriptions.
-pub const RULES: [(&str, &str); 6] = [
+pub const RULES: [(&str, &str); 7] = [
     (
         "VC001",
         "no unwrap/expect/panic! outside #[cfg(test)] and tests/",
@@ -49,6 +50,10 @@ pub const RULES: [(&str, &str); 6] = [
         "traced/untraced simulator entry points come in pairs",
     ),
     ("VC007", "serve op handlers thread a request span"),
+    (
+        "VC008",
+        "Shape::Lattice stays inside absint.rs; NeedsEnumeration always carries a reason",
+    ),
 ];
 
 /// One lint (or semantic-suite) finding.
@@ -153,6 +158,9 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
         }
         if file.path.starts_with("crates/serve/src/") {
             findings.extend(vc007(file));
+        }
+        if file.path.starts_with("crates/staticcheck/src/") {
+            findings.extend(vc008(file));
         }
     }
     findings
@@ -439,6 +447,48 @@ fn vc007(file: &SourceFile) -> Vec<Finding> {
     findings
 }
 
+/// VC008: the relational-domain contract. `Shape::Lattice` is an
+/// `absint.rs` internal — a construction or match site anywhere else in
+/// the static-analysis crate bypasses the relational decision procedure
+/// that PR introduced to keep lattice nests enumeration-free. And a rule
+/// that gives up must say why: every `NeedsEnumeration(` site must carry
+/// a machine-readable reason — a string literal, the `&'static str`
+/// declaration itself, or a forwarded `reason` binding.
+fn vc008(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lattice_ok = file.path.ends_with("/absint.rs");
+    for (line_no, raw, code) in file.non_test_lines() {
+        if !lattice_ok && code.contains("Shape::Lattice") {
+            findings.push(Finding::new(
+                "VC008",
+                &file.path,
+                line_no,
+                "`Shape::Lattice` outside absint.rs (lattice refs route through the relational domain)"
+                    .into(),
+                raw,
+            ));
+        }
+        let mut rest = code;
+        while let Some(pos) = rest.find("NeedsEnumeration(") {
+            let after = rest[pos + "NeedsEnumeration(".len()..].trim_start();
+            let carried =
+                after.starts_with('"') || after.starts_with('&') || after.starts_with("reason)");
+            if !carried {
+                findings.push(Finding::new(
+                    "VC008",
+                    &file.path,
+                    line_no,
+                    "`NeedsEnumeration` without a machine-readable reason (pass a string literal)"
+                        .into(),
+                    raw,
+                ));
+            }
+            rest = &rest[pos + "NeedsEnumeration(".len()..];
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,8 +644,50 @@ mod tests {
     }
 
     #[test]
+    fn vc008_confines_lattice_shapes_to_absint() {
+        let construct = "//! d\nfn f() -> Shape {\n    Shape::Lattice\n}\n";
+        // In absint.rs itself: internal, clean.
+        assert!(scan("crates/staticcheck/src/absint.rs", construct).is_empty());
+        // Anywhere else in the static-analysis crate: flagged.
+        let f = scan("crates/staticcheck/src/relational.rs", construct);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "VC008");
+        assert!(f[0].message.contains("Shape::Lattice"), "{}", f[0].message);
+        // Doc comments and other crates are exempt.
+        let doc_only = "//! [`Shape::Lattice`] docs.\nfn f() {}\n";
+        assert!(scan("crates/staticcheck/src/nest.rs", doc_only).is_empty());
+        assert!(scan("crates/core/src/lanes.rs", construct).is_empty());
+    }
+
+    #[test]
+    fn vc008_needs_enumeration_must_carry_a_reason() {
+        // A bare constructor gives the triage surface nothing to group.
+        let bare = "//! d\nfn f() -> R {\n    R::NeedsEnumeration(format(x))\n}\n";
+        let f = scan("crates/staticcheck/src/relational.rs", bare);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "VC008");
+        assert!(f[0].message.contains("reason"), "{}", f[0].message);
+        // A string literal, the enum declaration, and a forwarded
+        // `reason` binding (pattern or construction) are all fine.
+        for ok in [
+            "//! d\nfn f() -> R { R::NeedsEnumeration(\"class-pair-overflow\") }\n",
+            "//! d\nenum R {\n    NeedsEnumeration(&'static str),\n}\n",
+            "//! d\nfn f(r: R) -> R {\n    match r { R::NeedsEnumeration(reason) => R::NeedsEnumeration(reason) }\n}\n",
+        ] {
+            assert!(
+                scan("crates/staticcheck/src/relational.rs", ok).is_empty(),
+                "{ok}"
+            );
+        }
+        // Test modules and other crates are exempt.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() -> R { R::NeedsEnumeration(x) }\n}\n";
+        assert!(scan("crates/staticcheck/src/relational.rs", in_test).is_empty());
+        assert!(scan("crates/model/src/a.rs", bare).is_empty());
+    }
+
+    #[test]
     fn rule_table_is_complete() {
-        assert_eq!(RULES.len(), 6);
+        assert_eq!(RULES.len(), 7);
         assert!(RULES
             .iter()
             .all(|(id, d)| id.starts_with("VC") && !d.is_empty()));

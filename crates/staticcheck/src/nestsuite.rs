@@ -182,6 +182,75 @@ pub fn cases() -> Vec<NestCase> {
             expect_pow2: Expect::Free,
             expect_prime: Expect::Free,
         },
+        // A skewed diagonal: word stride 8195 ≡ 3 (mod 8) splits into 8
+        // carry-free classes of line stride 8195 ≡ 4 (mod 8191). The
+        // 33M-word footprint is beyond the enumeration cap — only the
+        // relational domain reaches a verdict. The pow2 mapper spreads
+        // the odd stride; under the prime one the inter-class offsets
+        // solve to in-range conflicts.
+        NestCase {
+            nest: LoopNest::new(
+                "diag-skew",
+                vec![AffineRef::new(0, vec![term(8195, 4096)], 0)],
+            ),
+            line_words: 8,
+            expect_pow2: Expect::Free,
+            expect_prime: Expect::SelfInt,
+        },
+        // An 8193-word leading dimension (the classic pad!) walked over
+        // a 4-column window with a non-unit column stride: stride ≡ 1
+        // (mod 8) splits into classes whose line stride 8193 ≡ 1
+        // (mod 8192) re-aligns columns onto the same sets under pow2.
+        NestCase {
+            nest: LoopNest::new(
+                "ld-odd-cols",
+                vec![AffineRef::new(0, vec![term(8193, 512), term(2, 4)], 0)],
+            ),
+            line_words: 8,
+            expect_pow2: Expect::SelfInt,
+            expect_prime: Expect::Free,
+        },
+        // A non-unit unaligned leading dimension (8196 ≡ 4 mod 8) over
+        // a 32-word row: the tall thin difference box is closed by the
+        // mixed modular solve, never the line walk. 8196/4 lines ≡ 2049
+        // ≡ 1 (mod 2048) collide under pow2; the prime mapper separates.
+        NestCase {
+            nest: LoopNest::new(
+                "ld-unaligned",
+                vec![AffineRef::new(0, vec![term(8196, 1024), term(1, 32)], 0)],
+            ),
+            line_words: 8,
+            expect_pow2: Expect::SelfInt,
+            expect_prime: Expect::Free,
+        },
+        // A non-lattice-aligned base (word 5) over a two-level grid of
+        // unaligned strides: bounded offsets keep every class pair away
+        // from a full set count under both mappers.
+        NestCase {
+            nest: LoopNest::new(
+                "offset-grid",
+                vec![AffineRef::new(5, vec![term(20, 512), term(6, 40)], 0)],
+            ),
+            line_words: 8,
+            expect_pow2: Expect::Free,
+            expect_prime: Expect::Free,
+        },
+        // Two skewed stride-12 streams a megaword apart: the class
+        // bases differ by 2^20/8 lines, a multiple of neither set
+        // count's orbit — cross-interfering under both mappers, found
+        // by the cross-class CRT without materializing a line.
+        NestCase {
+            nest: LoopNest::new(
+                "skew-pair",
+                vec![
+                    AffineRef::new(0, vec![term(12, 50)], 0),
+                    AffineRef::new(1 << 20, vec![term(12, 50)], 1),
+                ],
+            ),
+            line_words: 8,
+            expect_pow2: Expect::CrossInt,
+            expect_prime: Expect::CrossInt,
+        },
     ]
 }
 
@@ -279,7 +348,7 @@ mod tests {
     #[test]
     fn canonical_nest_suite_is_green() {
         let (results, certificates, findings) = run(true);
-        assert_eq!(results.len(), 18, "9 cases x 2 geometries");
+        assert_eq!(results.len(), 28, "14 cases x 2 geometries");
         for r in &results {
             assert!(
                 r.ok,
@@ -289,10 +358,26 @@ mod tests {
         }
         assert!(findings.is_empty(), "{findings:?}");
         // Interfering rows: vec-pow2-stride/pow2, subblock-ld-pow2/pow2,
-        // subblock-erratum both ways, fft-row-stage/pow2, and
-        // cross-stream-alias/pow2 — each repaired and re-verified.
-        assert_eq!(certificates.len(), 6);
+        // subblock-erratum both ways, fft-row-stage/pow2,
+        // cross-stream-alias/pow2, diag-skew/prime, ld-odd-cols/pow2,
+        // ld-unaligned/pow2, and skew-pair both ways — each repaired
+        // and re-verified.
+        assert_eq!(certificates.len(), 11);
         assert!(certificates.iter().all(Certificate::verify));
+    }
+
+    #[test]
+    fn every_canonical_row_is_enumeration_free() {
+        // The tentpole invariant: the relational domain settles the
+        // whole committed suite symbolically — zero materialized lines.
+        let (results, _, _) = run(false);
+        for r in &results {
+            assert_eq!(
+                r.enumerated_lines, 0,
+                "{} under {} fell back to enumeration",
+                r.nest, r.geometry
+            );
+        }
     }
 
     #[test]

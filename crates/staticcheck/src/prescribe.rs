@@ -530,7 +530,12 @@ mod tests {
         let g = Geometry::pow2(32, 8).unwrap();
         assert!(prescribe(&n, &g, DEFAULT_MAX_PAD).is_some());
         let hook = || true;
-        let budget = NestBudget::with_cancel(&hook);
+        // Relational off so candidate analyses enumerate and hit the
+        // cancellation polls; the symbolic path never needs them.
+        let budget = NestBudget {
+            relational: false,
+            ..NestBudget::with_cancel(&hook)
+        };
         assert_eq!(
             prescribe_with_budget(&n, &g, DEFAULT_MAX_PAD, &budget).err(),
             Some(NestError::Cancelled)

@@ -3,6 +3,7 @@
 
 use serde::Serialize;
 
+use crate::battery::BatteryResult;
 use crate::lint::Finding;
 use crate::nestsuite::NestSuiteResult;
 use crate::prescribe::Certificate;
@@ -22,6 +23,9 @@ pub struct Report {
     /// Verified repair certificates for interfering nest rows (empty
     /// unless `--nests --prescribe`).
     pub certificates: Vec<Certificate>,
+    /// Aggregated rows of the randomized enumeration-freedom battery
+    /// (empty when `--nests` was not requested).
+    pub battery: Vec<BatteryResult>,
     /// Workload-certification rows (empty when `--workloads` was not
     /// requested).
     pub workloads: Vec<WorkloadSuiteResult>,
@@ -76,6 +80,23 @@ impl Report {
                     r.geometry,
                     format!("{:?}", r.expected),
                     r.verdict
+                ));
+            }
+        }
+        if !self.battery.is_empty() {
+            out.push_str("\nenumeration-freedom battery:\n");
+            for r in &self.battery {
+                let mark = if r.ok { "ok  " } else { "FAIL" };
+                out.push_str(&format!(
+                    "  [{mark}] {:<6} {} nests ({} free / {} interfering), \
+                     {} enumerated lines, {} fallbacks, {} errors\n",
+                    r.geometry,
+                    r.nests,
+                    r.conflict_free,
+                    r.interfering,
+                    r.enumerated_lines,
+                    r.fallbacks,
+                    r.errors
                 ));
             }
         }
@@ -168,6 +189,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            battery: vec![],
             workloads: vec![],
         };
         assert!(report.is_clean());
@@ -176,6 +198,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            battery: vec![],
             workloads: vec![],
         };
         assert!(!report.is_clean());
@@ -189,6 +212,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            battery: vec![],
             workloads: vec![],
         };
         let text = report.render_text();
@@ -204,6 +228,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            battery: vec![],
             workloads: vec![],
         };
         let json = report.to_json().unwrap();

@@ -109,6 +109,9 @@ pub struct WorkloadSuiteResult {
     /// Verdict of the lowered nest (for non-affine rows: of the
     /// envelope).
     pub verdict: NestVerdict,
+    /// Lines materialized by enumeration fallbacks (0 = purely
+    /// abstract), mirroring the nest-suite rows.
+    pub enumerated_lines: u64,
     /// `Some(reason)` when the kernel is certified non-affine.
     pub non_affine: Option<String>,
     /// The lowering/trace word-set check passed (equality for exact
@@ -577,6 +580,7 @@ pub fn run() -> (Vec<WorkloadSuiteResult>, Vec<Finding>) {
                 geometry: analysis.geometry,
                 expected,
                 verdict: analysis.verdict,
+                enumerated_lines: analysis.enumerated_lines,
                 non_affine: non_affine.clone(),
                 word_set_ok: word_set_failure.is_none(),
                 ok: verdict_ok && word_set_failure.is_none(),
@@ -603,6 +607,11 @@ mod tests {
                 r.expected,
                 r.verdict_label(),
                 r.word_set_ok
+            );
+            assert_eq!(
+                r.enumerated_lines, 0,
+                "{} under {} fell back to enumeration",
+                r.workload, r.geometry
             );
         }
         assert!(findings.is_empty(), "{findings:?}");

@@ -60,4 +60,5 @@ fn golden_file_encodes_the_documented_verdict_shapes() {
     // Layer-3 fields are present (empty for a --programs-only run).
     assert!(GOLDEN.contains("\"nests\":[]"));
     assert!(GOLDEN.contains("\"certificates\":[]"));
+    assert!(GOLDEN.contains("\"battery\":[]"));
 }

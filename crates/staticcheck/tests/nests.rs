@@ -184,6 +184,57 @@ fn random_nest_verdicts_agree_with_simulator() {
     );
 }
 
+/// The committed enumeration-freedom battery, differentially validated:
+/// every one of its nests must (a) decide with zero enumerated lines and
+/// no fallback under both mappers, and (b) agree with the simulator —
+/// `ConflictFree` ⟺ zero conflict misses for footprints within capacity,
+/// and conflict-free ⇒ clean replay unconditionally. This is the ground
+/// truth behind the `vcache check --nests` battery rows: the DBM and
+/// congruence rules are not just self-consistent, they match the machine.
+#[test]
+fn battery_nests_decide_symbolically_and_agree_with_simulator() {
+    use vcache_check::battery::{cases, BATTERY_NESTS, BATTERY_SEED};
+    let (mut free_seen, mut conflict_seen) = (0u64, 0u64);
+    for case in cases(BATTERY_SEED, BATTERY_NESTS) {
+        let geometries = [
+            Geometry::pow2(1 << case.exponent, case.line_words),
+            Geometry::prime(case.exponent, case.line_words),
+        ];
+        for geometry in geometries {
+            let geometry = match geometry {
+                Ok(g) => g,
+                Err(e) => panic!("{}: bad geometry: {e}", case.nest.name),
+            };
+            let analysis = match analyze_nest(&case.nest, &geometry) {
+                Ok(a) => a,
+                Err(e) => panic!("{}: analysis failed: {e}", case.nest.name),
+            };
+            assert_eq!(
+                analysis.enumerated_lines, 0,
+                "{} on {}: battery nest fell back to enumeration",
+                case.nest.name, geometry
+            );
+            assert!(
+                analysis.fallback_reasons.is_empty(),
+                "{} on {}: {:?}",
+                case.nest.name,
+                geometry,
+                analysis.fallback_reasons
+            );
+            match check_nest(&case.nest, &geometry) {
+                Ok(true) => free_seen += 1,
+                Ok(false) => conflict_seen += 1,
+                Err(msg) => panic!("{msg}"),
+            }
+        }
+    }
+    assert!(free_seen >= 100, "only {free_seen} conflict-free pairs");
+    assert!(
+        conflict_seen >= 100,
+        "only {conflict_seen} interfering pairs"
+    );
+}
+
 #[test]
 fn random_certificates_replay_clean() {
     let mut rng = StdRng::seed_from_u64(0xCE47);

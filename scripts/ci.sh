@@ -31,6 +31,26 @@ run 300 ./target/release/vcache check --nests --prescribe
 
 run 300 ./target/release/vcache check --workloads
 
+# Enumeration-freedom gate: every canonical nest, every workload
+# lowering, and the 1000-nest random battery must be decided by the
+# relational domain without materializing a single line. Any nonzero
+# enumerated_lines in the JSON report fails the gate.
+echo "==> enumeration-free  (timeout 300s)"
+timeout --kill-after=10 300 bash -c '
+    set -euo pipefail
+    out=$(./target/release/vcache check --nests --workloads --json)
+    if echo "$out" | grep -Eq "\"enumerated_lines\":[1-9]"; then
+        echo "nonzero enumerated_lines in check report:"
+        echo "$out" | grep -Eo "\"(nest|workload|geometry)\":\"[^\"]*\"|\"enumerated_lines\":[0-9]+" | paste - - || true
+        exit 1
+    fi
+    # The field must actually be present — a silent schema drift would
+    # turn this gate into a no-op.
+    echo "$out" | grep -q "\"enumerated_lines\":0" || {
+        echo "enumerated_lines field missing from check report"; exit 1
+    }
+'
+
 # Trace-overhead budget: instrumented analysis must stay within 1.5x of
 # the untraced fast path (and the phase observer must fire per phase,
 # never per enumeration step).

@@ -55,7 +55,7 @@ USAGE:
   vcache check [--src] [--programs] [--nests] [--prescribe] [--workloads] [--json]
                [--root <DIR>]
       Static analysis gate. --src runs the workspace source lints
-      (VC001-VC007, allowlist in staticcheck.allow); --programs runs the
+      (VC001-VC008, allowlist in staticcheck.allow); --programs runs the
       canonical static-verdict suite (Layer 2, VC100 on drift); --nests
       runs the affine loop-nest suite (Layer 3, VC101 on drift), and
       --prescribe additionally demands a verifying repair certificate for
