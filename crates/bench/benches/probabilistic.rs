@@ -1,0 +1,96 @@
+//! Pins the Layer-4 closed form's reason to exist as a *static*
+//! analysis: an `ExpectedConflicts` verdict costs O(#occupancy classes)
+//! arithmetic, while even a single Monte-Carlo sweep must generate and
+//! replay the whole trace through the simulator. The closed form must
+//! stay at least 100× faster than one sweep — otherwise `vcache check
+//! --probabilistic` might as well simulate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use vcache_check::{analyze_profile, monte_carlo, AccessProfile, Geometry};
+
+/// Accesses per trace: the verdict's cost is independent of this; a
+/// sweep's is linear in it.
+const ACCESSES: u64 = 4096;
+
+fn geometry() -> Geometry {
+    Geometry::pow2(8192, 8).expect("valid geometry")
+}
+
+fn profile() -> AccessProfile {
+    AccessProfile::UniformSpan {
+        base: 0,
+        span: 4096,
+    }
+}
+
+/// Median wall time of `runs` evaluations of `f`.
+fn median_time(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[runs / 2]
+}
+
+fn bench_closed_form_vs_sweep(c: &mut Criterion) {
+    let geometry = geometry();
+    let profile = profile();
+
+    // Median closed-form verdict time vs median per-sweep time (an
+    // 8-sweep Monte-Carlo run divided by 8; the division amortizes the
+    // simulator construction the same way `run()` does via reset()).
+    const SWEEPS: u64 = 8;
+    let verdict_median = median_time(31, || {
+        black_box(analyze_profile(
+            black_box(&profile),
+            black_box(ACCESSES),
+            black_box(&geometry),
+        ));
+    });
+    let sweep_median = median_time(15, || {
+        black_box(monte_carlo(
+            black_box(&profile),
+            black_box(ACCESSES),
+            black_box(&geometry),
+            SWEEPS,
+            1,
+        ));
+    }) / SWEEPS as f64;
+    assert!(
+        verdict_median * 100.0 < sweep_median,
+        "closed form ({verdict_median:.9}s) is not >=100x faster than one \
+         Monte-Carlo sweep ({sweep_median:.9}s)"
+    );
+
+    let mut group = c.benchmark_group("probabilistic");
+    group.bench_function("closed_form_verdict", |b| {
+        b.iter(|| {
+            analyze_profile(
+                black_box(&profile),
+                black_box(ACCESSES),
+                black_box(&geometry),
+            )
+        })
+    });
+    group.bench_function("monte_carlo_8_sweeps", |b| {
+        b.iter(|| {
+            monte_carlo(
+                black_box(&profile),
+                black_box(ACCESSES),
+                black_box(&geometry),
+                SWEEPS,
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_form_vs_sweep);
+criterion_main!(benches);

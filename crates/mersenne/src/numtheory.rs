@@ -232,6 +232,143 @@ pub fn strides_with_gcd_pow2(m: u64, d: u64) -> u64 {
     }
 }
 
+/// `gcd` over `u128`, for exact rational arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use vcache_mersenne::numtheory::gcd_u128;
+/// assert_eq!(gcd_u128(1 << 70, 3 << 68), 1 << 68);
+/// ```
+#[must_use]
+pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// `base^exp` over `u128`, or `None` on overflow. The probabilistic
+/// analyzer uses this to decide whether a collision statistic is still
+/// exactly representable (`L^n` must fit) before falling back to
+/// deterministically-rounded floats.
+///
+/// # Example
+///
+/// ```
+/// use vcache_mersenne::numtheory::checked_pow_u128;
+/// assert_eq!(checked_pow_u128(8, 4), Some(4096));
+/// assert_eq!(checked_pow_u128(2, 127), Some(1u128 << 127));
+/// assert_eq!(checked_pow_u128(2, 128), None);
+/// ```
+#[must_use]
+pub fn checked_pow_u128(base: u128, exp: u32) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.checked_mul(base)?;
+    }
+    Some(acc)
+}
+
+/// An exact non-negative rational with 128-bit numerator and denominator,
+/// always stored reduced. The arithmetic is *checked*: any operation that
+/// would overflow returns `None`, which callers treat as "too large for
+/// the exact path" and hand off to floats.
+///
+/// # Example
+///
+/// ```
+/// use vcache_mersenne::numtheory::Ratio;
+/// let third = Ratio::new(2, 6).unwrap();
+/// assert_eq!((third.num, third.den), (1, 3));
+/// let one = third.checked_add(Ratio::new(2, 3).unwrap()).unwrap();
+/// assert_eq!(one, Ratio::from_int(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ratio {
+    /// Reduced numerator.
+    pub num: u128,
+    /// Reduced denominator (never zero).
+    pub den: u128,
+}
+
+impl Ratio {
+    /// Builds `num/den` reduced, or `None` when `den == 0`.
+    #[must_use]
+    pub fn new(num: u128, den: u128) -> Option<Self> {
+        if den == 0 {
+            return None;
+        }
+        let g = gcd_u128(num, den);
+        if g == 0 {
+            return Some(Self { num: 0, den: 1 });
+        }
+        Some(Self {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// The integer `n` as a ratio.
+    #[must_use]
+    pub fn from_int(n: u128) -> Self {
+        Self { num: n, den: 1 }
+    }
+
+    /// Checked sum.
+    #[must_use]
+    pub fn checked_add(self, other: Self) -> Option<Self> {
+        let g = gcd_u128(self.den, other.den);
+        let den = (self.den / g).checked_mul(other.den)?;
+        let a = self.num.checked_mul(other.den / g)?;
+        let b = other.num.checked_mul(self.den / g)?;
+        Self::new(a.checked_add(b)?, den)
+    }
+
+    /// Checked difference, or `None` when the result would be negative
+    /// (these ratios model probabilities and expectations, which stay
+    /// non-negative).
+    #[must_use]
+    pub fn checked_sub(self, other: Self) -> Option<Self> {
+        let g = gcd_u128(self.den, other.den);
+        let den = (self.den / g).checked_mul(other.den)?;
+        let a = self.num.checked_mul(other.den / g)?;
+        let b = other.num.checked_mul(self.den / g)?;
+        Self::new(a.checked_sub(b)?, den)
+    }
+
+    /// Checked product.
+    #[must_use]
+    pub fn checked_mul(self, other: Self) -> Option<Self> {
+        // Cross-reduce first so intermediate products stay small.
+        let g1 = gcd_u128(self.num, other.den);
+        let g2 = gcd_u128(other.num, self.den);
+        let num = (self.num / g1).checked_mul(other.num / g2)?;
+        let den = (self.den / g2).checked_mul(other.den / g1)?;
+        Self::new(num, den)
+    }
+
+    /// Checked `self^exp`.
+    #[must_use]
+    pub fn pow(self, exp: u32) -> Option<Self> {
+        let mut acc = Self::from_int(1);
+        for _ in 0..exp {
+            acc = acc.checked_mul(self)?;
+        }
+        Some(acc)
+    }
+
+    /// Nearest-`f64` value (two correctly-rounded conversions and one
+    /// division — deterministic across platforms for the magnitudes the
+    /// analyzer produces). This is the recorded "nearest" rounding step
+    /// when an exact result leaves the rational domain.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +487,50 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn stride_gcd_rejects_non_pow2() {
         let _ = strides_with_gcd_pow2(12, 4);
+    }
+
+    #[test]
+    fn ratio_arithmetic_is_exact_and_reduced() {
+        let half = Ratio::new(4, 8).unwrap();
+        assert_eq!((half.num, half.den), (1, 2));
+        let q = half.pow(3).unwrap();
+        assert_eq!(q, Ratio::new(1, 8).unwrap());
+        let sum = q.checked_add(Ratio::new(7, 8).unwrap()).unwrap();
+        assert_eq!(sum, Ratio::from_int(1));
+        assert_eq!(
+            Ratio::from_int(1)
+                .checked_sub(Ratio::new(1, 3).unwrap())
+                .unwrap(),
+            Ratio::new(2, 3).unwrap()
+        );
+        // Negative differences are refused, not wrapped.
+        assert_eq!(
+            Ratio::new(1, 3).unwrap().checked_sub(Ratio::from_int(1)),
+            None
+        );
+        assert_eq!(Ratio::new(1, 0), None);
+    }
+
+    #[test]
+    fn ratio_overflow_is_reported_not_wrapped() {
+        let big = Ratio::from_int(u128::MAX);
+        assert_eq!(big.checked_mul(Ratio::from_int(2)), None);
+        assert_eq!(big.checked_add(big), None);
+        assert_eq!(Ratio::new(2, 3).unwrap().pow(200), None);
+    }
+
+    #[test]
+    fn ratio_to_f64_rounds_to_nearest() {
+        assert_eq!(Ratio::new(1, 2).unwrap().to_f64(), 0.5);
+        assert_eq!(Ratio::new(1, 3).unwrap().to_f64(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn checked_pow_matches_std_checked_pow() {
+        for base in [0u128, 1, 2, 7, 10, u128::MAX] {
+            for exp in [0u32, 1, 2, 5, 12, 40] {
+                assert_eq!(checked_pow_u128(base, exp), base.checked_pow(exp));
+            }
+        }
     }
 }

@@ -834,7 +834,8 @@ fn op_check(shared: &Shared, params: &Value, span: &SpanHandle) -> Result<Value,
     let programs = bool_param(params, "programs").map_err(bad)?;
     let nests = bool_param(params, "nests").map_err(bad)?;
     let workloads = bool_param(params, "workloads").map_err(bad)?;
-    let all = !src && !programs && !nests && !workloads;
+    let probabilistic = bool_param(params, "probabilistic").map_err(bad)?;
+    let all = !src && !programs && !nests && !workloads && !probabilistic;
     let options = CheckOptions {
         root: str_param(params, "root")
             .map_err(bad)?
@@ -844,6 +845,7 @@ fn op_check(shared: &Shared, params: &Value, span: &SpanHandle) -> Result<Value,
         nests: nests || all,
         prescribe: bool_param(params, "prescribe").map_err(bad)?,
         workloads: workloads || all,
+        probabilistic: probabilistic || all,
     };
     let phases = PhaseSpans::new(span);
     let outcome = {
@@ -870,6 +872,12 @@ fn op_check(shared: &Shared, params: &Value, span: &SpanHandle) -> Result<Value,
         .chain(report.workloads.iter().map(|r| r.enumerated_lines))
         .sum();
     shared.metrics.count("serve.enumerated_lines", enumerated);
+    // Every Monte-Carlo-validated ExpectedConflicts verdict served, for
+    // the `vcache_serve_probabilistic_verdicts_total` exposition.
+    let verdicts = u64::try_from(report.probabilistic.len()).unwrap_or(u64::MAX);
+    shared
+        .metrics
+        .count("serve.probabilistic_verdicts", verdicts);
     Ok(Value::Obj(vec![
         ("clean".into(), Value::Bool(report.is_clean())),
         ("report".into(), report.to_value()),

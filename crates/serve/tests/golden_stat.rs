@@ -125,10 +125,19 @@ fn golden_status() -> Value {
             Value::Obj(vec![
                 (
                     "counters".into(),
-                    Value::Arr(vec![Value::Obj(vec![
-                        ("name".into(), Value::Str("serve.requests".into())),
-                        ("value".into(), Value::U64(10)),
-                    ])]),
+                    Value::Arr(vec![
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str("serve.requests".into())),
+                            ("value".into(), Value::U64(10)),
+                        ]),
+                        Value::Obj(vec![
+                            (
+                                "name".into(),
+                                Value::Str("serve.probabilistic_verdicts".into()),
+                            ),
+                            ("value".into(), Value::U64(8)),
+                        ]),
+                    ]),
                 ),
                 (
                     "gauges".into(),
@@ -173,6 +182,8 @@ vcache_serve_spans_opened_total 40
 vcache_serve_spans_finished_total 38
 # TYPE vcache_serve_requests_total counter
 vcache_serve_requests_total 10
+# TYPE vcache_serve_probabilistic_verdicts_total counter
+vcache_serve_probabilistic_verdicts_total 8
 # TYPE vcache_serve_queue_depth gauge
 vcache_serve_queue_depth 3
 # TYPE vcache_serve_latency_us_analyze_nest histogram

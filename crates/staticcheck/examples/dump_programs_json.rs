@@ -15,6 +15,7 @@ fn main() -> ExitCode {
         nests: false,
         prescribe: false,
         workloads: false,
+        probabilistic: false,
     }) {
         Ok(r) => r,
         Err(e) => {

@@ -3,10 +3,11 @@
 //!
 //! **Layer 1** ([`lint`]) scans the workspace's Rust sources with a small
 //! hand-rolled lexer ([`source`]) and enforces the repo's invariants as
-//! named rules `VC001`–`VC008` (no panicking calls in library code, no raw
+//! named rules `VC001`–`VC009` (no panicking calls in library code, no raw
 //! `%` in the mapped-cache crates, no truncating address casts, crate-root
 //! hygiene, traced/untraced API pairing, request spans on serve op
-//! handlers, the relational-domain contract). Accepted findings live in a
+//! handlers, the relational-domain contract, probability math confined to
+//! the probabilistic analyzer). Accepted findings live in a
 //! committed [`allowlist`] with mandatory justifications; stale entries
 //! are themselves findings.
 //!
@@ -34,6 +35,14 @@
 //! verdicts under both mappers. Drift or a word-set divergence is a
 //! `VC103` finding, run by `vcache check --workloads`.
 //!
+//! **Layer 4** ([`probabilistic`]) quantifies what the affine layers
+//! cannot decide: closed-form expected-conflict statistics (birthday
+//! paradox over set occupancies) for non-affine workloads under both
+//! mappers, in exact rational arithmetic where feasible, each verdict
+//! validated against seeded Monte-Carlo [`CacheSim`] sweeps (`VC105` on
+//! drift) and distilled into quantified [`prescribe::Advisory`]
+//! geometry switches — run by `vcache check --probabilistic`.
+//!
 //! All layers are wired into `vcache check` and `scripts/ci.sh` as a
 //! failing gate. Property tests (see `tests/properties.rs` and
 //! `tests/nests.rs`) check the static verdicts against the
@@ -51,6 +60,7 @@ pub mod lint;
 pub mod nest;
 pub mod nestsuite;
 pub mod prescribe;
+pub mod probabilistic;
 pub mod relational;
 pub mod report;
 pub mod source;
@@ -68,7 +78,13 @@ pub use absint::{
 pub use conflict::{analyze_program, Geometry, ProgramAnalysis, Verdict};
 pub use lint::Finding;
 pub use nest::{AffineRef, LoopNest, Term};
-pub use prescribe::{prescribe, prescribe_with_budget, Certificate, Fix};
+pub use prescribe::{
+    advise_switch_to_prime, prescribe, prescribe_with_budget, Advisory, Certificate, Fix,
+};
+pub use probabilistic::{
+    analyze_profile, monte_carlo, AccessProfile, CollisionModel, MonteCarlo, ProbVerdict,
+    ProbabilisticRow,
+};
 pub use report::Report;
 
 /// Name of the committed allowlist file at the workspace root.
@@ -90,6 +106,10 @@ pub struct CheckOptions {
     pub prescribe: bool,
     /// Run the workload-certification suite.
     pub workloads: bool,
+    /// Run the Layer-4 probabilistic analysis of non-affine workloads
+    /// (closed form + seeded Monte-Carlo validation). With `prescribe`,
+    /// also emit quantified geometry-switch advisories.
+    pub probabilistic: bool,
 }
 
 /// Error from [`run_check`].
@@ -133,8 +153,9 @@ pub fn run_check(options: &CheckOptions) -> Result<Report, CheckError> {
 /// [`run_check`] with a phase observer: `observer` sees `(phase, true)`
 /// when a layer opens and `(phase, false)` when it closes, in run order.
 /// Phases are `lex` (source lints + allowlist), `orbits` (Layer-2
-/// suite), `absint` (Layer-3 nest suite, prescriptions included), and
-/// `workloads` — only the requested ones fire. The report is identical
+/// suite), `absint` (Layer-3 nest suite, prescriptions included),
+/// `workloads`, and `probabilistic` (Layer-4 closed forms + Monte-Carlo
+/// validation) — only the requested ones fire. The report is identical
 /// to [`run_check`]'s (the traced/untraced pairing this workspace pins
 /// with VC005).
 ///
@@ -174,6 +195,8 @@ fn run_check_inner(
     let mut certificates = Vec::new();
     let mut battery_results = Vec::new();
     let mut workload_results = Vec::new();
+    let mut probabilistic_results = Vec::new();
+    let mut advisories = Vec::new();
 
     if options.src {
         observed(observer, "lex", || -> Result<(), CheckError> {
@@ -208,6 +231,16 @@ fn run_check_inner(
             findings.extend(drift);
         });
     }
+    if options.probabilistic {
+        observed(observer, "probabilistic", || {
+            let (results, drift) = probabilistic::run();
+            if options.prescribe {
+                advisories = prescribe::advise_switch_to_prime(&results);
+            }
+            probabilistic_results = results;
+            findings.extend(drift);
+        });
+    }
 
     // The allowlist only makes sense against a source scan: without one,
     // every entry would look stale (VC006) in a `--programs`-only run.
@@ -225,6 +258,8 @@ fn run_check_inner(
         certificates,
         battery: battery_results,
         workloads: workload_results,
+        probabilistic: probabilistic_results,
+        advisories,
     })
 }
 
@@ -250,6 +285,7 @@ mod tests {
             nests: false,
             prescribe: false,
             workloads: false,
+            probabilistic: false,
         })
         .unwrap();
         assert!(!report.suite.is_empty());
@@ -265,6 +301,7 @@ mod tests {
             nests: true,
             prescribe: true,
             workloads: false,
+            probabilistic: false,
         })
         .unwrap();
         assert_eq!(report.nests.len(), 28);
@@ -281,6 +318,7 @@ mod tests {
             nests: false,
             prescribe: false,
             workloads: true,
+            probabilistic: false,
         })
         .unwrap();
         assert!(!report.workloads.is_empty());
@@ -297,6 +335,7 @@ mod tests {
             nests: true,
             prescribe: false,
             workloads: false,
+            probabilistic: false,
         };
         let plain = run_check(&options).unwrap();
         let events: RefCell<Vec<(&'static str, bool)>> = RefCell::new(Vec::new());
@@ -312,6 +351,36 @@ mod tests {
                 ("absint", false),
             ]
         );
+    }
+
+    #[test]
+    fn probabilistic_run_emits_validated_rows_and_advisories() {
+        let report = run_check(&CheckOptions {
+            root: PathBuf::from("/nonexistent-vcache-root"),
+            src: false,
+            programs: false,
+            nests: false,
+            prescribe: true,
+            workloads: false,
+            probabilistic: true,
+        })
+        .unwrap();
+        assert!(report.is_clean(), "{}", report.render_text());
+        // Four non-affine workloads × two geometries.
+        assert_eq!(report.probabilistic.len(), 8);
+        assert!(report.probabilistic.iter().all(|r| r.ok));
+        // At least the strided spmv-gather earns a quantified switch.
+        assert!(
+            report
+                .advisories
+                .iter()
+                .any(|a| a.workload == "spmv-gather" && a.reduction > 100.0),
+            "{:?}",
+            report.advisories
+        );
+        let text = report.render_text();
+        assert!(text.contains("probabilistic conflict analysis"), "{text}");
+        assert!(text.contains("geometry advisories"), "{text}");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | VC005 | Every traced simulator entry point `fn x_traced` has an untraced sibling `fn x` in the same file. |
 //! | VC007 | Every serve op handler (`fn op_*` under `crates/serve/src/`) takes a request span, so no request stage can silently drop out of the span tree. |
 //! | VC008 | The relational-domain contract in `crates/staticcheck/src/`: no `Shape::Lattice` sites outside `absint.rs` internals, and every `NeedsEnumeration(` site carries a machine-readable reason (a string literal, the declaration, or a forwarded `reason` binding). |
+//! | VC009 | The probabilistic-layer contract in `crates/staticcheck/src/`: every `Lowering::NonAffine` site that declares a `reason:` also carries an access `profile` (no silent envelope-only worksuite rows), and transcendental probability math (`.powf(`/`.powi(`/`.exp(`/`.ln(`/`.sqrt(`) stays inside `probabilistic.rs`. |
 //!
 //! The rules are lexical (see [`crate::source`]): `.expect(` is only
 //! flagged when its first argument is a string literal, so the model
@@ -28,7 +29,7 @@ use serde::Serialize;
 use crate::source::SourceFile;
 
 /// All Layer-1 rule identifiers, with their one-line descriptions.
-pub const RULES: [(&str, &str); 7] = [
+pub const RULES: [(&str, &str); 8] = [
     (
         "VC001",
         "no unwrap/expect/panic! outside #[cfg(test)] and tests/",
@@ -53,6 +54,10 @@ pub const RULES: [(&str, &str); 7] = [
     (
         "VC008",
         "Shape::Lattice stays inside absint.rs; NeedsEnumeration always carries a reason",
+    ),
+    (
+        "VC009",
+        "NonAffine rows carry an access profile; probability math stays inside probabilistic.rs",
     ),
 ];
 
@@ -161,6 +166,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
         }
         if file.path.starts_with("crates/staticcheck/src/") {
             findings.extend(vc008(file));
+            findings.extend(vc009(file));
         }
     }
     findings
@@ -489,6 +495,71 @@ fn vc008(file: &SourceFile) -> Vec<Finding> {
     findings
 }
 
+/// Tokens of transcendental/float probability math, allowed only in
+/// `probabilistic.rs`. (`.exp(` does not match `.expect(` — the paren
+/// must follow immediately.)
+const PROBABILITY_MATH: [&str; 5] = [".powf(", ".powi(", ".exp(", ".ln(", ".sqrt("];
+
+/// How many code lines a `Lowering::NonAffine {` construction may span
+/// before its `profile` field; canonical sites fit in half this.
+const VC009_WINDOW: usize = 20;
+
+/// VC009: the probabilistic-layer contract. Every `Lowering::NonAffine`
+/// site that declares a `reason:` (a construction or the declaration —
+/// pattern matches bind `reason` without a colon) must also carry an
+/// access `profile` within the construction window, so no worksuite row
+/// can silently opt out of the Layer-4 analysis. And closed-form
+/// probability math is confined to `probabilistic.rs`: transcendental
+/// float calls elsewhere in the static-analysis crate are ad-hoc
+/// probability arithmetic bypassing the audited model.
+fn vc009(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let confined = file.path.ends_with("/probabilistic.rs");
+    for i in 0..file.code_lines.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let code = &file.code_lines[i];
+        if !confined {
+            for needle in PROBABILITY_MATH {
+                if code.contains(needle) {
+                    findings.push(Finding::new(
+                        "VC009",
+                        &file.path,
+                        i + 1,
+                        format!(
+                            "`{}` outside probabilistic.rs (closed-form probability math \
+                             lives in the probabilistic analyzer)",
+                            &needle[1..needle.len() - 1]
+                        ),
+                        &file.raw_lines[i],
+                    ));
+                }
+            }
+        }
+        // The qualified construction path only: the bare `NonAffine {`
+        // also appears in expected-verdict variants, whose forward
+        // window could leak into a neighbouring case's `reason:`.
+        if code.contains("Lowering::NonAffine {") {
+            let window = &file.code_lines[i..file.code_lines.len().min(i + VC009_WINDOW)];
+            let has_reason = window.iter().any(|l| l.contains("reason:"));
+            let has_profile = window.iter().any(|l| l.contains("profile"));
+            if has_reason && !has_profile {
+                findings.push(Finding::new(
+                    "VC009",
+                    &file.path,
+                    i + 1,
+                    "`Lowering::NonAffine` without an access `profile` (no silent \
+                     envelope-only worksuite rows)"
+                        .into(),
+                    &file.raw_lines[i],
+                ));
+            }
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -686,8 +757,47 @@ mod tests {
     }
 
     #[test]
+    fn vc009_confines_probability_math_to_the_probabilistic_module() {
+        let float_math = "//! d\nfn f(p: f64, n: f64) -> f64 {\n    (1.0 - p).powf(n)\n}\n";
+        // Inside probabilistic.rs: that is where the model lives.
+        assert!(scan("crates/staticcheck/src/probabilistic.rs", float_math).is_empty());
+        // Anywhere else in the static-analysis crate: flagged.
+        let f = scan("crates/staticcheck/src/worksuite.rs", float_math);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "VC009");
+        assert!(f[0].message.contains("powf"), "{}", f[0].message);
+        // `.expect(` must not trip the `.exp(` token.
+        let expectation = "//! d\nfn f() {\n    stride.expect(|s| g(s));\n}\n";
+        assert!(scan("crates/staticcheck/src/nest.rs", expectation).is_empty());
+        // Other crates and test modules are exempt.
+        assert!(scan("crates/model/src/a.rs", float_math).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t(p: f64) -> f64 { p.sqrt() }\n}\n";
+        assert!(scan("crates/staticcheck/src/report.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn vc009_non_affine_rows_must_carry_a_profile() {
+        // A construction with a reason but no profile is a silent
+        // envelope-only row.
+        let silent = "//! d\nfn f() -> Lowering {\n    Lowering::NonAffine {\n        reason: \"rng\".into(),\n        envelope: nest,\n    }\n}\n";
+        let f = scan("crates/staticcheck/src/worksuite.rs", silent);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "VC009");
+        assert!(f[0].message.contains("profile"), "{}", f[0].message);
+        // Carrying a profile (even `None` — the semantic layer prices
+        // that separately) satisfies the lexical rule.
+        let carried = "//! d\nfn f() -> Lowering {\n    Lowering::NonAffine {\n        reason: \"rng\".into(),\n        envelope: nest,\n        profile: Some(p),\n    }\n}\n";
+        assert!(scan("crates/staticcheck/src/worksuite.rs", carried).is_empty());
+        // Pattern matches bind `reason` without a colon: exempt.
+        let pattern = "//! d\nfn f(l: &Lowering) -> bool {\n    matches!(l, Lowering::NonAffine { reason, .. })\n}\n";
+        assert!(scan("crates/staticcheck/src/worksuite.rs", pattern).is_empty());
+        // Other crates are exempt.
+        assert!(scan("crates/model/src/a.rs", silent).is_empty());
+    }
+
+    #[test]
     fn rule_table_is_complete() {
-        assert_eq!(RULES.len(), 7);
+        assert_eq!(RULES.len(), 8);
         assert!(RULES
             .iter()
             .all(|(id, d)| id.starts_with("VC") && !d.is_empty()));

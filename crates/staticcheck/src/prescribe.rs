@@ -30,6 +30,7 @@ use vcache_mersenne::MERSENNE_EXPONENTS;
 use crate::absint::{analyze_nest, analyze_nest_with_budget, NestBudget, NestError, NestVerdict};
 use crate::conflict::Geometry;
 use crate::nest::LoopNest;
+use crate::suite::EXPONENT;
 
 /// Largest padding delta tried by default.
 pub const DEFAULT_MAX_PAD: u64 = 64;
@@ -123,6 +124,55 @@ impl Certificate {
             .map(|a| a.verdict == NestVerdict::ConflictFree)
             .unwrap_or(false)
     }
+}
+
+/// A probabilistic repair *advisory*: where certificates prove an affine
+/// repair, advisories quantify one for non-affine workloads — the
+/// closed-form expected conflict-miss reduction of switching the same
+/// workload from the pow2 to the Mersenne-prime geometry. The payload
+/// makes the paper's headline machine-checkable on random access
+/// streams: `expected_misses_prime < expected_misses_pow2` whenever an
+/// advisory is emitted.
+#[derive(Debug, Clone, Serialize)]
+pub struct Advisory {
+    /// Workload the advisory repairs.
+    pub workload: String,
+    /// The advised fix (always a geometry switch today).
+    pub fix: Fix,
+    /// Closed-form expected conflict misses under the pow2 geometry.
+    pub expected_misses_pow2: f64,
+    /// Closed-form expected conflict misses under the prime geometry.
+    pub expected_misses_prime: f64,
+    /// Absolute expected-miss reduction (`pow2 − prime`, positive).
+    pub reduction: f64,
+}
+
+/// Pairs each workload's pow2/prime probabilistic rows and emits a
+/// [`Fix::SwitchToPrime`] advisory wherever the prime geometry strictly
+/// reduces the closed-form expected conflict-miss count.
+#[must_use]
+pub fn advise_switch_to_prime(rows: &[crate::probabilistic::ProbabilisticRow]) -> Vec<Advisory> {
+    let mut advisories = Vec::new();
+    for row in rows.iter().filter(|r| r.geometry == "pow2") {
+        let Some(prime) = rows
+            .iter()
+            .find(|r| r.geometry == "prime" && r.workload == row.workload)
+        else {
+            continue;
+        };
+        let pow2_misses = row.verdict.expected_misses();
+        let prime_misses = prime.verdict.expected_misses();
+        if prime_misses < pow2_misses {
+            advisories.push(Advisory {
+                workload: row.workload.clone(),
+                fix: Fix::SwitchToPrime { exponent: EXPONENT },
+                expected_misses_pow2: pow2_misses,
+                expected_misses_prime: prime_misses,
+                reduction: pow2_misses - prime_misses,
+            });
+        }
+    }
+    advisories
 }
 
 /// True when the nest is conflict-free under `geometry`; analysis

@@ -6,7 +6,8 @@ use serde::Serialize;
 use crate::battery::BatteryResult;
 use crate::lint::Finding;
 use crate::nestsuite::NestSuiteResult;
-use crate::prescribe::Certificate;
+use crate::prescribe::{Advisory, Certificate};
+use crate::probabilistic::ProbabilisticRow;
 use crate::suite::SuiteResult;
 use crate::worksuite::WorkloadSuiteResult;
 
@@ -29,6 +30,12 @@ pub struct Report {
     /// Workload-certification rows (empty when `--workloads` was not
     /// requested).
     pub workloads: Vec<WorkloadSuiteResult>,
+    /// Probabilistic (Layer-4) rows with Monte-Carlo validation (empty
+    /// when `--probabilistic` was not requested).
+    pub probabilistic: Vec<ProbabilisticRow>,
+    /// Quantified geometry-switch advisories for non-affine workloads
+    /// (empty unless `--probabilistic --prescribe`).
+    pub advisories: Vec<Advisory>,
 }
 
 impl Report {
@@ -113,6 +120,35 @@ impl Report {
                 ));
             }
         }
+        if !self.probabilistic.is_empty() {
+            out.push_str("\nprobabilistic conflict analysis:\n");
+            for r in &self.probabilistic {
+                let mark = if r.ok { "ok  " } else { "FAIL" };
+                out.push_str(&format!(
+                    "  [{mark}] {:<28} {:<6} expected {:>9.3} conflict misses, \
+                     MC {:>9.3} ± {:.3} ({} sweeps, {})\n",
+                    r.workload,
+                    r.geometry,
+                    r.verdict.expected_misses(),
+                    r.monte_carlo.empirical_mean,
+                    r.monte_carlo.std_err,
+                    r.monte_carlo.sweeps,
+                    match r.verdict.model().arithmetic {
+                        crate::probabilistic::Arithmetic::ExactRational => "exact",
+                        crate::probabilistic::Arithmetic::FloatNearestEven => "float",
+                    }
+                ));
+            }
+        }
+        if !self.advisories.is_empty() {
+            out.push_str("\ngeometry advisories:\n");
+            for a in &self.advisories {
+                out.push_str(&format!(
+                    "  {:<28} {}: expected misses {:.3} -> {:.3} (reduction {:.3})\n",
+                    a.workload, a.fix, a.expected_misses_pow2, a.expected_misses_prime, a.reduction
+                ));
+            }
+        }
         if !self.certificates.is_empty() {
             out.push_str("\nrepair certificates:\n");
             for c in &self.certificates {
@@ -149,6 +185,14 @@ impl Report {
                 ", workloads {}/{} ok",
                 self.workloads.len() - bad,
                 self.workloads.len()
+            ));
+        }
+        if !self.probabilistic.is_empty() {
+            let bad = self.probabilistic.iter().filter(|r| !r.ok).count();
+            out.push_str(&format!(
+                ", probabilistic {}/{} ok",
+                self.probabilistic.len() - bad,
+                self.probabilistic.len()
             ));
         }
         out.push('\n');
@@ -191,6 +235,8 @@ mod tests {
             certificates: vec![],
             battery: vec![],
             workloads: vec![],
+            probabilistic: vec![],
+            advisories: vec![],
         };
         assert!(report.is_clean());
         let report = Report {
@@ -200,6 +246,8 @@ mod tests {
             certificates: vec![],
             battery: vec![],
             workloads: vec![],
+            probabilistic: vec![],
+            advisories: vec![],
         };
         assert!(!report.is_clean());
         assert_eq!(report.failing().count(), 1);
@@ -214,6 +262,8 @@ mod tests {
             certificates: vec![],
             battery: vec![],
             workloads: vec![],
+            probabilistic: vec![],
+            advisories: vec![],
         };
         let text = report.render_text();
         assert!(text.contains("[allow] VC001"));
@@ -230,6 +280,8 @@ mod tests {
             certificates: vec![],
             battery: vec![],
             workloads: vec![],
+            probabilistic: vec![],
+            advisories: vec![],
         };
         let json = report.to_json().unwrap();
         let compact = json.replace(": ", ":");

@@ -21,14 +21,16 @@ use vcache_core::blocking::SubBlockPlan;
 use vcache_workloads::numeric::{fft_radix2, lu_blocked, matmul_blocked, TracedBuffer};
 use vcache_workloads::{
     blocked_lu_trace, blocked_matmul_trace, fft_phase_trace, fft_stage_trace, fft_two_dim_trace,
-    gather_trace, generate_program, matrix_trace, saxpy_trace, stencil5_trace, subblock_trace,
-    transpose_trace, FftLayout, MatrixSweep, Program, Vcm,
+    gather_trace, generate_program, histogram_trace, matrix_trace, saxpy_trace, signed_stride,
+    spmv_gather_trace, stencil5_trace, subblock_trace, transpose_trace, FftLayout, MatrixSweep,
+    Program, Vcm,
 };
 
 use crate::absint::{analyze_nest, NestVerdict};
 use crate::conflict::Geometry;
 use crate::lint::Finding;
 use crate::nest::{AffineRef, LoopNest, Term};
+use crate::probabilistic::{analyze_profile, AccessProfile, ProbVerdict};
 use crate::suite::{Expect, EXPONENT};
 
 /// Word cap for materializing lowered nests during word-set validation.
@@ -51,6 +53,10 @@ pub enum Lowering {
         reason: String,
         /// Bounded-footprint over-approximation of the trace.
         envelope: LoopNest,
+        /// The address distribution the generator samples, feeding the
+        /// Layer-4 probabilistic analyzer. `None` marks a silent
+        /// envelope-only row — a `VC009` finding.
+        profile: Option<AccessProfile>,
     },
 }
 
@@ -114,6 +120,9 @@ pub struct WorkloadSuiteResult {
     pub enumerated_lines: u64,
     /// `Some(reason)` when the kernel is certified non-affine.
     pub non_affine: Option<String>,
+    /// Closed-form collision verdict for non-affine rows carrying an
+    /// access profile (`None` on affine rows).
+    pub probabilistic: Option<ProbVerdict>,
     /// The lowering/trace word-set check passed (equality for exact
     /// lowerings, containment for envelopes).
     pub word_set_ok: bool,
@@ -440,6 +449,7 @@ pub fn cases() -> Vec<WorkloadCase> {
                         0,
                     )],
                 ),
+                profile: Some(AccessProfile::UniformSpan { base: 0, span }),
             },
             line_words: 8,
             expect_pow2: E::NonAffine {
@@ -450,6 +460,82 @@ pub fn cases() -> Vec<WorkloadCase> {
             },
         });
     }
+
+    // histogram_trace: Zipf-skewed scatter over 16384 bin heads — a
+    // 131072-word table wraps both set spaces (envelope self-interferes
+    // either way); the probabilistic layer quantifies the skew.
+    let (bins, bin_words, updates) = (16_384u64, 8u64, 512u64);
+    cases.push(WorkloadCase {
+        name: "histogram-zipf",
+        trace: histogram_trace(0, bins, bin_words, updates, 42),
+        lowering: Lowering::NonAffine {
+            reason: "histogram bins are drawn from a seeded Zipf-skewed distribution \
+                     (data-dependent indexing), not affine functions of loop indices"
+                .into(),
+            envelope: LoopNest::new(
+                format!("histogram-envelope[bins={bins}]"),
+                vec![AffineRef::new(
+                    0,
+                    vec![Term {
+                        coeff: 1,
+                        trip: bins * bin_words,
+                    }],
+                    0,
+                )],
+            ),
+            profile: Some(AccessProfile::Zipf {
+                base: 0,
+                bins,
+                bin_words,
+            }),
+        },
+        line_words: 8,
+        expect_pow2: E::NonAffine {
+            envelope: Expect::SelfInt,
+        },
+        expect_prime: E::NonAffine {
+            envelope: Expect::SelfInt,
+        },
+    });
+
+    // spmv_gather_trace: random row heads of a 64 × 4096-word matrix —
+    // a *strided* random support. Line stride 512 folds the envelope
+    // onto a 16-set orbit under the pow2 mapper while 8191 spreads all
+    // 64 rows; the probabilistic layer turns that into expected-miss
+    // counts with the same sign.
+    let (rows, row_words, gathers) = (64u64, 4096u64, 256u64);
+    cases.push(WorkloadCase {
+        name: "spmv-gather",
+        trace: spmv_gather_trace(0, rows, row_words, gathers, 42),
+        lowering: Lowering::NonAffine {
+            reason: "gathered row indices come from a seeded RNG (sparse column \
+                     structure), not affine functions of loop indices"
+                .into(),
+            envelope: LoopNest::new(
+                format!("spmv-envelope[rows={rows}]"),
+                vec![AffineRef::new(
+                    0,
+                    vec![Term {
+                        coeff: signed_stride(row_words),
+                        trip: rows,
+                    }],
+                    0,
+                )],
+            ),
+            profile: Some(AccessProfile::UniformStrided {
+                base: 0,
+                stride: row_words,
+                count: rows,
+            }),
+        },
+        line_words: 8,
+        expect_pow2: E::NonAffine {
+            envelope: Expect::SelfInt,
+        },
+        expect_prime: E::NonAffine {
+            envelope: Expect::Free,
+        },
+    });
 
     // numeric::matmul_blocked: the *computing* kernel at pow2-aliased,
     // prime-separated buffer bases (8192·1024 and 8192·2048 lines).
@@ -537,10 +623,13 @@ pub fn run() -> (Vec<WorkloadSuiteResult>, Vec<Finding>) {
                 allowed: false,
             });
         }
-        let non_affine = match &case.lowering {
-            Lowering::Exact(_) => None,
-            Lowering::NonAffine { reason, .. } => Some(reason.clone()),
+        let (non_affine, profile) = match &case.lowering {
+            Lowering::Exact(_) => (None, None),
+            Lowering::NonAffine {
+                reason, profile, ..
+            } => (Some(reason.clone()), *profile),
         };
+        let accesses = u64::try_from(case.trace.words().count()).unwrap_or(u64::MAX);
         let geometries = [
             (
                 Geometry::pow2(1 << EXPONENT, case.line_words),
@@ -582,6 +671,9 @@ pub fn run() -> (Vec<WorkloadSuiteResult>, Vec<Finding>) {
                 verdict: analysis.verdict,
                 enumerated_lines: analysis.enumerated_lines,
                 non_affine: non_affine.clone(),
+                probabilistic: profile
+                    .as_ref()
+                    .map(|p| analyze_profile(p, accesses, &geometry)),
                 word_set_ok: word_set_failure.is_none(),
                 ok: verdict_ok && word_set_failure.is_none(),
             });
@@ -636,6 +728,8 @@ mod tests {
             "fft2d-capacity-edge",
             "vcm-blocked-matmul",
             "gather",
+            "histogram-zipf",
+            "spmv-gather",
             "numeric-matmul",
             "numeric-lu",
             "numeric-fft",
@@ -657,6 +751,30 @@ mod tests {
             assert!(reason.contains("data-dependent"), "{reason}");
             assert!(r.verdict_label().starts_with("non-affine"), "{r:?}");
         }
+    }
+
+    #[test]
+    fn every_non_affine_row_carries_a_probabilistic_verdict() {
+        // VC009's semantic core: no silent envelope-only rows. Affine
+        // rows, conversely, never get one.
+        let (results, _) = run();
+        let mut non_affine_rows = 0;
+        for r in &results {
+            assert_eq!(
+                r.non_affine.is_some(),
+                r.probabilistic.is_some(),
+                "{} under {}",
+                r.workload,
+                r.geometry
+            );
+            if let Some(verdict) = &r.probabilistic {
+                non_affine_rows += 1;
+                assert!(verdict.expected_misses() >= 0.0, "{verdict:?}");
+                assert!(verdict.model().accesses > 0, "{verdict:?}");
+            }
+        }
+        // gather, gather-wide, histogram-zipf, spmv-gather × 2 geometries.
+        assert_eq!(non_affine_rows, 8);
     }
 
     #[test]
@@ -695,6 +813,7 @@ mod tests {
                     "env",
                     vec![AffineRef::new(0, vec![Term { coeff: 1, trip: 50 }], 0)],
                 ),
+                profile: None,
             },
             line_words: 1,
             expect_pow2: WorkloadExpect::NonAffine {

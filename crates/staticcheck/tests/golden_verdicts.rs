@@ -26,6 +26,7 @@ fn check_programs_json_matches_golden_file() {
         nests: false,
         prescribe: false,
         workloads: false,
+        probabilistic: false,
     }) {
         Ok(r) => r,
         Err(e) => panic!("canonical suite run failed: {e}"),
@@ -57,8 +58,11 @@ fn golden_file_encodes_the_documented_verdict_shapes() {
     for field in ["\"program\":", "\"geometry\":", "\"expected\":", "\"ok\":"] {
         assert!(GOLDEN.contains(field), "missing {field}");
     }
-    // Layer-3 fields are present (empty for a --programs-only run).
+    // Layer-3 and Layer-4 fields are present (empty for a
+    // --programs-only run).
     assert!(GOLDEN.contains("\"nests\":[]"));
     assert!(GOLDEN.contains("\"certificates\":[]"));
     assert!(GOLDEN.contains("\"battery\":[]"));
+    assert!(GOLDEN.contains("\"probabilistic\":[]"));
+    assert!(GOLDEN.contains("\"advisories\":[]"));
 }

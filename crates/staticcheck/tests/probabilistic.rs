@@ -1,0 +1,178 @@
+//! Regression and property tests for the Layer-4 probabilistic
+//! analyzer.
+//!
+//! The closed form in `probabilistic.rs` is derived on paper; this suite
+//! pins it to ground truth from the other direction:
+//!
+//! - **Brute force**: for small uniform supports the entire probability
+//!   space (`L^n` equally likely traces) is enumerable. The exact
+//!   rational statistics must equal the enumerated expectations as
+//!   *reduced rationals* — not merely within float tolerance.
+//! - **Properties**: expected distinct sets is monotone in the access
+//!   count and converges to the occupancy bound (the number of occupied
+//!   sets); miss accounting stays consistent (`total ≥ compulsory`,
+//!   conflicts non-negative).
+//! - **The headline**: across the non-affine worksuite family, the pow2
+//!   mapper must expect strictly more conflict misses than the
+//!   Mersenne-prime mapper.
+
+use proptest::prelude::*;
+use vcache_check::probabilistic::{exact_uniform_stats, run, AccessProfile, ExactStats};
+use vcache_check::{analyze_profile, Geometry};
+use vcache_mersenne::numtheory::{checked_pow_u128, Ratio};
+
+/// Enumerates all `L^n` equally-likely traces over a support described
+/// by occupancy classes and returns the exact expected statistics.
+///
+/// Lines are numbered `0..L`, assigned to sets exactly as the classes
+/// describe (each class contributes `count` sets of `m` lines). A
+/// direct-mapped set holds its last line; a miss is compulsory on the
+/// first touch of a line and a conflict otherwise.
+fn brute_force_stats(classes: &[(u64, u64)], n: u32) -> ExactStats {
+    let mut set_of_line = Vec::new();
+    let mut set = 0usize;
+    for &(m, count) in classes {
+        for _ in 0..count {
+            for _ in 0..m {
+                set_of_line.push(set);
+            }
+            set += 1;
+        }
+    }
+    let l = set_of_line.len();
+    let sets = set;
+    let l_pow_n = checked_pow_u128(l as u128, n).expect("brute-force instance too large");
+    let mut sum_distinct_sets = 0u128;
+    let mut sum_misses = 0u128;
+    let mut sum_compulsory = 0u128;
+    // Base-L counter over all traces of length n.
+    let mut trace = vec![0usize; n as usize];
+    loop {
+        let mut resident: Vec<Option<usize>> = vec![None; sets];
+        let mut seen_lines = vec![false; l];
+        let mut touched_sets = vec![false; sets];
+        for &line in &trace {
+            let s = set_of_line[line];
+            touched_sets[s] = true;
+            if resident[s] != Some(line) {
+                sum_misses += 1;
+                if !seen_lines[line] {
+                    sum_compulsory += 1;
+                }
+                resident[s] = Some(line);
+            }
+            seen_lines[line] = true;
+        }
+        sum_distinct_sets += touched_sets.iter().filter(|&&t| t).count() as u128;
+        // Increment the counter; stop after the last trace.
+        let mut i = 0;
+        loop {
+            if i == trace.len() {
+                let distinct_sets = Ratio::new(sum_distinct_sets, l_pow_n).unwrap();
+                let total_misses = Ratio::new(sum_misses, l_pow_n).unwrap();
+                let compulsory_misses = Ratio::new(sum_compulsory, l_pow_n).unwrap();
+                let conflict_misses = total_misses.checked_sub(compulsory_misses).unwrap();
+                return ExactStats {
+                    distinct_sets,
+                    total_misses,
+                    compulsory_misses,
+                    conflict_misses,
+                };
+            }
+            trace[i] += 1;
+            if trace[i] < l {
+                break;
+            }
+            trace[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// `a ≤ b` on reduced rationals by cross-multiplication (exact).
+fn ratio_le(a: Ratio, b: Ratio) -> bool {
+    a.num * b.den <= b.num * a.den
+}
+
+#[test]
+fn exact_stats_equal_brute_force_enumeration() {
+    // Reduced-rational equality, not float closeness: the closed form
+    // and the enumeration must agree on the same element of Q.
+    for (classes, n) in [
+        (vec![(1u64, 2u64)], 4u32),
+        (vec![(2, 2), (1, 1)], 4),
+        (vec![(3, 1), (1, 3)], 3),
+        (vec![(2, 3)], 5),
+        (vec![(4, 1)], 6),
+    ] {
+        let exact = exact_uniform_stats(&classes, n).expect("instance within the exact threshold");
+        let brute = brute_force_stats(&classes, n);
+        assert_eq!(exact, brute, "classes {classes:?}, n = {n}");
+    }
+}
+
+#[test]
+fn distinct_sets_converge_to_the_occupancy_bound() {
+    // 512 support lines into 8192 sets occupy 512 sets; by n = 2^16
+    // draws the expected distinct-set count is within a hair of it.
+    let geometry = Geometry::pow2(8192, 8).unwrap();
+    let profile = AccessProfile::UniformSpan {
+        base: 0,
+        span: 4096,
+    };
+    let verdict = analyze_profile(&profile, 1 << 16, &geometry);
+    let occupied = verdict.model().occupied_sets as f64;
+    assert!(verdict.distinct_sets() <= occupied + 1e-9);
+    assert!(occupied - verdict.distinct_sets() < 1e-6, "{verdict:?}");
+}
+
+#[test]
+fn non_affine_family_prefers_the_prime_mapper() {
+    // The acceptance headline as a standalone regression: the family
+    // aggregate pow2/prime expected-conflict-miss ratio exceeds 1.
+    let (rows, findings) = run();
+    assert!(findings.is_empty(), "{findings:?}");
+    let total = |kind: &str| -> f64 {
+        rows.iter()
+            .filter(|r| r.geometry == kind)
+            .map(|r| r.verdict.expected_misses())
+            .sum()
+    };
+    let (pow2, prime) = (total("pow2"), total("prime"));
+    assert!(prime >= 0.0);
+    assert!(pow2 > prime, "pow2 {pow2} vs prime {prime}");
+}
+
+proptest! {
+    /// More draws touch more sets — and never more than the occupied
+    /// ones. Exercised on the exact rational path so the comparisons
+    /// are cross-multiplications, not float tolerances.
+    #[test]
+    fn distinct_sets_monotone_in_n_and_below_occupancy(
+        classes in proptest::collection::vec((1u64..=3, 1u64..=3), 1..=3),
+        n in 1u32..=12,
+    ) {
+        let occupied: u64 = classes.iter().map(|&(_, c)| c).sum();
+        let at = |k: u32| exact_uniform_stats(&classes, k).expect("within exact threshold");
+        let (lo, hi) = (at(n), at(n + 1));
+        prop_assert!(ratio_le(lo.distinct_sets, hi.distinct_sets));
+        prop_assert!(ratio_le(hi.distinct_sets, Ratio::from_int(u128::from(occupied))));
+    }
+
+    /// Miss accounting is internally consistent on every instance:
+    /// totals dominate compulsory misses and the conflict residue is the
+    /// exact difference (non-negative by construction).
+    #[test]
+    fn miss_accounting_is_consistent(
+        classes in proptest::collection::vec((1u64..=3, 1u64..=3), 1..=3),
+        n in 1u32..=12,
+    ) {
+        let stats = exact_uniform_stats(&classes, n).expect("within exact threshold");
+        prop_assert!(ratio_le(stats.compulsory_misses, stats.total_misses));
+        prop_assert_eq!(
+            stats.total_misses.checked_sub(stats.compulsory_misses).unwrap(),
+            stats.conflict_misses
+        );
+        prop_assert!(ratio_le(stats.total_misses, Ratio::from_int(u128::from(n))));
+    }
+}

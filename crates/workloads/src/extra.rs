@@ -90,6 +90,84 @@ pub fn gather_trace(base: u64, span: u64, n: u64, seed: u64) -> Program {
     Program::new(format!("gather[n={n}, span={span}]"), accesses)
 }
 
+/// Integer Zipf-ish weights for `bins` histogram bins: bin `b` has
+/// weight `⌊SCALE / (b + 1)⌋`, a harmonic (`s = 1`) skew. Exported so
+/// the probabilistic analyzer models *exactly* the distribution
+/// [`histogram_trace`] samples — one table, two consumers, no drift.
+///
+/// # Panics
+///
+/// Panics if `bins` is zero or so large that a weight underflows to
+/// zero (`bins ≥ SCALE`): every bin must stay reachable.
+#[must_use]
+pub fn zipf_weights(bins: u64) -> Vec<u64> {
+    const SCALE: u64 = 1 << 20;
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(bins < SCALE, "too many bins for the weight scale");
+    (0..bins).map(|b| SCALE / (b + 1)).collect()
+}
+
+/// Histogram scatter: `n` updates at bin addresses drawn from the skewed
+/// seeded distribution of [`zipf_weights`] — the classic data-dependent
+/// scatter where a few hot bins absorb most of the traffic. Bin `b`
+/// lives at `base + b * bin_words`; each update touches the bin's first
+/// word.
+///
+/// # Panics
+///
+/// Panics if `bin_words` is zero, or via [`zipf_weights`] on a bad bin
+/// count.
+#[must_use]
+pub fn histogram_trace(base: u64, bins: u64, bin_words: u64, n: u64, seed: u64) -> Program {
+    assert!(bin_words > 0, "bins must be at least one word wide");
+    let weights = zipf_weights(bins);
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut total = 0u64;
+    for w in &weights {
+        total += w;
+        cumulative.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let accesses = (0..n)
+        .map(|_| {
+            let r = rng.random_range(0..total);
+            // First bin whose cumulative weight exceeds r.
+            let bin = cumulative.partition_point(|&c| c <= r);
+            let bin = u64::try_from(bin).unwrap_or(bins - 1);
+            VectorAccess::single(base + bin * bin_words, 1, 1, 0)
+        })
+        .collect();
+    Program::new(format!("histogram[n={n}, bins={bins}]"), accesses)
+}
+
+/// Sparse SpMV-style row-gather: `n` loads, each at the head of a
+/// uniformly random row of a dense `rows × row_words` matrix — the
+/// access stream of gathering `x[col[j]]` where the column indices land
+/// on row boundaries. Unlike [`gather_trace`]'s flat span, the support
+/// is *strided*: every address is `base + r * row_words`, so a
+/// power-of-two `row_words` folds the whole support onto a handful of
+/// power-of-two cache sets while a Mersenne-prime mapper spreads it.
+///
+/// # Panics
+///
+/// Panics if `rows` or `row_words` is zero.
+#[must_use]
+pub fn spmv_gather_trace(base: u64, rows: u64, row_words: u64, n: u64, seed: u64) -> Program {
+    assert!(rows > 0, "matrix needs at least one row");
+    assert!(row_words > 0, "rows must be at least one word wide");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let accesses = (0..n)
+        .map(|_| {
+            let r = rng.random_range(0..rows);
+            VectorAccess::single(base + r * row_words, 1, 1, 0)
+        })
+        .collect();
+    Program::new(
+        format!("spmv-gather[n={n}, rows={rows}, row_words={row_words}]"),
+        accesses,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +249,55 @@ mod tests {
         // A zero-span gather used to clamp to span 1 and fabricate
         // addresses; it must refuse like its sibling generators.
         let _ = gather_trace(100, 0, 64, 1);
+    }
+
+    #[test]
+    fn zipf_weights_are_harmonic_and_positive() {
+        let w = zipf_weights(4);
+        assert_eq!(w, vec![1 << 20, 1 << 19, (1 << 20) / 3, 1 << 18]);
+        assert!(zipf_weights(10_000).iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn histogram_is_deterministic_bounded_and_skewed() {
+        let a = histogram_trace(64, 256, 8, 2048, 7);
+        assert_eq!(a, histogram_trace(64, 256, 8, 2048, 7));
+        assert_ne!(a, histogram_trace(64, 256, 8, 2048, 8));
+        assert_eq!(a.accesses.len(), 2048);
+        // Every update lands on a bin head inside the table.
+        assert!(a
+            .accesses
+            .iter()
+            .all(|x| x.base >= 64 && x.base < 64 + 256 * 8 && (x.base - 64) % 8 == 0));
+        // The skew is real: bin 0 absorbs far more than the average
+        // 2048/256 = 8 updates a uniform scatter would give it.
+        let hot = a.accesses.iter().filter(|x| x.base == 64).count();
+        assert!(hot > 100, "bin 0 got only {hot} of 2048 updates");
+    }
+
+    #[test]
+    fn spmv_gather_hits_row_heads_only() {
+        let a = spmv_gather_trace(0, 64, 4096, 512, 3);
+        assert_eq!(a, spmv_gather_trace(0, 64, 4096, 512, 3));
+        assert_eq!(a.accesses.len(), 512);
+        assert!(a
+            .accesses
+            .iter()
+            .all(|x| x.base % 4096 == 0 && x.base < 64 * 4096));
+        // All rows are reachable and many are hit.
+        let distinct: std::collections::HashSet<u64> = a.accesses.iter().map(|x| x.base).collect();
+        assert!(distinct.len() > 32, "only {} distinct rows", distinct.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn spmv_gather_rejects_zero_rows() {
+        let _ = spmv_gather_trace(0, 0, 4096, 8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = histogram_trace(0, 0, 8, 8, 1);
     }
 }

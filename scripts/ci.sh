@@ -31,6 +31,29 @@ run 300 ./target/release/vcache check --nests --prescribe
 
 run 300 ./target/release/vcache check --workloads
 
+run 300 ./target/release/vcache check --probabilistic --prescribe
+
+# Probabilistic validation gate: every non-affine workload must carry a
+# closed-form ExpectedConflicts verdict that lands within the pinned
+# seeded Monte-Carlo tolerance (4·SE + 0.25) under both mappers — drift
+# is a VC105 finding and the check above already fails on it. Here we
+# pin the schema so a silently-empty section can't turn that stage into
+# a no-op.
+echo "==> probabilistic validation  (timeout 300s)"
+timeout --kill-after=10 300 bash -c '
+    set -euo pipefail
+    out=$(./target/release/vcache check --probabilistic --json)
+    echo "$out" | grep -q "\"probabilistic\":\[{" || {
+        echo "probabilistic section missing from check report"; exit 1
+    }
+    echo "$out" | grep -q "\"ExpectedConflicts\"" || {
+        echo "no ExpectedConflicts verdict in check report"; exit 1
+    }
+    if echo "$out" | grep -q "\"ok\":false"; then
+        echo "failing row in probabilistic check report"; exit 1
+    fi
+'
+
 # Enumeration-freedom gate: every canonical nest, every workload
 # lowering, and the 1000-nest random battery must be decided by the
 # relational domain without materializing a single line. Any nonzero
@@ -72,9 +95,12 @@ timeout --kill-after=10 120 bash -c '
     client="./target/release/vcache client"
     $client ping --addr "$addr" >/dev/null
     $client check --nests --prescribe --addr "$addr"
+    $client check --probabilistic --addr "$addr" | grep -q "probabilistic conflict analysis:"
     $client status --addr "$addr" | grep -q "serve.responses_ok"
     ./target/release/vcache stat --addr "$addr" | grep -q "^  uptime"
     ./target/release/vcache stat --prom --addr "$addr" | grep -q "^vcache_serve_requests_total"
+    ./target/release/vcache stat --prom --addr "$addr" \
+        | grep -q "^vcache_serve_probabilistic_verdicts_total"
     $client shutdown --addr "$addr" >/dev/null
 
 # A leaked daemon never reaches here: wait blocks until the stage

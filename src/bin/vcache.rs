@@ -52,18 +52,22 @@ USAGE:
   vcache analyze --trace <FILE> [--window <W>] [--top <N>]
       Read a JSONL trace and print per-stream miss timelines (one row per
       W-access window), bank occupancy, and the top N conflicting sets.
-  vcache check [--src] [--programs] [--nests] [--prescribe] [--workloads] [--json]
-               [--root <DIR>]
+  vcache check [--src] [--programs] [--nests] [--prescribe] [--workloads]
+               [--probabilistic] [--json] [--root <DIR>]
       Static analysis gate. --src runs the workspace source lints
-      (VC001-VC008, allowlist in staticcheck.allow); --programs runs the
+      (VC001-VC009, allowlist in staticcheck.allow); --programs runs the
       canonical static-verdict suite (Layer 2, VC100 on drift); --nests
       runs the affine loop-nest suite (Layer 3, VC101 on drift), and
       --prescribe additionally demands a verifying repair certificate for
       every interfering nest row (VC102); --workloads certifies every
       generator in vcache-workloads against its loop-nest lowering
       (word-set equality or an explicit non-affine exclusion, VC103 on
-      drift). With no layer switch, all layers run. Exits non-zero on any
-      finding not covered by the allowlist.
+      drift); --probabilistic computes closed-form ExpectedConflicts
+      verdicts for every non-affine workload under both mappers,
+      validated by seeded Monte-Carlo sweeps (VC105 on drift; with
+      --prescribe, also quantified SwitchToPrime advisories). With no
+      layer switch, all layers run. Exits non-zero on any finding not
+      covered by the allowlist.
   vcache serve [--addr <A>] [--unix <PATH>] [--workers <N>] [--queue <N>]
                [--deadline-ms <N>] [--retry-after-ms <N>] [--faults <SPEC>] [--root <DIR>]
                [--spans <FILE>] [--slow-ms <N>]
@@ -83,8 +87,8 @@ USAGE:
       Call a running daemon with retries (decorrelated-jitter backoff).
       <op> is one of:
         ping | status | shutdown
-        check    [--src] [--programs] [--nests] [--prescribe] [--workloads] [--json]
-                 [--root <DIR>]
+        check    [--src] [--programs] [--nests] [--prescribe] [--workloads]
+                 [--probabilistic] [--json] [--root <DIR>]
                  (remote equivalent of `vcache check`; --json output is
                  byte-identical to the local command)
         analyze  --trace <FILE> [--window <W>] [--top <N>]
@@ -115,14 +119,30 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             return Err("client needs an op: ping | status | shutdown | check | analyze".into());
         };
         let switches: &[&str] = match op.as_str() {
-            "check" => &["src", "programs", "nests", "prescribe", "workloads", "json"],
+            "check" => &[
+                "src",
+                "programs",
+                "nests",
+                "prescribe",
+                "workloads",
+                "probabilistic",
+                "json",
+            ],
             _ => &[],
         };
         let flags = parse_flags(&args[2..], switches)?;
         return client_cmd(op, &flags);
     }
     let switches: &[&str] = match command.as_str() {
-        "check" => &["src", "programs", "nests", "prescribe", "workloads", "json"],
+        "check" => &[
+            "src",
+            "programs",
+            "nests",
+            "prescribe",
+            "workloads",
+            "probabilistic",
+            "json",
+        ],
         "stat" => &["prom", "json"],
         _ => &[],
     };
@@ -439,8 +459,9 @@ fn check_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let programs = flags.contains_key("programs");
     let nests = flags.contains_key("nests");
     let workloads = flags.contains_key("workloads");
+    let probabilistic = flags.contains_key("probabilistic");
     // With no layer switch given, run every layer.
-    let all = !src && !programs && !nests && !workloads;
+    let all = !src && !programs && !nests && !workloads && !probabilistic;
     let options = CheckOptions {
         root: flags
             .get("root")
@@ -450,6 +471,7 @@ fn check_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         nests: nests || all,
         prescribe: flags.contains_key("prescribe"),
         workloads: workloads || all,
+        probabilistic: probabilistic || all,
     };
     let report = run_check(&options).map_err(|e| e.to_string())?;
     if flags.contains_key("json") {
@@ -602,7 +624,14 @@ fn client_check(
     deadline_ms: Option<u64>,
 ) -> Result<ExitCode, String> {
     let mut params = Vec::new();
-    for switch in ["src", "programs", "nests", "prescribe", "workloads"] {
+    for switch in [
+        "src",
+        "programs",
+        "nests",
+        "prescribe",
+        "workloads",
+        "probabilistic",
+    ] {
         if flags.contains_key(switch) {
             params.push((switch.to_string(), Value::Bool(true)));
         }
