@@ -1,0 +1,524 @@
+//! Shard fleet supervision: health registry, child daemon processes,
+//! and crash-restart with backoff (DESIGN.md §9).
+//!
+//! A fleet is N copies of the single-process daemon, each a real OS
+//! process listening on its own ephemeral port, plus the in-process
+//! [`crate::router`] front-end that consistent-hashes digests across
+//! them. This module owns the part between: the [`ShardSet`] health
+//! registry both sides share, and the [`Supervisor`] that spawns the
+//! children, scrapes their `listening on <addr>` banners, notices when
+//! one dies (crash, SIGKILL, injected `kill` fault) and restarts it
+//! with exponential backoff.
+//!
+//! Health states form a small machine:
+//!
+//! ```text
+//!   Starting ──banner──► Live ──exit/route-failure──► Dead
+//!      ▲                  ▲                            │
+//!      └──── respawn ─────┴───── probe reconnect ◄─────┘
+//!                 (Restarting, backoff between tries)
+//! ```
+//!
+//! A shard keeps its *slot index* forever — the hash ring maps digests
+//! to slots, not addresses — so a restarted shard (new pid, new port)
+//! inherits the same key range and can rebuild its verdict cache from
+//! the same traffic.
+
+use std::io::{self, BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use vcache_trace::SharedMetrics;
+
+/// Where a shard is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Spawned, banner not yet seen.
+    Starting,
+    /// Serving (or believed to be).
+    Live,
+    /// Observed dead: process exited, or routing to it failed.
+    Dead,
+    /// Dead and awaiting its next respawn attempt (backoff).
+    Restarting,
+}
+
+impl ShardHealth {
+    /// The stable wire string used in `status` and prom labels.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Starting => "starting",
+            Self::Live => "live",
+            Self::Dead => "dead",
+            Self::Restarting => "restarting",
+        }
+    }
+}
+
+/// One shard's public state, as surfaced in the router's `status`.
+#[derive(Debug, Clone)]
+pub struct ShardInfo {
+    /// The shard's slot on the hash ring (stable across restarts).
+    pub index: usize,
+    /// Current listen address (`None` until the first banner).
+    pub addr: Option<String>,
+    /// Current child pid (`None` for externally-managed shards).
+    pub pid: Option<u32>,
+    /// Lifecycle state.
+    pub health: ShardHealth,
+    /// Times this slot has been respawned.
+    pub restarts: u64,
+}
+
+/// The shared shard-health registry: the supervisor writes it, the
+/// router reads it on every routed request.
+#[derive(Clone)]
+pub struct ShardSet {
+    inner: Arc<Mutex<Vec<ShardInfo>>>,
+}
+
+impl ShardSet {
+    /// A registry of `n` shards, all [`ShardHealth::Starting`].
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(
+                (0..n)
+                    .map(|index| ShardInfo {
+                        index,
+                        addr: None,
+                        pid: None,
+                        health: ShardHealth::Starting,
+                        restarts: 0,
+                    })
+                    .collect(),
+            )),
+        }
+    }
+
+    /// A registry over externally-managed shards at fixed addresses,
+    /// all immediately [`ShardHealth::Live`]. Used by in-process router
+    /// tests and any deployment where something else owns the
+    /// processes.
+    #[must_use]
+    pub fn fixed(addrs: &[String]) -> Self {
+        let set = Self::new(addrs.len());
+        for (i, addr) in addrs.iter().enumerate() {
+            set.mark_live(i, addr.clone(), None);
+        }
+        set
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<ShardInfo>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Number of shard slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when the registry has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A point-in-time copy of every shard's state.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<ShardInfo> {
+        self.lock().clone()
+    }
+
+    /// The current address of slot `i`, live or not.
+    #[must_use]
+    pub fn addr(&self, i: usize) -> Option<String> {
+        self.lock().get(i).and_then(|s| s.addr.clone())
+    }
+
+    /// The current health of slot `i`.
+    #[must_use]
+    pub fn health(&self, i: usize) -> Option<ShardHealth> {
+        self.lock().get(i).map(|s| s.health)
+    }
+
+    /// Marks slot `i` live at `addr` (optionally under child `pid`).
+    pub fn mark_live(&self, i: usize, addr: String, pid: Option<u32>) {
+        if let Some(shard) = self.lock().get_mut(i) {
+            shard.addr = Some(addr);
+            shard.pid = pid;
+            shard.health = ShardHealth::Live;
+        }
+    }
+
+    /// Marks slot `i` dead (route failure or observed process exit).
+    pub fn mark_dead(&self, i: usize) {
+        if let Some(shard) = self.lock().get_mut(i) {
+            shard.health = ShardHealth::Dead;
+        }
+    }
+
+    /// Marks slot `i` as awaiting respawn.
+    pub fn mark_restarting(&self, i: usize) {
+        if let Some(shard) = self.lock().get_mut(i) {
+            shard.health = ShardHealth::Restarting;
+            shard.pid = None;
+        }
+    }
+
+    /// Increments slot `i`'s restart counter (called on respawn).
+    pub fn note_restart(&self, i: usize) {
+        if let Some(shard) = self.lock().get_mut(i) {
+            shard.restarts += 1;
+        }
+    }
+
+    /// Total restarts across every slot.
+    #[must_use]
+    pub fn total_restarts(&self) -> u64 {
+        self.lock().iter().map(|s| s.restarts).sum()
+    }
+}
+
+/// Everything configurable about a supervised fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shard slots.
+    pub shards: usize,
+    /// Command line (program + args) that starts ONE shard daemon. The
+    /// child must print `listening on <addr>` on stdout once bound —
+    /// i.e. `vcache serve --addr 127.0.0.1:0 ...`.
+    pub shard_cmd: Vec<String>,
+    /// First respawn delay after a crash.
+    pub backoff_base: Duration,
+    /// Respawn delay ceiling.
+    pub backoff_cap: Duration,
+    /// A shard up this long gets its backoff reset.
+    pub backoff_reset_after: Duration,
+    /// How long to wait for a spawned shard's banner.
+    pub banner_timeout: Duration,
+}
+
+impl FleetConfig {
+    /// Defaults for `shards` shards started by `shard_cmd`.
+    #[must_use]
+    pub fn new(shards: usize, shard_cmd: Vec<String>) -> Self {
+        Self {
+            shards,
+            shard_cmd,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            backoff_reset_after: Duration::from_secs(5),
+            banner_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Spawns one shard process and scrapes its `listening on <addr>`
+/// banner (bounded by `banner_timeout`). The child's stderr is
+/// inherited so its structured logs and final metrics snapshot land in
+/// the supervisor's stderr stream; stdout after the banner is drained
+/// and discarded by a detached thread.
+fn spawn_shard(cmd: &[String], banner_timeout: Duration) -> io::Result<(Child, String)> {
+    let program = cmd
+        .first()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty shard command"))?;
+    let mut child = Command::new(program)
+        .args(&cmd[1..])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdout = child.stdout.take().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::BrokenPipe, "shard stdout was not captured")
+    })?;
+    let (tx, rx) = mpsc::channel::<String>();
+    thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        let mut sent = false;
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {
+                    if !sent {
+                        if let Some(addr) = line.trim().strip_prefix("listening on ") {
+                            // Receiver gone (banner timeout) is fine.
+                            let _ = tx.send(addr.to_string());
+                            sent = true;
+                        }
+                    }
+                    // Keep draining so the child never blocks on stdout.
+                }
+            }
+        }
+    });
+    match rx.recv_timeout(banner_timeout) {
+        Ok(addr) => Ok((child, addr)),
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "shard did not print its listening banner in time",
+            ))
+        }
+    }
+}
+
+/// Per-slot respawn bookkeeping, private to the monitor thread.
+struct SlotState {
+    child: Option<Child>,
+    backoff: Duration,
+    /// When the next respawn attempt is allowed.
+    next_attempt: Instant,
+    /// When the current child went live (for backoff reset).
+    live_since: Option<Instant>,
+}
+
+/// Owns the shard child processes: spawns them, watches for exits,
+/// respawns with backoff, and probes dead-marked-but-alive shards back
+/// to life.
+pub struct Supervisor {
+    set: ShardSet,
+    stop: Arc<AtomicBool>,
+    monitor: Option<JoinHandle<Vec<Option<Child>>>>,
+}
+
+impl Supervisor {
+    /// Spawns every shard synchronously (failing fast if any cannot
+    /// boot), then starts the monitor thread. `metrics` receives
+    /// `serve.fleet.deaths` and `serve.fleet.restarts` counters.
+    ///
+    /// # Errors
+    ///
+    /// The first shard spawn/banner failure; already-started shards are
+    /// killed before returning.
+    pub fn start(config: FleetConfig, metrics: SharedMetrics) -> io::Result<Self> {
+        let set = ShardSet::new(config.shards);
+        let mut slots: Vec<SlotState> = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            match spawn_shard(&config.shard_cmd, config.banner_timeout) {
+                Ok((child, addr)) => {
+                    set.mark_live(i, addr, Some(child.id()));
+                    slots.push(SlotState {
+                        child: Some(child),
+                        backoff: config.backoff_base,
+                        next_attempt: Instant::now(),
+                        live_since: Some(Instant::now()),
+                    });
+                }
+                Err(e) => {
+                    for slot in &mut slots {
+                        if let Some(child) = &mut slot.child {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let monitor = {
+            let set = set.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || monitor_loop(slots, &set, &config, &metrics, &stop))
+        };
+        Ok(Self {
+            set,
+            stop,
+            monitor: Some(monitor),
+        })
+    }
+
+    /// The shared health registry (clone it into the router).
+    #[must_use]
+    pub fn shards(&self) -> ShardSet {
+        self.set.clone()
+    }
+
+    /// Stops restarting, asks every live shard to drain via a
+    /// `shutdown` request, waits up to `grace` for children to exit,
+    /// and kills whatever remains.
+    pub fn drain(mut self, grace: Duration) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut children = match self.monitor.take() {
+            Some(handle) => handle.join().unwrap_or_default(),
+            None => Vec::new(),
+        };
+        // Ask nicely first: one shutdown line per live shard.
+        for shard in self.set.snapshot() {
+            if shard.health == ShardHealth::Live {
+                if let Some(addr) = shard.addr {
+                    send_shutdown(&addr);
+                }
+            }
+        }
+        let deadline = Instant::now() + grace;
+        for child in children.iter_mut().flatten() {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fire-and-forget `shutdown` request to one shard.
+fn send_shutdown(addr: &str) {
+    use std::io::Write as _;
+    if let Ok(mut stream) = std::net::TcpStream::connect(addr) {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.write_all(b"{\"id\":0,\"op\":\"shutdown\"}\n");
+        let _ = stream.flush();
+    }
+}
+
+/// The monitor: notice exits, respawn with backoff, re-probe shards the
+/// router marked dead whose process is in fact alive. Returns the
+/// children so `drain` can reap them.
+fn monitor_loop(
+    mut slots: Vec<SlotState>,
+    set: &ShardSet,
+    config: &FleetConfig,
+    metrics: &SharedMetrics,
+    stop: &AtomicBool,
+) -> Vec<Option<Child>> {
+    while !stop.load(Ordering::SeqCst) {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            // 1. Did the child exit?
+            let exited = match &mut slot.child {
+                Some(child) => matches!(child.try_wait(), Ok(Some(_)) | Err(_)),
+                None => false,
+            };
+            if exited {
+                if let Some(mut child) = slot.child.take() {
+                    let _ = child.wait();
+                }
+                metrics.count("serve.fleet.deaths", 1);
+                // A long healthy run earns a fresh backoff.
+                if slot
+                    .live_since
+                    .take()
+                    .is_some_and(|since| since.elapsed() >= config.backoff_reset_after)
+                {
+                    slot.backoff = config.backoff_base;
+                }
+                set.mark_restarting(i);
+                slot.next_attempt = Instant::now() + slot.backoff;
+                slot.backoff = (slot.backoff * 2).min(config.backoff_cap);
+            }
+            // 2. Respawn when due.
+            if slot.child.is_none()
+                && set.health(i) == Some(ShardHealth::Restarting)
+                && Instant::now() >= slot.next_attempt
+            {
+                match spawn_shard(&config.shard_cmd, config.banner_timeout) {
+                    Ok((child, addr)) => {
+                        set.mark_live(i, addr, Some(child.id()));
+                        set.note_restart(i);
+                        metrics.count("serve.fleet.restarts", 1);
+                        slot.child = Some(child);
+                        slot.live_since = Some(Instant::now());
+                    }
+                    Err(_) => {
+                        slot.next_attempt = Instant::now() + slot.backoff;
+                        slot.backoff = (slot.backoff * 2).min(config.backoff_cap);
+                    }
+                }
+            }
+            // 3. The router may have marked a live process dead on a
+            //    route failure (e.g. one torn exchange). If the process
+            //    is still running and accepts connections, restore it.
+            if slot.child.is_some() && set.health(i) == Some(ShardHealth::Dead) {
+                if let Some(addr) = set.addr(i) {
+                    if std::net::TcpStream::connect(&addr).is_ok() {
+                        let pid = slot.child.as_ref().map(Child::id);
+                        set.mark_live(i, addr, pid);
+                    }
+                }
+            }
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    slots.into_iter().map(|s| s.child).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_strings_are_stable() {
+        assert_eq!(ShardHealth::Starting.as_str(), "starting");
+        assert_eq!(ShardHealth::Live.as_str(), "live");
+        assert_eq!(ShardHealth::Dead.as_str(), "dead");
+        assert_eq!(ShardHealth::Restarting.as_str(), "restarting");
+    }
+
+    #[test]
+    fn shard_set_tracks_the_lifecycle() {
+        let set = ShardSet::new(2);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.health(0), Some(ShardHealth::Starting));
+        assert_eq!(set.addr(0), None);
+
+        set.mark_live(0, "127.0.0.1:9000".into(), Some(42));
+        assert_eq!(set.health(0), Some(ShardHealth::Live));
+        assert_eq!(set.addr(0), Some("127.0.0.1:9000".into()));
+        // Slot 1 untouched.
+        assert_eq!(set.health(1), Some(ShardHealth::Starting));
+
+        set.mark_dead(0);
+        assert_eq!(set.health(0), Some(ShardHealth::Dead));
+        // Address survives death: the probe needs it.
+        assert_eq!(set.addr(0), Some("127.0.0.1:9000".into()));
+
+        set.mark_restarting(0);
+        assert_eq!(set.health(0), Some(ShardHealth::Restarting));
+        set.note_restart(0);
+        set.mark_live(0, "127.0.0.1:9001".into(), Some(43));
+        assert_eq!(set.addr(0), Some("127.0.0.1:9001".into()));
+        assert_eq!(set.total_restarts(), 1);
+
+        // Out-of-range indices are ignored, not panics.
+        set.mark_dead(99);
+        set.note_restart(99);
+        assert_eq!(set.health(99), None);
+    }
+
+    #[test]
+    fn fixed_sets_are_live_immediately() {
+        let set = ShardSet::fixed(&["a:1".into(), "b:2".into()]);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        for shard in set.snapshot() {
+            assert_eq!(shard.health, ShardHealth::Live);
+            assert!(shard.addr.is_some());
+            assert_eq!(shard.pid, None);
+        }
+    }
+
+    #[test]
+    fn empty_shard_command_is_an_input_error() {
+        let err = spawn_shard(&[], Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

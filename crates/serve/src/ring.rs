@@ -1,0 +1,177 @@
+//! The consistent hash ring that maps request digests to shard slots.
+//!
+//! The router hashes each request's canonical digest onto a ring of
+//! virtual points; each shard *slot* (its index in the fleet, not its
+//! ephemeral address or pid) owns many points, so load spreads evenly
+//! and a dead shard's keys scatter across the survivors instead of
+//! dog-piling onto one neighbor. Hashing the slot index rather than the
+//! address is deliberate: a shard restarted on a new port keeps its
+//! slot, so the digest→slot mapping — and therefore each shard's warm
+//! verdict cache — survives restarts.
+//!
+//! [`HashRing::order`] returns the *full preference walk* for a digest:
+//! the owning slot first, then each next-clockwise distinct slot. The
+//! router tries slots in this order until one is live, which is the
+//! classic consistent-hashing failover rule — keys from a dead slot
+//! flow to the next point on the ring, and flow back when it returns.
+
+/// Virtual points per shard slot. 64 keeps the spread within a few
+/// percent of fair at single-digit fleet sizes.
+const DEFAULT_REPLICAS: usize = 64;
+
+/// One FNV-1a 64 pass (same function family as [`crate::digest`])
+/// finished with a splitmix64-style avalanche: plain FNV clusters badly
+/// on short, similar strings like `slot/3/17`, and ring balance depends
+/// on the points dispersing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash ^= hash >> 30;
+    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash ^= hash >> 27;
+    hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
+
+/// A consistent hash ring over shard slot indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, slot)` sorted by point.
+    points: Vec<(u64, usize)>,
+    slots: usize,
+}
+
+impl HashRing {
+    /// A ring over `slots` shard slots with the default virtual-point
+    /// count.
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        Self::with_replicas(slots, DEFAULT_REPLICAS)
+    }
+
+    /// A ring with an explicit virtual-point count per slot (minimum 1).
+    #[must_use]
+    pub fn with_replicas(slots: usize, replicas: usize) -> Self {
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(slots * replicas);
+        for slot in 0..slots {
+            for replica in 0..replicas {
+                points.push((fnv1a(format!("slot/{slot}/{replica}").as_bytes()), slot));
+            }
+        }
+        points.sort_unstable();
+        Self { points, slots }
+    }
+
+    /// Number of shard slots on the ring.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The slot owning `digest` (None for an empty ring).
+    #[must_use]
+    pub fn primary(&self, digest: &str) -> Option<usize> {
+        self.order(digest).into_iter().next()
+    }
+
+    /// The full failover walk for `digest`: the owning slot first, then
+    /// every other slot in clockwise ring order, each exactly once. The
+    /// router tries these in order until one is live.
+    #[must_use]
+    pub fn order(&self, digest: &str) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let key = fnv1a(digest.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let mut seen = vec![false; self.slots];
+        let mut walk = Vec::with_capacity(self.slots);
+        for i in 0..self.points.len() {
+            let (_, slot) = self.points[(start + i) % self.points.len()];
+            if !seen[slot] {
+                seen[slot] = true;
+                walk.push(slot);
+                if walk.len() == self.slots {
+                    break;
+                }
+            }
+        }
+        walk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digests(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("{:032x}", i * 0x9e37_79b9))
+            .collect()
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(0);
+        assert_eq!(ring.primary("abc"), None);
+        assert!(ring.order("abc").is_empty());
+    }
+
+    #[test]
+    fn single_slot_owns_everything() {
+        let ring = HashRing::new(1);
+        for d in digests(50) {
+            assert_eq!(ring.order(&d), vec![0]);
+        }
+    }
+
+    #[test]
+    fn order_is_a_permutation_of_all_slots() {
+        let ring = HashRing::new(5);
+        for d in digests(100) {
+            let mut walk = ring.order(&d);
+            assert_eq!(walk.len(), 5);
+            walk.sort_unstable();
+            assert_eq!(walk, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_reasonably_balanced() {
+        let ring = HashRing::new(4);
+        let again = HashRing::new(4);
+        let mut counts = [0usize; 4];
+        for d in digests(4000) {
+            let slot = ring.primary(&d).unwrap();
+            assert_eq!(again.primary(&d), Some(slot));
+            counts[slot] += 1;
+        }
+        // Fair share is 1000; accept a generous band — the point is no
+        // slot starves or hogs.
+        for (slot, &count) in counts.iter().enumerate() {
+            assert!(
+                (400..=1800).contains(&count),
+                "slot {slot} got {count} of 4000"
+            );
+        }
+    }
+
+    #[test]
+    fn most_keys_keep_their_slot_when_the_fleet_grows() {
+        let four = HashRing::new(4);
+        let five = HashRing::new(5);
+        let keys = digests(2000);
+        let moved = keys
+            .iter()
+            .filter(|d| four.primary(d) != five.primary(d))
+            .count();
+        // Consistent hashing moves ~1/5 of keys when adding a 5th slot;
+        // modulo hashing would move ~4/5. Assert we're in the former
+        // regime.
+        assert!(moved < 1000, "{moved} of 2000 keys moved");
+    }
+}

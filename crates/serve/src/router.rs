@@ -1,0 +1,514 @@
+//! The fleet front-end: consistent-hash request routing with failover
+//! (DESIGN.md §9).
+//!
+//! The router is deliberately thin. It terminates client connections,
+//! parses each request line just enough to learn `(id, op, digest)`,
+//! and then forwards the **raw line, byte for byte** to a shard chosen
+//! by the [`crate::ring`] — so a response that came from a shard is the
+//! shard's bytes, untouched, and the byte-identity guarantees of the
+//! verdict cache survive the extra hop. Three ops never cross the hop:
+//!
+//! * `ping` — answered locally (`role: "router"`), so health probes of
+//!   the router probe the router.
+//! * `status` — answered locally with per-shard health, the router's
+//!   own metrics, and the fleet restart counters.
+//! * `shutdown` — sets the router's shutdown flag and reports
+//!   `stopping`; the binary then drains the supervisor, which forwards
+//!   the shutdown to every shard.
+//!
+//! Everything else walks the ring's preference order for its digest:
+//! live shards first, then — because the health registry may be stale —
+//! any shard that still has an address. A shard that fails the exchange
+//! is marked dead (the supervisor's probe revives it if it was a
+//! one-off) and the next candidate is tried; every routed op is a pure
+//! read, so re-sending after a torn exchange is safe. Only when every
+//! candidate fails does the client see an error, and it is
+//! `overloaded` + retry-after: request-not-started, so even cautious
+//! clients converge by retrying.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use serde::{Serialize, Value};
+use vcache_trace::{MetricsSnapshot, SharedMetrics, SpanCollector, SpanHandle};
+
+use crate::digest::request_digest;
+use crate::fleet::{ShardHealth, ShardSet};
+use crate::pool::ConnPool;
+use crate::protocol::{ErrorBody, ErrorCode, Request, Response, PROTOCOL_VERSION};
+use crate::ring::HashRing;
+
+/// How long an accept loop sleeps between polls of the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Read timeout on client sockets (bounds shutdown latency).
+const READ_POLL: Duration = Duration::from_millis(250);
+/// Dial timeout for shard connections.
+const DIAL_TIMEOUT: Duration = Duration::from_millis(1_000);
+/// Slack added to a request's deadline when waiting on a shard.
+const SHARD_READ_MARGIN: Duration = Duration::from_millis(2_000);
+
+/// Everything configurable about a router instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// TCP listen address (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Retry-after hint attached when every shard candidate fails.
+    pub retry_after_ms: u64,
+    /// Deadline assumed for requests that do not carry their own.
+    pub default_deadline_ms: u64,
+    /// Export every request span as JSONL to this file.
+    pub span_path: Option<PathBuf>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            retry_after_ms: 50,
+            default_deadline_ms: 10_000,
+            span_path: None,
+        }
+    }
+}
+
+/// Shared state for every router thread.
+struct Inner {
+    shards: ShardSet,
+    ring: HashRing,
+    pool: ConnPool,
+    metrics: SharedMetrics,
+    spans: SpanCollector,
+    shutdown: AtomicBool,
+    started: Instant,
+    retry_after_ms: u64,
+    default_deadline: Duration,
+}
+
+/// Triggers router shutdown from another thread (signal handler or the
+/// `shutdown` op).
+#[derive(Clone)]
+pub struct RouterShutdown {
+    inner: Arc<Inner>,
+}
+
+impl RouterShutdown {
+    /// Stops the accept loop. Idempotent.
+    pub fn trigger(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-running fleet router.
+pub struct Router {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Router {
+    /// Binds the listen socket over an existing shard registry.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind or span-file failures.
+    pub fn bind(
+        config: RouterConfig,
+        shards: ShardSet,
+        metrics: SharedMetrics,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let spans = match &config.span_path {
+            Some(path) => SpanCollector::to_file(path)?,
+            None => SpanCollector::new(),
+        };
+        let ring = HashRing::new(shards.len());
+        Ok(Self {
+            listener,
+            inner: Arc::new(Inner {
+                shards,
+                ring,
+                pool: ConnPool::default(),
+                metrics,
+                spans,
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+                retry_after_ms: config.retry_after_ms,
+                default_deadline: Duration::from_millis(config.default_deadline_ms.max(1)),
+            }),
+        })
+    }
+
+    /// The bound address (reports the actual ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the router from anywhere.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> RouterShutdown {
+        RouterShutdown {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Runs the router until shutdown; returns the final metrics
+    /// snapshot once every connection thread has exited.
+    ///
+    /// # Errors
+    ///
+    /// Socket configuration failures; per-connection errors are
+    /// absorbed.
+    pub fn run(self) -> io::Result<MetricsSnapshot> {
+        let handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let inner = Arc::clone(&self.inner);
+                    let handle = thread::spawn(move || {
+                        inner.metrics.count("serve.connections", 1);
+                        // Nagle + delayed-ACK stalls every small
+                        // request/response round trip ~40ms; a router
+                        // hop doubles that. Latency beats batching here.
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+                            return;
+                        }
+                        let Ok(read_half) = stream.try_clone() else {
+                            return;
+                        };
+                        route_connection(BufReader::new(read_half), stream, &inner);
+                    });
+                    handles
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(handle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.inner.metrics.count("serve.accept_errors", 1);
+                    thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+        let joined = std::mem::take(&mut *handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in joined {
+            let _ = handle.join();
+        }
+        let _ = self.inner.spans.flush();
+        Ok(self.inner.metrics.snapshot())
+    }
+}
+
+/// One client connection: read a line, resolve it (locally or across
+/// the fleet), write exactly one response line, repeat.
+fn route_connection<R: Read, W: Write>(
+    mut reader: BufReader<R>,
+    mut writer: W,
+    inner: &Arc<Inner>,
+) {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return;
+                }
+            }
+            Ok(_) if !buf.ends_with(b"\n") => continue,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        let line = String::from_utf8_lossy(&buf).trim().to_string();
+        let at_eof = !buf.ends_with(b"\n");
+        buf.clear();
+        if line.is_empty() {
+            if at_eof {
+                return;
+            }
+            continue;
+        }
+        inner.metrics.count("serve.requests", 1);
+        let (response_line, close_after) = dispatch_route(&line, inner);
+        // One write per response: a split line + newline pair would
+        // re-trigger the Nagle stall the nodelay above avoids.
+        let mut framed = response_line.into_bytes();
+        framed.push(b'\n');
+        let ok = writer
+            .write_all(&framed)
+            .and_then(|()| writer.flush())
+            .is_ok();
+        if !ok || close_after || at_eof {
+            return;
+        }
+    }
+}
+
+/// Resolves one request line to one response line (no trailing
+/// newline). Routed responses are the shard's bytes verbatim.
+fn dispatch_route(line: &str, inner: &Arc<Inner>) -> (String, bool) {
+    let request = match Request::from_json(line) {
+        Ok(request) => request,
+        Err(msg) => {
+            let root = inner.spans.root("malformed", 0, None);
+            let response = Response::err(0, ErrorBody::new(ErrorCode::BadRequest, msg));
+            root.finish("bad_request");
+            return (finish(inner, &response.to_json()), false);
+        }
+    };
+    let digest = request_digest(&request.op, &request.params);
+    let root = inner
+        .spans
+        .root(&request.op, request.id, Some(digest.clone()));
+    match request.op.as_str() {
+        "ping" => {
+            let response = Response::ok(
+                request.id,
+                Value::Obj(vec![
+                    ("pong".into(), Value::Bool(true)),
+                    ("version".into(), Value::U64(PROTOCOL_VERSION)),
+                    ("role".into(), Value::Str("router".into())),
+                ]),
+            );
+            root.finish("ok");
+            (finish(inner, &response.to_json()), false)
+        }
+        "status" => {
+            let response = Response::ok(request.id, router_status(inner));
+            root.finish("ok");
+            (finish(inner, &response.to_json()), false)
+        }
+        "shutdown" => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            let response = Response::ok(
+                request.id,
+                Value::Obj(vec![("stopping".into(), Value::Bool(true))]),
+            );
+            root.finish("ok");
+            (finish(inner, &response.to_json()), true)
+        }
+        _ if inner.shutdown.load(Ordering::SeqCst) => {
+            let response = Response::err(
+                request.id,
+                ErrorBody::new(ErrorCode::ShuttingDown, "router is draining"),
+            );
+            root.finish("shutting_down");
+            (finish(inner, &response.to_json()), false)
+        }
+        _ => {
+            let (line, status) = route_to_fleet(line, &request, &digest, inner, &root);
+            root.finish(status);
+            (line, false)
+        }
+    }
+}
+
+/// Counts the outcome of a response line (ok/error taxonomy) and
+/// returns it unchanged — the single funnel every response leaves
+/// through, shard-forwarded or local.
+fn finish(inner: &Inner, response_line: &str) -> String {
+    match Response::from_json(response_line) {
+        Ok(response) => match &response.outcome {
+            Ok(_) => inner.metrics.count("serve.responses_ok", 1),
+            Err(body) => inner
+                .metrics
+                .count(&format!("serve.errors.{}", body.code), 1),
+        },
+        Err(_) => inner.metrics.count("serve.errors.internal_error", 1),
+    }
+    response_line.to_string()
+}
+
+/// Walks the ring's preference order for `digest` until a shard
+/// completes the exchange. Returns the response line plus the root
+/// span's status.
+fn route_to_fleet(
+    raw_line: &str,
+    request: &Request,
+    digest: &str,
+    inner: &Arc<Inner>,
+    root: &SpanHandle,
+) -> (String, &'static str) {
+    let walk = inner.ring.order(digest);
+    let read_timeout = request
+        .deadline_ms
+        .map_or(inner.default_deadline, Duration::from_millis)
+        + SHARD_READ_MARGIN;
+    // Pass 1: shards believed live. Pass 2: anything with an address —
+    // the registry may be stale in both directions.
+    for live_only in [true, false] {
+        for &slot in &walk {
+            let health = inner.shards.health(slot);
+            let Some(addr) = inner.shards.addr(slot) else {
+                continue;
+            };
+            let is_live = health == Some(ShardHealth::Live);
+            if live_only != is_live {
+                continue;
+            }
+            let hop = root.child("route");
+            match forward(inner, &addr, raw_line, read_timeout) {
+                Ok(response_line) => {
+                    hop.finish("ok");
+                    return (finish(inner, &response_line), "ok");
+                }
+                Err(_) => {
+                    hop.finish("failed");
+                    inner.pool.evict(&addr);
+                    inner.shards.mark_dead(slot);
+                    inner.metrics.count("serve.router.reroutes", 1);
+                }
+            }
+        }
+    }
+    let mut body = ErrorBody::new(
+        ErrorCode::Overloaded,
+        "no shard could serve the request; all candidates failed",
+    );
+    body.retry_after_ms = Some(inner.retry_after_ms);
+    let response = Response::err(request.id, body);
+    (finish(inner, &response.to_json()), "overloaded")
+}
+
+/// One raw exchange with a shard: write the request line verbatim, read
+/// one complete response line, and insist it parses as a protocol
+/// response (a torn shard write must become a reroute, not a garbage
+/// line forwarded to the client). Pooled connections get one fresh-dial
+/// retry, since the pool may hand back a socket the shard has reaped.
+fn forward(
+    inner: &Inner,
+    addr: &str,
+    raw_line: &str,
+    read_timeout: Duration,
+) -> io::Result<String> {
+    if let Some(stream) = inner.pool.checkout(addr) {
+        if let Ok(line) = exchange_raw(stream, raw_line, read_timeout, &inner.pool, addr) {
+            return Ok(line);
+        }
+        inner.pool.evict(addr);
+    }
+    let stream = dial(addr)?;
+    exchange_raw(stream, raw_line, read_timeout, &inner.pool, addr)
+}
+
+/// Connects with a bounded dial timeout.
+fn dial(addr: &str) -> io::Result<TcpStream> {
+    let resolved = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::AddrNotAvailable, "unresolvable address"))?;
+    let stream = TcpStream::connect_timeout(&resolved, DIAL_TIMEOUT)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// The raw line-for-line exchange. On success the connection goes back
+/// to the pool.
+fn exchange_raw(
+    stream: TcpStream,
+    raw_line: &str,
+    read_timeout: Duration,
+    pool: &ConnPool,
+    addr: &str,
+) -> io::Result<String> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    let mut writer = stream.try_clone()?;
+    let mut framed = Vec::with_capacity(raw_line.len() + 1);
+    framed.extend_from_slice(raw_line.as_bytes());
+    framed.push(b'\n');
+    writer.write_all(&framed)?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 || !line.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "shard closed before a complete response line",
+        ));
+    }
+    let trimmed = line.trim_end_matches(['\n', '\r']).to_string();
+    if Response::from_json(&trimmed).is_err() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "shard sent an unparseable response line",
+        ));
+    }
+    pool.checkin(addr, reader.into_inner());
+    Ok(trimmed)
+}
+
+/// The router's own `status` result: role marker, per-shard health, and
+/// the router's metrics snapshot (the same shape a daemon reports, so
+/// `vcache stat` renders it unchanged).
+fn router_status(inner: &Inner) -> Value {
+    let uptime_ms = u64::try_from(inner.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let shards: Vec<Value> = inner
+        .shards
+        .snapshot()
+        .into_iter()
+        .map(|shard| {
+            Value::Obj(vec![
+                ("index".into(), Value::U64(shard.index as u64)),
+                ("addr".into(), shard.addr.map_or(Value::Null, Value::Str)),
+                (
+                    "pid".into(),
+                    shard.pid.map_or(Value::Null, |p| Value::U64(u64::from(p))),
+                ),
+                (
+                    "health".into(),
+                    Value::Str(shard.health.as_str().to_string()),
+                ),
+                ("restarts".into(), Value::U64(shard.restarts)),
+            ])
+        })
+        .collect();
+    let counts = inner.spans.counts();
+    Value::Obj(vec![
+        ("version".into(), Value::U64(PROTOCOL_VERSION)),
+        ("role".into(), Value::Str("router".into())),
+        ("uptime_ms".into(), Value::U64(uptime_ms)),
+        ("queue_depth".into(), Value::U64(0)),
+        ("in_flight".into(), Value::U64(0)),
+        (
+            "draining".into(),
+            Value::Bool(inner.shutdown.load(Ordering::SeqCst)),
+        ),
+        (
+            "spans".into(),
+            Value::Obj(vec![
+                ("opened".into(), Value::U64(counts.opened)),
+                ("finished".into(), Value::U64(counts.finished)),
+            ]),
+        ),
+        ("shards".into(), Value::Arr(shards)),
+        ("metrics".into(), inner.metrics.snapshot().to_value()),
+    ])
+}

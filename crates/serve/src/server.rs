@@ -58,6 +58,7 @@ use vcache_trace::{
     MetricsSnapshot, RollingWindow, SharedMetrics, SpanCollector, SpanContext, SpanHandle,
 };
 
+use crate::cache::{is_cacheable, VerdictCache};
 use crate::digest::request_digest;
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::protocol::{
@@ -104,6 +105,9 @@ pub struct ServerConfig {
     /// Requests taking at least this long emit a structured
     /// `slow_request` log line on stderr (0 disables).
     pub slow_request_ms: u64,
+    /// Verdict-cache capacity in entries (0 disables caching). Hits are
+    /// answered before queue admission and never touch the worker pool.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +123,7 @@ impl Default for ServerConfig {
             root: PathBuf::from("."),
             span_path: None,
             slow_request_ms: 1_000,
+            cache_capacity: 1_024,
         }
     }
 }
@@ -153,6 +158,8 @@ struct Shared {
     slow_request: Option<Duration>,
     /// Per-op rolling latency windows feeding the `status` op.
     op_windows: Mutex<BTreeMap<String, RollingWindow>>,
+    /// The digest-keyed verdict cache, consulted before queue admission.
+    cache: Mutex<VerdictCache>,
 }
 
 impl Shared {
@@ -237,6 +244,7 @@ impl Server {
                 ms => Some(Duration::from_millis(ms)),
             },
             op_windows: Mutex::new(BTreeMap::new()),
+            cache: Mutex::new(VerdictCache::new(config.cache_capacity)),
         });
         Ok(Self {
             listener,
@@ -348,6 +356,10 @@ fn spawn_tcp_conn(
     let shared = Arc::clone(shared);
     let handle = thread::spawn(move || {
         shared.metrics.count("serve.connections", 1);
+        // Request/response lines are small; Nagle + delayed ACK would
+        // stall pipelined peers (the fleet router above all) ~40ms per
+        // exchange.
+        let _ = stream.set_nodelay(true);
         if stream.set_read_timeout(Some(READ_POLL)).is_err() {
             return;
         }
@@ -494,10 +506,68 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
             ),
             false,
         ),
-        _ => (enqueue_and_wait(request, shared, &root), false),
+        _ => (serve_cacheable(request, &digest, shared, &root), false),
     };
     finish_request(shared, root, &op, id, Some(digest), received, &response);
     (response, close_after)
+}
+
+/// The data-plane path: consult the verdict cache, and only on a miss
+/// pay queue admission and a worker. Hits skip the pool entirely and
+/// return the cached result value verbatim — byte-identical to the cold
+/// computation, re-enveloped with this caller's correlation id. Only
+/// successful results of cacheable ops are stored; typed errors never
+/// shadow a future honest attempt.
+fn serve_cacheable(
+    request: Request,
+    digest: &str,
+    shared: &Arc<Shared>,
+    root: &SpanHandle,
+) -> Response {
+    let cacheable = is_cacheable(&request.op)
+        && !shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_disabled();
+    if cacheable {
+        let lookup = root.child("cache_lookup");
+        let hit = shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(digest);
+        match hit {
+            Some(value) => {
+                shared.metrics.count("serve.cache.hits", 1);
+                lookup.finish("hit");
+                return Response::ok(request.id, value);
+            }
+            None => {
+                shared.metrics.count("serve.cache.misses", 1);
+                lookup.finish("miss");
+            }
+        }
+    }
+    let response = enqueue_and_wait(request, shared, root);
+    if cacheable {
+        if let Ok(value) = &response.outcome {
+            let (evicted, entries, bytes) = {
+                let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+                let evicted = cache.insert(digest, value);
+                (evicted, cache.len(), cache.bytes())
+            };
+            if evicted.entries > 0 {
+                shared
+                    .metrics
+                    .count("serve.cache.evictions", evicted.entries);
+            }
+            shared.metrics.gauge("serve.cache.entries", entries as f64);
+            // Precise below 2^52 cached bytes — far beyond any real cache.
+            shared.metrics.gauge("serve.cache.bytes", bytes as f64);
+        }
+    }
+    response
 }
 
 /// Closes a request's root span with the response outcome, records the
@@ -619,6 +689,16 @@ fn write_response<W: Write>(writer: &mut W, response: &Response, shared: &Arc<Sh
     let mut line = response.to_json();
     line.push('\n');
     let bytes = line.as_bytes();
+    if let Some(keep) = shared.injector.roll_kill(bytes.len()) {
+        // Abrupt death mid-response: write a prefix, then die without
+        // unwinding — indistinguishable from a SIGKILLed shard to the
+        // peer. Only reachable when a kill probability was configured,
+        // which the daemon binary accepts but in-process servers never
+        // set.
+        let _ = writer.write_all(&bytes[..keep]);
+        let _ = writer.flush();
+        std::process::exit(9);
+    }
     if let Some(keep) = shared.injector.roll_torn_write(bytes.len()) {
         shared.metrics.count("serve.faults.torn_write", 1);
         let _ = writer.write_all(&bytes[..keep]);

@@ -1,0 +1,196 @@
+//! Property tests for the verdict cache's two load-bearing guarantees
+//! (DESIGN.md §9): a cache hit is **byte-identical** to the cold-path
+//! response it replays, and non-cacheable ops never populate the cache.
+//! Both run against a real in-process daemon, so the properties cover
+//! the whole serve path (digest, admission, cache, worker pool), not
+//! just the `VerdictCache` container.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use serde::{Serialize, Value};
+use vcache_check::{AffineRef, LoopNest, Term};
+use vcache_serve::protocol::{Request, Response};
+use vcache_serve::{Server, ServerConfig};
+
+/// Boots one long-lived daemon per property (each property owns its
+/// server so counter deltas from one cannot perturb the other) and
+/// returns its address. The runner thread lives for the test process.
+fn shared_addr(slot: &'static OnceLock<String>) -> &'static str {
+    slot.get_or_init(|| {
+        let server = Server::bind(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind property-test daemon");
+        let addr = server.local_addr().expect("local addr").to_string();
+        std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        addr
+    })
+}
+
+/// One raw exchange on a fresh connection; returns the exact response
+/// line (no trailing newline) for byte-level comparison.
+fn raw_line(addr: &str, request: &Request) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut line = request.to_json();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).expect("write request");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    response.trim_end().to_string()
+}
+
+/// Counter lookup inside a `status` result's metrics snapshot.
+fn counter(status: &Value, name: &str) -> u64 {
+    let Some(Value::Arr(counters)) = status
+        .get("metrics")
+        .and_then(|metrics| metrics.get("counters"))
+    else {
+        return 0;
+    };
+    counters
+        .iter()
+        .find(|c| matches!(c.get("name"), Some(Value::Str(s)) if s == name))
+        .and_then(|c| match c.get("value") {
+            Some(Value::U64(v)) => Some(*v),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Gauge lookup inside a `status` result's metrics snapshot.
+fn gauge(status: &Value, name: &str) -> f64 {
+    let Some(Value::Arr(gauges)) = status
+        .get("metrics")
+        .and_then(|metrics| metrics.get("gauges"))
+    else {
+        return 0.0;
+    };
+    gauges
+        .iter()
+        .find(|g| matches!(g.get("name"), Some(Value::Str(s)) if s == name))
+        .and_then(|g| match g.get("value") {
+            Some(Value::F64(v)) => Some(*v),
+            Some(Value::U64(v)) => Some(*v as f64),
+            _ => None,
+        })
+        .unwrap_or(0.0)
+}
+
+/// The server's current status result.
+fn status(addr: &str) -> Value {
+    let line = raw_line(addr, &Request::new(0, "status"));
+    Response::from_json(&line)
+        .expect("status parses")
+        .outcome
+        .expect("status is ok")
+}
+
+/// `analyze_nest` params for a randomly shaped (but always fast) nest.
+/// The nonce makes every case a genuinely cold digest.
+fn nest_params(refs: &[(i64, u64, u64)], pow2: bool, nonce: u64) -> Value {
+    let nest = LoopNest::new(
+        format!("prop-{nonce}"),
+        refs.iter()
+            .map(|&(coeff, trip, base)| AffineRef::new(base, vec![Term { coeff, trip }], 0))
+            .collect(),
+    );
+    let geometry = if pow2 {
+        Value::Obj(vec![
+            ("kind".into(), Value::Str("pow2".into())),
+            ("sets".into(), Value::U64(32)),
+            ("line_words".into(), Value::U64(8)),
+        ])
+    } else {
+        Value::Obj(vec![
+            ("kind".into(), Value::Str("prime".into())),
+            ("exponent".into(), Value::U64(5)),
+            ("line_words".into(), Value::U64(8)),
+        ])
+    };
+    Value::Obj(vec![
+        ("nest".into(), nest.to_value()),
+        ("geometry".into(), geometry),
+    ])
+}
+
+static IDENTITY_SERVER: OnceLock<String> = OnceLock::new();
+static NONCE: AtomicU64 = AtomicU64::new(0);
+
+proptest! {
+    /// For any analyzable nest: the second response — served from the
+    /// verdict cache — is byte-for-byte the cold response, and the
+    /// hit/miss counters move accordingly.
+    #[test]
+    fn cache_hit_bytes_equal_cold_path_bytes(
+        refs in prop::collection::vec((1i64..=8, 1u64..=64, 0u64..=128), 1..=3),
+        pow2 in any::<bool>(),
+    ) {
+        let addr = shared_addr(&IDENTITY_SERVER);
+        let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+        let mut request = Request::new(7, "analyze_nest");
+        request.params = nest_params(&refs, pow2, nonce);
+        request.deadline_ms = Some(10_000);
+
+        let before = status(addr);
+        let cold = raw_line(addr, &request);
+        let hit = raw_line(addr, &request);
+        let after = status(addr);
+
+        // Same id on both requests, so the whole wire line must match.
+        prop_assert_eq!(&cold, &hit, "cache hit diverged from cold path");
+        let parsed = Response::from_json(&cold).expect("response parses");
+        prop_assert!(parsed.outcome.is_ok(), "nest failed to analyze: {:?}", parsed.outcome);
+
+        // Fresh digest: the pair is exactly one miss then at least one hit.
+        prop_assert!(
+            counter(&after, "serve.cache.misses") > counter(&before, "serve.cache.misses"),
+            "cold call did not count a miss"
+        );
+        prop_assert!(
+            counter(&after, "serve.cache.hits") > counter(&before, "serve.cache.hits"),
+            "cached call did not count a hit"
+        );
+    }
+}
+
+static NONCACHE_SERVER: OnceLock<String> = OnceLock::new();
+
+proptest! {
+    /// Control-plane ops (`ping`/`status`) pass the cache untouched: no
+    /// lookups counted, no entries stored, however often they repeat.
+    #[test]
+    fn non_cacheable_ops_never_populate_the_cache(
+        op in prop::sample::select(vec!["ping", "status"]),
+        repeats in 1usize..=4,
+    ) {
+        let addr = shared_addr(&NONCACHE_SERVER);
+        let before = status(addr);
+        for id in 0..repeats {
+            let line = raw_line(addr, &Request::new(id as u64 + 1, op));
+            let parsed = Response::from_json(&line).expect("response parses");
+            prop_assert!(parsed.outcome.is_ok(), "{op} failed");
+        }
+        let after = status(addr);
+        for name in ["serve.cache.hits", "serve.cache.misses", "serve.cache.evictions"] {
+            prop_assert_eq!(
+                counter(&before, name),
+                counter(&after, name),
+                "{} moved across {} x{}", name, op, repeats
+            );
+        }
+        prop_assert_eq!(
+            gauge(&before, "serve.cache.entries").to_bits(),
+            gauge(&after, "serve.cache.entries").to_bits(),
+            "cache entries gauge moved across {} x{}", op, repeats
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! In-process integration tests for the fleet router: consistent-hash
+//! routing with byte-identical forwarding, failover around a dead
+//! shard, overload when every candidate is down, and the router-local
+//! control plane (`ping`/`status`). Shards here are in-process
+//! [`Server`]s registered through [`ShardSet::fixed`]; the process-level
+//! supervisor is exercised by `tests/serve_chaos.rs`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use serde::{Serialize, Value};
+use vcache_check::{AffineRef, LoopNest, Term};
+use vcache_serve::protocol::{ErrorCode, Request, Response};
+use vcache_serve::{Router, RouterConfig, Server, ServerConfig, ShardSet, ShutdownHandle};
+
+/// One in-process shard: address plus its shutdown handle and runner.
+struct Shard {
+    addr: String,
+    handle: ShutdownHandle,
+    runner: thread::JoinHandle<vcache_trace::MetricsSnapshot>,
+}
+
+fn boot_shard() -> Shard {
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind shard");
+    let addr = server.local_addr().expect("shard addr").to_string();
+    let handle = server.shutdown_handle();
+    let runner = thread::spawn(move || server.run().expect("shard run"));
+    Shard {
+        addr,
+        handle,
+        runner,
+    }
+}
+
+/// Boots `n` shards and a router over them; returns the shards, the
+/// router address, its shutdown trigger, and the runner handle.
+fn boot_fleet(
+    n: usize,
+) -> (
+    Vec<Shard>,
+    String,
+    vcache_serve::RouterShutdown,
+    thread::JoinHandle<vcache_trace::MetricsSnapshot>,
+) {
+    let shards: Vec<Shard> = (0..n).map(|_| boot_shard()).collect();
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+    let set = ShardSet::fixed(&addrs);
+    let router = Router::bind(
+        RouterConfig::default(),
+        set,
+        vcache_trace::SharedMetrics::default(),
+    )
+    .expect("bind router");
+    let addr = router.local_addr().expect("router addr").to_string();
+    let shutdown = router.shutdown_handle();
+    let runner = thread::spawn(move || router.run().expect("router run"));
+    (shards, addr, shutdown, runner)
+}
+
+fn teardown(
+    shards: Vec<Shard>,
+    shutdown: &vcache_serve::RouterShutdown,
+    runner: thread::JoinHandle<vcache_trace::MetricsSnapshot>,
+) {
+    shutdown.trigger();
+    runner.join().expect("router runner");
+    for shard in shards {
+        shard.handle.trigger();
+        let _ = shard.runner.join();
+    }
+}
+
+/// One raw exchange on a fresh connection; returns the exact response
+/// line for byte-level comparison.
+fn raw_line(addr: &str, request: &Request) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut line = request.to_json();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).expect("write request");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    response.trim_end().to_string()
+}
+
+fn nest_request(id: u64, name: &str) -> Request {
+    let nest = LoopNest::new(
+        name,
+        vec![AffineRef::new(0, vec![Term { coeff: 1, trip: 32 }], 0)],
+    );
+    let mut request = Request::new(id, "analyze_nest");
+    request.params = Value::Obj(vec![
+        ("nest".into(), nest.to_value()),
+        (
+            "geometry".into(),
+            Value::Obj(vec![
+                ("kind".into(), Value::Str("pow2".into())),
+                ("sets".into(), Value::U64(32)),
+                ("line_words".into(), Value::U64(8)),
+            ]),
+        ),
+    ]);
+    request.deadline_ms = Some(10_000);
+    request
+}
+
+#[test]
+fn routed_responses_are_byte_identical_to_direct_shard_responses() {
+    let (shards, router_addr, shutdown, runner) = boot_fleet(3);
+
+    for i in 0..8 {
+        let request = nest_request(9, &format!("identity-{i}"));
+        let routed = raw_line(&router_addr, &request);
+        // The same request again — against every shard directly. The
+        // shard that owns the digest answers from its verdict cache;
+        // the others compute cold. All must produce the same bytes, and
+        // the routed line must be among them verbatim.
+        for shard in &shards {
+            let direct = raw_line(&shard.addr, &request);
+            assert_eq!(
+                routed, direct,
+                "router hop changed the response bytes (shard {})",
+                shard.addr
+            );
+        }
+        let parsed = Response::from_json(&routed).expect("routed response parses");
+        assert_eq!(parsed.id, 9);
+        assert!(parsed.outcome.is_ok(), "analyze failed: {parsed:?}");
+    }
+
+    teardown(shards, &shutdown, runner);
+}
+
+#[test]
+fn router_control_plane_is_local_and_reports_shard_health() {
+    let (shards, router_addr, shutdown, runner) = boot_fleet(2);
+
+    // ping names the role, so probes can tell router from shard.
+    let ping = Response::from_json(&raw_line(&router_addr, &Request::new(1, "ping")))
+        .expect("ping parses")
+        .outcome
+        .expect("ping ok");
+    assert_eq!(ping.get("role"), Some(&Value::Str("router".into())));
+
+    // status carries one entry per shard slot, all live.
+    let status = Response::from_json(&raw_line(&router_addr, &Request::new(2, "status")))
+        .expect("status parses")
+        .outcome
+        .expect("status ok");
+    assert_eq!(status.get("role"), Some(&Value::Str("router".into())));
+    let Some(Value::Arr(reported)) = status.get("shards") else {
+        panic!("router status lacks a shards array: {status:?}");
+    };
+    assert_eq!(reported.len(), 2);
+    for (i, shard) in reported.iter().enumerate() {
+        assert_eq!(shard.get("index"), Some(&Value::U64(i as u64)));
+        assert_eq!(shard.get("health"), Some(&Value::Str("live".into())));
+        assert!(matches!(shard.get("addr"), Some(Value::Str(_))));
+    }
+
+    teardown(shards, &shutdown, runner);
+}
+
+#[test]
+fn requests_fail_over_to_surviving_shards_and_deaths_are_surfaced() {
+    let (mut shards, router_addr, shutdown, runner) = boot_fleet(3);
+
+    // Kill shard 1 outright (drain its in-process server), then hammer
+    // the router: every request must still resolve OK — the ring walks
+    // past the dead slot — and the registry must record the death.
+    let victim = shards.remove(1);
+    victim.handle.trigger();
+    let _ = victim.runner.join();
+    thread::sleep(Duration::from_millis(50));
+
+    for i in 0..24 {
+        let request = nest_request(100 + i, &format!("failover-{i}"));
+        let response =
+            Response::from_json(&raw_line(&router_addr, &request)).expect("response parses");
+        assert!(
+            response.outcome.is_ok(),
+            "request {i} failed despite two live shards: {response:?}"
+        );
+    }
+
+    let status = Response::from_json(&raw_line(&router_addr, &Request::new(1, "status")))
+        .expect("status parses")
+        .outcome
+        .expect("status ok");
+    let Some(Value::Arr(reported)) = status.get("shards") else {
+        panic!("router status lacks a shards array: {status:?}");
+    };
+    let healths: Vec<&Value> = reported.iter().filter_map(|s| s.get("health")).collect();
+    assert!(
+        healths.contains(&&Value::Str("dead".into())),
+        "dead shard not surfaced in status: {status:?}"
+    );
+    assert_eq!(
+        healths
+            .iter()
+            .filter(|h| ***h == Value::Str("live".into()))
+            .count(),
+        2,
+        "survivors misreported: {status:?}"
+    );
+
+    teardown(shards, &shutdown, runner);
+}
+
+#[test]
+fn all_shards_dead_yields_overloaded_with_retry_after() {
+    let (shards, router_addr, shutdown, runner) = boot_fleet(2);
+    for shard in &shards {
+        shard.handle.trigger();
+    }
+    // Let the shard drains finish before routing into the void.
+    thread::sleep(Duration::from_millis(100));
+
+    let response = Response::from_json(&raw_line(&router_addr, &nest_request(5, "void")))
+        .expect("response parses");
+    match response.outcome {
+        Err(body) => {
+            assert_eq!(body.code, ErrorCode::Overloaded, "{}", body.message);
+            assert!(
+                body.retry_after_ms.is_some(),
+                "overloaded without a retry-after hint"
+            );
+        }
+        Ok(v) => panic!("expected overloaded, got {v:?}"),
+    }
+
+    shutdown.trigger();
+    runner.join().expect("router runner");
+    for shard in shards {
+        let _ = shard.runner.join();
+    }
+}

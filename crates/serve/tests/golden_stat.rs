@@ -90,7 +90,8 @@ fn request_digest_is_pinned() {
 }
 
 /// A small but fully-populated `status` result, shaped exactly as
-/// `op_status` shapes it.
+/// `op_status` shapes it — plus the `shards` array a fleet router's
+/// status carries, so the per-shard Prometheus families are pinned too.
 fn golden_status() -> Value {
     Value::Obj(vec![
         ("version".into(), Value::U64(1)),
@@ -103,6 +104,25 @@ fn golden_status() -> Value {
             Value::Obj(vec![
                 ("opened".into(), Value::U64(40)),
                 ("finished".into(), Value::U64(38)),
+            ]),
+        ),
+        (
+            "shards".into(),
+            Value::Arr(vec![
+                Value::Obj(vec![
+                    ("index".into(), Value::U64(0)),
+                    ("addr".into(), Value::Str("127.0.0.1:9001".into())),
+                    ("pid".into(), Value::U64(4242)),
+                    ("health".into(), Value::Str("live".into())),
+                    ("restarts".into(), Value::U64(0)),
+                ]),
+                Value::Obj(vec![
+                    ("index".into(), Value::U64(1)),
+                    ("addr".into(), Value::Str("127.0.0.1:9002".into())),
+                    ("pid".into(), Value::Null),
+                    ("health".into(), Value::Str("restarting".into())),
+                    ("restarts".into(), Value::U64(2)),
+                ]),
             ]),
         ),
         (
@@ -136,6 +156,18 @@ fn golden_status() -> Value {
                                 Value::Str("serve.probabilistic_verdicts".into()),
                             ),
                             ("value".into(), Value::U64(8)),
+                        ]),
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str("serve.cache.hits".into())),
+                            ("value".into(), Value::U64(6)),
+                        ]),
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str("serve.cache.misses".into())),
+                            ("value".into(), Value::U64(4)),
+                        ]),
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str("serve.cache.evictions".into())),
+                            ("value".into(), Value::U64(1)),
                         ]),
                     ]),
                 ),
@@ -180,10 +212,22 @@ vcache_serve_draining 0
 vcache_serve_spans_opened_total 40
 # TYPE vcache_serve_spans_finished_total counter
 vcache_serve_spans_finished_total 38
+# TYPE vcache_serve_shard_up gauge
+vcache_serve_shard_up{shard=\"0\"} 1
+vcache_serve_shard_up{shard=\"1\"} 0
+# TYPE vcache_serve_shard_restarts_total counter
+vcache_serve_shard_restarts_total{shard=\"0\"} 0
+vcache_serve_shard_restarts_total{shard=\"1\"} 2
 # TYPE vcache_serve_requests_total counter
 vcache_serve_requests_total 10
 # TYPE vcache_serve_probabilistic_verdicts_total counter
 vcache_serve_probabilistic_verdicts_total 8
+# TYPE vcache_serve_cache_hits_total counter
+vcache_serve_cache_hits_total 6
+# TYPE vcache_serve_cache_misses_total counter
+vcache_serve_cache_misses_total 4
+# TYPE vcache_serve_cache_evictions_total counter
+vcache_serve_cache_evictions_total 1
 # TYPE vcache_serve_queue_depth gauge
 vcache_serve_queue_depth 3
 # TYPE vcache_serve_latency_us_analyze_nest histogram

@@ -118,4 +118,55 @@ timeout --kill-after=10 120 bash -c '
     rm -f serve.out serve.err serve.spans
 '
 
+# Fleet smoke: a router over two supervised shards must keep serving
+# through a SIGKILL of one shard (ring failover + supervisor restart),
+# surface per-shard health in stat, and drain the whole fleet cleanly.
+echo "==> fleet smoke  (timeout 120s)"
+timeout --kill-after=10 120 bash -c '
+    set -euo pipefail
+    ./target/release/vcache serve --addr 127.0.0.1:0 --shards 2 \
+        >fleet.out 2>fleet.err &
+    fleet=$!
+    trap "kill \"$fleet\" 2>/dev/null || true" EXIT
+    for _ in $(seq 100); do
+        grep -q "^listening on " fleet.out && break
+        sleep 0.1
+    done
+    addr=$(sed -n "s/^listening on //p" fleet.out | head -1)
+    [ -n "$addr" ] || { echo "router never printed its address"; exit 1; }
+
+    client="./target/release/vcache client"
+    $client ping --addr "$addr" >/dev/null
+    $client check --nests --addr "$addr"
+    ./target/release/vcache stat --addr "$addr" | grep -q "^    shard 0   live"
+    ./target/release/vcache stat --prom --addr "$addr" \
+        | grep -q "^vcache_serve_shard_up{shard=\"1\"} 1"
+
+    # SIGKILL shard 0 and insist the fleet keeps answering while the
+    # supervisor restarts it.
+    victim=$($client status --addr "$addr" \
+        | grep -o "\"pid\":[0-9]*" | head -1 | cut -d: -f2)
+    [ -n "$victim" ] || { echo "no shard pid in router status"; exit 1; }
+    kill -KILL "$victim"
+    $client check --nests --addr "$addr"
+    for _ in $(seq 100); do
+        ./target/release/vcache stat --prom --addr "$addr" \
+            | grep -q "^vcache_serve_shard_restarts_total{shard=\"0\"} [1-9]" && break
+        sleep 0.1
+    done
+    ./target/release/vcache stat --prom --addr "$addr" \
+        | grep -q "^vcache_serve_shard_restarts_total{shard=\"0\"} [1-9]" \
+        || { echo "killed shard was never restarted"; exit 1; }
+
+    $client shutdown --addr "$addr" >/dev/null
+    code=0
+    wait "$fleet" || code=$?
+    trap - EXIT
+    [ "$code" -eq 0 ] || { echo "fleet drained with exit code $code"; exit 1; }
+    # Router + both shards each printed a final snapshot into stderr.
+    [ "$(grep -c "final metrics" fleet.err)" -ge 3 ] \
+        || { echo "missing final snapshots"; cat fleet.err; exit 1; }
+    rm -f fleet.out fleet.err
+'
+
 echo "CI gate passed."

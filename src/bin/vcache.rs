@@ -70,21 +70,30 @@ USAGE:
       covered by the allowlist.
   vcache serve [--addr <A>] [--unix <PATH>] [--workers <N>] [--queue <N>]
                [--deadline-ms <N>] [--retry-after-ms <N>] [--faults <SPEC>] [--root <DIR>]
-               [--spans <FILE>] [--slow-ms <N>]
+               [--spans <FILE>] [--slow-ms <N>] [--cache <N>] [--shards <N>]
       Run the analysis daemon (NDJSON over TCP, plus a Unix socket with
       --unix). Prints `listening on <addr>` once bound; --addr defaults
       to 127.0.0.1:0 (ephemeral port). SIGTERM/SIGINT drain gracefully
       and print a final metrics snapshot. <SPEC> arms fault injection,
-      e.g. `seed=7,panic=0.02,delay=0.05:20,torn=0.02`. With --spans,
-      every request's span tree (DESIGN.md §8) is appended to FILE as
-      JSONL; requests slower than --slow-ms (default 1000, 0 disables)
-      are logged to stderr as structured slow_request lines.
+      e.g. `seed=7,panic=0.02,delay=0.05:20,torn=0.02,kill=0.01` (kill
+      dies abruptly mid-response, like a SIGKILL). With --spans, every
+      request's span tree (DESIGN.md §8) is appended to FILE as JSONL;
+      requests slower than --slow-ms (default 1000, 0 disables) are
+      logged to stderr as structured slow_request lines. --cache bounds
+      the digest-keyed verdict cache (entries, default 1024, 0
+      disables). With --shards N (DESIGN.md §9), N child daemons are
+      supervised (crash-restart with backoff) behind a router on --addr
+      that consistent-hashes request digests across them; --spans then
+      records the router's spans and per-shard health appears in
+      `status` and `vcache stat`.
   vcache stat --addr <A> [--prom] [--json] [--attempts <N>]
-      Fetch a running daemon's status and render it: a human summary by
-      default, the Prometheus text exposition with --prom, or the raw
-      status JSON with --json.
+      Fetch a running daemon's (or fleet router's) status and render it:
+      a human summary by default, the Prometheus text exposition with
+      --prom, or the raw status JSON with --json.
   vcache client <op> --addr <A> [--deadline-ms <N>] [--attempts <N>] [op flags]
       Call a running daemon with retries (decorrelated-jitter backoff).
+      --addr may be a comma-separated shard list; transport failures
+      fail over to the next address.
       <op> is one of:
         ping | status | shutdown
         check    [--src] [--programs] [--nests] [--prescribe] [--workloads]
@@ -525,6 +534,10 @@ mod signals {
 }
 
 fn serve_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let shards: usize = get_or(flags, "shards", 0)?;
+    if shards > 0 {
+        return serve_fleet_cmd(flags, shards);
+    }
     let fault_plan = match flags.get("faults") {
         Some(spec) => FaultPlan::parse(spec)?,
         None => FaultPlan::none(),
@@ -540,6 +553,7 @@ fn serve_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         root: get_or(flags, "root", ".".to_string())?.into(),
         span_path: flags.get("spans").map(std::path::PathBuf::from),
         slow_request_ms: get_or(flags, "slow-ms", 1_000)?,
+        cache_capacity: get_or(flags, "cache", 1_024)?,
     };
     let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -561,6 +575,97 @@ fn serve_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     }
 
     let snapshot = server.run().map_err(|e| format!("daemon failed: {e}"))?;
+    eprintln!("drained; final metrics:");
+    eprintln!("{}", snapshot.to_json());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `vcache serve --shards N`: supervise N child daemons behind a
+/// consistent-hash router (DESIGN.md §9). The children re-exec this
+/// binary's single-daemon mode on ephemeral ports; the router owns the
+/// public --addr. Shard stderr is inherited, so shard drain snapshots
+/// land in this process's stderr stream.
+fn serve_fleet_cmd(flags: &HashMap<String, String>, shards: usize) -> Result<ExitCode, String> {
+    use prime_cache::serve::{FleetConfig, Router, RouterConfig, Supervisor};
+
+    if flags.contains_key("unix") {
+        return Err("--unix is not supported in --shards mode".into());
+    }
+    // Validate the fault spec up front so a typo fails here, not in
+    // every child's stderr.
+    if let Some(spec) = flags.get("faults") {
+        FaultPlan::parse(spec)?;
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate own executable: {e}"))?
+        .to_str()
+        .ok_or_else(|| "own executable path is not UTF-8".to_string())?
+        .to_string();
+    let mut shard_cmd = vec![
+        exe,
+        "serve".to_string(),
+        "--addr".to_string(),
+        "127.0.0.1:0".to_string(),
+    ];
+    for flag in [
+        "workers",
+        "queue",
+        "deadline-ms",
+        "retry-after-ms",
+        "faults",
+        "root",
+        "slow-ms",
+        "cache",
+    ] {
+        if let Some(value) = flags.get(flag) {
+            shard_cmd.push(format!("--{flag}"));
+            shard_cmd.push(value.clone());
+        }
+    }
+    let metrics = prime_cache::trace::SharedMetrics::default();
+    let supervisor = Supervisor::start(FleetConfig::new(shards, shard_cmd), metrics.clone())
+        .map_err(|e| format!("cannot start shard fleet: {e}"))?;
+    let router_config = RouterConfig {
+        addr: get_or(flags, "addr", "127.0.0.1:0".to_string())?,
+        retry_after_ms: get_or(flags, "retry-after-ms", 50)?,
+        default_deadline_ms: get_or(flags, "deadline-ms", 10_000)?,
+        span_path: flags.get("spans").map(std::path::PathBuf::from),
+    };
+    let router = match Router::bind(router_config, supervisor.shards(), metrics) {
+        Ok(router) => router,
+        Err(e) => {
+            supervisor.drain(std::time::Duration::from_secs(5));
+            return Err(format!("cannot bind router: {e}"));
+        }
+    };
+    let addr = match router.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            supervisor.drain(std::time::Duration::from_secs(5));
+            return Err(e.to_string());
+        }
+    };
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    #[cfg(unix)]
+    {
+        signals::install();
+        let handle = router.shutdown_handle();
+        std::thread::spawn(move || loop {
+            if signals::triggered() {
+                handle.trigger();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+
+    let snapshot = router.run().map_err(|e| format!("router failed: {e}"))?;
+    // Shards drain after the router stops accepting: their final
+    // snapshots print to the inherited stderr before ours.
+    supervisor.drain(std::time::Duration::from_secs(10));
     eprintln!("drained; final metrics:");
     eprintln!("{}", snapshot.to_json());
     Ok(ExitCode::SUCCESS)
