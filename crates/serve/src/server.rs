@@ -50,8 +50,8 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize, Value};
 use vcache_check::{
-    analyze_nest_with_budget, prescribe_with_budget, run_check_observed, CheckError, CheckOptions,
-    LoopNest, NestBudget, NestError,
+    analyze_nest_with_budget, plan_parallel, run_check_observed, CheckError, CheckOptions,
+    CostWeights, LoopNest, NestBudget, NestError, DEFAULT_MAX_PAD,
 };
 use vcache_trace::analyze;
 use vcache_trace::{
@@ -153,6 +153,9 @@ struct Shared {
     default_deadline: Duration,
     retry_after_ms: u64,
     root: PathBuf,
+    /// Worker-pool size; also the width of the planner's internal
+    /// candidate fan-out on the `analyze_nest --prescribe` batch path.
+    workers: usize,
     started: Instant,
     /// Slow-request log threshold (`None` disables).
     slow_request: Option<Duration>,
@@ -238,6 +241,7 @@ impl Server {
             default_deadline: Duration::from_millis(config.default_deadline_ms.max(1)),
             retry_after_ms: config.retry_after_ms,
             root: config.root,
+            workers: config.workers.max(1),
             started: Instant::now(),
             slow_request: match config.slow_request_ms {
                 0 => None,
@@ -985,41 +989,133 @@ fn op_analyze_nest(
         .to_geometry()
         .map_err(|e| bad(format!("param `geometry`: {e}")))?;
     let want_prescription = bool_param(params, "prescribe").map_err(bad)?;
-    let max_pad = u64_param(params, "max_pad").map_err(bad)?.unwrap_or(8);
+    // The daemon's default padding frontier matches the CLI's, so serve
+    // and local prescriptions stay byte-identical.
+    let max_pad = u64_param(params, "max_pad")
+        .map_err(bad)?
+        .unwrap_or(DEFAULT_MAX_PAD);
 
     let phases = PhaseSpans::new(span);
-    let outcome = {
+    let analysis = {
         let cancelled = move || Instant::now() >= deadline;
         let obs = |phase: &'static str, begin: bool| phases.observe(phase, begin);
         let budget = NestBudget::with_cancel(&cancelled).with_observer(&obs);
-        analyze_nest_with_budget(&nest, &geometry, &budget).and_then(|analysis| {
-            shared
-                .metrics
-                .count("serve.enumerated_lines", analysis.enumerated_lines);
-            let mut pairs = vec![("analysis".to_string(), analysis.to_value())];
-            if want_prescription && !analysis.verdict.is_conflict_free() {
-                // The prescriber re-runs the analyzer per candidate fix;
-                // bracketing it here nests those phases under one
-                // `prescribe` span.
-                phases.observe("prescribe", true);
-                let certificate = prescribe_with_budget(&nest, &geometry, max_pad, &budget);
-                phases.observe("prescribe", false);
+        match analyze_nest_with_budget(&nest, &geometry, &budget) {
+            Ok(a) => a,
+            Err(e) => {
+                phases.drain(match e {
+                    NestError::Cancelled => "cancelled",
+                    _ => "error",
+                });
+                return Err(nest_error(e));
+            }
+        }
+    };
+    shared
+        .metrics
+        .count("serve.enumerated_lines", analysis.enumerated_lines);
+    let mut pairs = vec![("analysis".to_string(), analysis.to_value())];
+    if want_prescription && !analysis.verdict.is_conflict_free() {
+        // The planner analyzes every candidate repair; the batch path
+        // fans those analyses across a thread pool as wide as the
+        // daemon's worker pool, with one child span per candidate under
+        // the `prescribe` span.
+        let prescribe_span = span.child("prescribe");
+        let candidates = CandidateSpans::new(prescribe_span.context());
+        let weights = CostWeights::default();
+        let outcome = {
+            let cancelled = move || Instant::now() >= deadline;
+            let obs = |label: &str, begin: bool| candidates.observe(label, begin);
+            plan_parallel(
+                &nest,
+                &geometry,
+                max_pad,
+                &weights,
+                shared.workers,
+                Some(&cancelled),
+                Some(&obs),
+            )
+        };
+        match outcome {
+            Ok(planned) => {
+                candidates.drain("ok");
+                prescribe_span.finish("ok");
+                let (frontier, analyzed, mut ranked) =
+                    planned.map_or((0, 0, Vec::new()), |p| (p.candidates, p.analyzed, p.ranked));
+                shared.metrics.count("serve.plan.candidates", frontier);
+                shared.metrics.count("serve.plan.analyzed", analyzed);
+                let ranked_count = u64::try_from(ranked.len()).unwrap_or(u64::MAX);
+                shared.metrics.count("serve.plan.ranked", ranked_count);
+                let best = if ranked.is_empty() {
+                    Value::Null
+                } else {
+                    ranked.remove(0).to_value()
+                };
+                pairs.push(("certificate".to_string(), best));
                 pairs.push((
-                    "certificate".to_string(),
-                    certificate?.map_or(Value::Null, |c| c.to_value()),
+                    "alternatives".to_string(),
+                    Value::Arr(ranked.iter().map(|c| c.to_value()).collect()),
+                ));
+                pairs.push((
+                    "plan".to_string(),
+                    Value::Obj(vec![
+                        ("candidates".into(), Value::U64(frontier)),
+                        ("analyzed".into(), Value::U64(analyzed)),
+                        ("ranked".into(), Value::U64(ranked_count)),
+                        ("weights".into(), weights.to_value()),
+                    ]),
                 ));
             }
-            Ok(pairs)
-        })
-    };
-    match outcome {
-        Ok(pairs) => Ok(Value::Obj(pairs)),
-        Err(e) => {
-            phases.drain(match e {
-                NestError::Cancelled => "cancelled",
-                _ => "error",
-            });
-            Err(nest_error(e))
+            Err(e) => {
+                let status = match e {
+                    NestError::Cancelled => "cancelled",
+                    _ => "error",
+                };
+                candidates.drain(status);
+                prescribe_span.finish(status);
+                phases.drain(status);
+                return Err(nest_error(e));
+            }
+        }
+    }
+    Ok(Value::Obj(pairs))
+}
+
+/// Per-candidate child spans for the planner's parallel batch path.
+/// Candidate labels are unique within one plan, so a label-keyed map
+/// pairs each begin with its end even when the callbacks arrive from
+/// different pool threads.
+struct CandidateSpans {
+    ctx: SpanContext,
+    open: Mutex<BTreeMap<String, SpanHandle>>,
+}
+
+impl CandidateSpans {
+    fn new(ctx: SpanContext) -> Self {
+        Self {
+            ctx,
+            open: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn observe(&self, label: &str, begin: bool) {
+        let mut open = self.open.lock().unwrap_or_else(PoisonError::into_inner);
+        if begin {
+            open.insert(label.to_owned(), self.ctx.child(label));
+        } else if let Some(span) = open.remove(label) {
+            span.finish("ok");
+        }
+    }
+
+    /// Closes any candidate still open (a cancelled plan abandons its
+    /// in-flight analyses) with `status`.
+    fn drain(self, status: &str) {
+        let open = self
+            .open
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (_, span) in open {
+            span.finish(status);
         }
     }
 }

@@ -438,3 +438,218 @@ fn span_export_yields_complete_trees_with_phase_attribution() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Builds an `analyze_nest` request with the planner enabled and an
+/// optional explicit padding frontier.
+fn plan_params(
+    nest: &LoopNest,
+    geometry_sets: u64,
+    line_words: u64,
+    max_pad: Option<u64>,
+) -> Request {
+    let mut request = Request::new(7, "analyze_nest");
+    let mut params = vec![
+        ("nest".to_string(), nest.to_value()),
+        (
+            "geometry".to_string(),
+            Value::Obj(vec![
+                ("kind".to_string(), Value::Str("pow2".into())),
+                ("sets".to_string(), Value::U64(geometry_sets)),
+                ("line_words".to_string(), Value::U64(line_words)),
+            ]),
+        ),
+        ("prescribe".to_string(), Value::Bool(true)),
+    ];
+    if let Some(pad) = max_pad {
+        params.push(("max_pad".to_string(), Value::U64(pad)));
+    }
+    request.params = Value::Obj(params);
+    request.deadline_ms = Some(30_000);
+    request
+}
+
+/// A 256-word leading dimension walked in whole-row steps under a
+/// 16-set × 16-word mapper: every padding δ < 16 leaves iterations 0
+/// and 1 on the same set, so the cheapest repair (pad δ=16, cost 128)
+/// sits beyond the daemon's old hardcoded frontier of 8 but well inside
+/// [`DEFAULT_MAX_PAD`].
+fn deep_pad_nest() -> LoopNest {
+    let mut nest = LoopNest::new(
+        "deep-pad",
+        vec![AffineRef::new(
+            0,
+            vec![Term {
+                coeff: 256,
+                trip: 8,
+            }],
+            0,
+        )],
+    );
+    nest.leading_dim = Some(256);
+    nest
+}
+
+/// Regression for the daemon's padding-frontier default: it used to
+/// hardcode `max_pad = 8` while the CLI used [`DEFAULT_MAX_PAD`] (64),
+/// so the daemon silently prescribed an expensive trip shrink for nests
+/// whose cheap pad repair needed δ > 8. The default must match the
+/// local planner byte-for-byte; the old behavior is still reachable by
+/// passing `max_pad` explicitly.
+#[test]
+fn daemon_padding_frontier_default_matches_the_local_planner() {
+    use vcache_check::{plan, prescribe::DEFAULT_MAX_PAD, Geometry};
+    let (addr, handle, _metrics, runner) = boot(ServerConfig {
+        workers: 2,
+        cache_capacity: 0, // same nest, different max_pad: keep the cache out
+        ..ServerConfig::default()
+    });
+    let nest = deep_pad_nest();
+    let geometry = Geometry::pow2(16, 16).unwrap();
+
+    // Default frontier: the daemon must find the δ=16 pad, exactly as
+    // the local planner does.
+    let response = raw_call(&addr, &plan_params(&nest, 16, 16, None));
+    let result = response.outcome.expect("analyze_nest with prescribe");
+    let served = result.get("certificate").expect("certificate in result");
+    let local = plan(&nest, &geometry, DEFAULT_MAX_PAD)
+        .expect("nest is repairable")
+        .into_best()
+        .expect("planner ranks at least one repair");
+    // Compare serialized bytes: the response rode the wire as JSON, so
+    // integral floats come back as integers in the parsed `Value`.
+    assert_eq!(
+        serde_json::to_string(served).unwrap(),
+        serde_json::to_string(&local.to_value()).unwrap(),
+        "served certificate differs from the local planner's"
+    );
+    let fix = serde_json::to_string(served).unwrap();
+    assert!(
+        fix.contains("PadLeadingDim"),
+        "expected the deep pad repair, got {fix}"
+    );
+
+    // The old default, requested explicitly: no pad ≤ 8 works, so the
+    // planner falls back to the expensive shrink — the bug this pins.
+    let response = raw_call(&addr, &plan_params(&nest, 16, 16, Some(8)));
+    let result = response.outcome.expect("analyze_nest with max_pad=8");
+    let served = result.get("certificate").expect("certificate in result");
+    let fix = serde_json::to_string(served).unwrap();
+    assert!(
+        fix.contains("ShrinkTrip"),
+        "a frontier of 8 cannot pad this nest, got {fix}"
+    );
+
+    handle.trigger();
+    runner.join().unwrap();
+}
+
+/// The served ranking — best certificate, alternatives array, and plan
+/// counters — must be byte-identical to the local planner's, and stable
+/// across repeated requests: the daemon's parallel batch path may not
+/// reorder survivors.
+#[test]
+fn served_ranking_is_deterministic_and_matches_local() {
+    use vcache_check::{plan, prescribe::DEFAULT_MAX_PAD, Geometry};
+    let (addr, handle, metrics, runner) = boot(ServerConfig {
+        workers: 4,
+        cache_capacity: 0, // exercise the planner on every request
+        ..ServerConfig::default()
+    });
+    // The Eq. 8 headline nest: one shrink site plus three viable
+    // geometry switches — a multi-kind ranking.
+    let nest = LoopNest::new(
+        "pow2-stride",
+        vec![AffineRef::new(
+            0,
+            vec![Term {
+                coeff: 4096,
+                trip: 8191,
+            }],
+            0,
+        )],
+    );
+    let geometry = Geometry::pow2(8192, 8).unwrap();
+    let local = plan(&nest, &geometry, DEFAULT_MAX_PAD).expect("interfering nest plans");
+    assert!(local.ranked.len() >= 2, "need a real ranking to compare");
+
+    let mut served_results = Vec::new();
+    for _ in 0..2 {
+        let response = raw_call(&addr, &plan_params(&nest, 8192, 8, None));
+        served_results.push(response.outcome.expect("analyze_nest with prescribe"));
+    }
+    assert_eq!(
+        served_results[0], served_results[1],
+        "same request, different served ranking"
+    );
+
+    let result = &served_results[0];
+    // Compare serialized bytes: the response rode the wire as JSON, so
+    // integral floats come back as integers in the parsed `Value`.
+    let best = result.get("certificate").expect("certificate in result");
+    assert_eq!(
+        serde_json::to_string(best).unwrap(),
+        serde_json::to_string(&local.ranked[0].to_value()).unwrap()
+    );
+    let alternatives = result.get("alternatives").expect("alternatives in result");
+    let local_alts: Vec<Value> = local.ranked[1..].iter().map(|c| c.to_value()).collect();
+    assert_eq!(
+        serde_json::to_string(alternatives).unwrap(),
+        serde_json::to_string(&Value::Arr(local_alts)).unwrap()
+    );
+
+    // The plan summary echoes the frontier and carries the cost-model
+    // weights the ranking was priced under.
+    let summary = result.get("plan").expect("plan summary in result");
+    assert_eq!(
+        summary.get("candidates").cloned(),
+        Some(Value::U64(local.candidates))
+    );
+    assert_eq!(
+        summary.get("analyzed").cloned(),
+        Some(Value::U64(local.analyzed))
+    );
+    assert_eq!(
+        summary.get("ranked").cloned(),
+        Some(Value::U64(local.ranked.len() as u64))
+    );
+    let weights = serde_json::to_string(summary.get("weights").expect("weights")).unwrap();
+    assert!(weights.contains("pad_word"), "{weights}");
+
+    // Two planner runs worth of counters.
+    let snapshot = metrics.snapshot();
+    assert_eq!(
+        snapshot.counter("serve.plan.candidates"),
+        2 * local.candidates
+    );
+    assert_eq!(snapshot.counter("serve.plan.analyzed"), 2 * local.analyzed);
+    assert_eq!(
+        snapshot.counter("serve.plan.ranked"),
+        2 * local.ranked.len() as u64
+    );
+
+    handle.trigger();
+    runner.join().unwrap();
+}
+
+/// A deadline expiring while the planner is enabled must surface as the
+/// typed deadline error with no partial ranking attached — the planner
+/// aborts the whole frontier rather than serving a truncated list.
+#[test]
+fn planner_deadline_yields_typed_error_and_no_partial_ranking() {
+    let (addr, handle, _metrics, runner) = boot(ServerConfig {
+        workers: 2,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let mut request = plan_params(&slow_nest(), 32, 8, None);
+    request.deadline_ms = Some(200);
+    let response = raw_call(&addr, &request);
+    match response.outcome {
+        Err(body) => {
+            assert_eq!(body.code, ErrorCode::DeadlineExceeded, "{}", body.message);
+        }
+        Ok(v) => panic!("expected deadline_exceeded, got a (possibly partial) result: {v:?}"),
+    }
+    handle.trigger();
+    runner.join().unwrap();
+}

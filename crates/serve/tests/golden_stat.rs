@@ -169,6 +169,18 @@ fn golden_status() -> Value {
                             ("name".into(), Value::Str("serve.cache.evictions".into())),
                             ("value".into(), Value::U64(1)),
                         ]),
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str("serve.plan.candidates".into())),
+                            ("value".into(), Value::U64(12)),
+                        ]),
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str("serve.plan.analyzed".into())),
+                            ("value".into(), Value::U64(12)),
+                        ]),
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str("serve.plan.ranked".into())),
+                            ("value".into(), Value::U64(5)),
+                        ]),
                     ]),
                 ),
                 (
@@ -228,6 +240,12 @@ vcache_serve_cache_hits_total 6
 vcache_serve_cache_misses_total 4
 # TYPE vcache_serve_cache_evictions_total counter
 vcache_serve_cache_evictions_total 1
+# TYPE vcache_serve_plan_candidates_total counter
+vcache_serve_plan_candidates_total 12
+# TYPE vcache_serve_plan_analyzed_total counter
+vcache_serve_plan_analyzed_total 12
+# TYPE vcache_serve_plan_ranked_total counter
+vcache_serve_plan_ranked_total 5
 # TYPE vcache_serve_queue_depth gauge
 vcache_serve_queue_depth 3
 # TYPE vcache_serve_latency_us_analyze_nest histogram

@@ -59,6 +59,7 @@ pub mod conflict;
 pub mod lint;
 pub mod nest;
 pub mod nestsuite;
+pub mod plan;
 pub mod prescribe;
 pub mod probabilistic;
 pub mod relational;
@@ -78,8 +79,10 @@ pub use absint::{
 pub use conflict::{analyze_program, Geometry, ProgramAnalysis, Verdict};
 pub use lint::Finding;
 pub use nest::{AffineRef, LoopNest, Term};
+pub use plan::{plan, plan_parallel, plan_with_budget, CostModel, CostWeights, Plan};
 pub use prescribe::{
     advise_switch_to_prime, prescribe, prescribe_with_budget, Advisory, Certificate, Fix,
+    DEFAULT_MAX_PAD,
 };
 pub use probabilistic::{
     analyze_profile, monte_carlo, AccessProfile, CollisionModel, MonteCarlo, ProbVerdict,
@@ -193,6 +196,7 @@ fn run_check_inner(
     let mut suite_results = Vec::new();
     let mut nest_results = Vec::new();
     let mut certificates = Vec::new();
+    let mut alternatives = Vec::new();
     let mut battery_results = Vec::new();
     let mut workload_results = Vec::new();
     let mut probabilistic_results = Vec::new();
@@ -213,10 +217,11 @@ fn run_check_inner(
     }
     if options.nests {
         observed(observer, "absint", || {
-            let (results, certs, drift) = nestsuite::run(options.prescribe);
-            nest_results = results;
-            certificates = certs;
-            findings.extend(drift);
+            let outcome = nestsuite::run(options.prescribe);
+            nest_results = outcome.rows;
+            certificates = outcome.certificates;
+            alternatives = outcome.alternatives;
+            findings.extend(outcome.findings);
             // The randomized enumeration-freedom battery rides the nest
             // layer: same domain, statistical rather than canonical.
             let (rows, drift) = battery::run();
@@ -256,6 +261,7 @@ fn run_check_inner(
         suite: suite_results,
         nests: nest_results,
         certificates,
+        alternatives,
         battery: battery_results,
         workloads: workload_results,
         probabilistic: probabilistic_results,

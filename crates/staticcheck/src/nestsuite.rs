@@ -8,7 +8,11 @@
 //! abstract rules can settle. A verdict that drifts from the table is a
 //! `VC101` finding. With prescriptions enabled, every interfering row
 //! must additionally admit a repair whose [`Certificate`] re-verifies;
-//! a missing or failing certificate is a `VC102` finding.
+//! a missing or failing certificate is a `VC102` finding. The planner's
+//! *choice* is pinned too: the committed [`EXPECTED_BEST`] table records
+//! the cheapest repair per interfering row, and a best-certificate that
+//! drifts from it is a `VC106` finding — a cost-model change must be an
+//! intentional, reviewed edit of the table, never silent re-ranking.
 
 use serde::Serialize;
 use vcache_core::blocking::{conflict_free_subblock, SubBlockPlan};
@@ -19,7 +23,8 @@ use crate::absint::{analyze_nest, NestVerdict};
 use crate::conflict::Geometry;
 use crate::lint::Finding;
 use crate::nest::{AffineRef, LoopNest, Term};
-use crate::prescribe::{prescribe, Certificate, DEFAULT_MAX_PAD};
+use crate::plan::plan;
+use crate::prescribe::{Certificate, DEFAULT_MAX_PAD};
 use crate::suite::{Expect, EXPONENT};
 
 /// One suite case: a nest plus expected verdicts under both mappers.
@@ -254,20 +259,77 @@ pub fn cases() -> Vec<NestCase> {
     ]
 }
 
+/// The committed best-repair table: (nest, geometry kind, the cheapest
+/// fix's display form) for every interfering canonical row. The planner
+/// re-derives these on every `--prescribe` run; drift is a `VC106`
+/// finding, so a cost-model change must come with a reviewed edit here.
+pub const EXPECTED_BEST: &[(&str, &str, &str)] = &[
+    (
+        "vec-pow2-stride",
+        "pow2",
+        "shrink ref 0 dim 0 trip 8191 -> 16",
+    ),
+    (
+        "subblock-ld-pow2",
+        "pow2",
+        "pad leading dimension 8192 -> 8193",
+    ),
+    (
+        "subblock-erratum",
+        "pow2",
+        "shrink ref 0 dim 1 trip 1000 -> 848",
+    ),
+    (
+        "subblock-erratum",
+        "prime",
+        "shrink ref 0 dim 1 trip 1000 -> 854",
+    ),
+    ("fft-row-stage", "pow2", "shrink ref 0 dim 0 trip 1024 -> 8"),
+    (
+        "cross-stream-alias",
+        "pow2",
+        "switch to prime geometry 2^13 - 1",
+    ),
+    ("diag-skew", "prime", "shrink ref 0 dim 0 trip 4096 -> 2048"),
+    ("ld-odd-cols", "pow2", "shrink ref 0 dim 1 trip 4 -> 1"),
+    ("ld-unaligned", "pow2", "shrink ref 0 dim 1 trip 32 -> 28"),
+    ("skew-pair", "pow2", "switch to prime geometry 2^19 - 1"),
+    ("skew-pair", "prime", "shrink ref 0 dim 0 trip 50 -> 11"),
+];
+
+/// The full outcome of a nest-suite run.
+#[derive(Debug, Clone)]
+pub struct NestSuiteRun {
+    /// Every evaluated (nest, geometry) row.
+    pub rows: Vec<NestSuiteResult>,
+    /// The cheapest verifying repair per interfering row.
+    pub certificates: Vec<Certificate>,
+    /// Every other ranked survivor, across all interfering rows, in
+    /// each row's ranking order.
+    pub alternatives: Vec<Certificate>,
+    /// `VC101`/`VC102`/`VC106` findings.
+    pub findings: Vec<Finding>,
+}
+
 /// Runs the nest suite.
 ///
 /// Returns every row, a `VC101` finding per verdict drift, and — when
-/// `with_prescriptions` — a verifying [`Certificate`] per interfering
-/// row plus a `VC102` finding for each row the prescriber cannot repair.
+/// `with_prescriptions` — the planner's ranked repairs per interfering
+/// row (the cheapest in [`NestSuiteRun::certificates`], the rest in
+/// [`NestSuiteRun::alternatives`]), plus a `VC102` finding for each row
+/// the planner cannot repair (or whose certificate fails
+/// re-verification) and a `VC106` finding when the best choice drifts
+/// from [`EXPECTED_BEST`].
 ///
 /// # Panics
 ///
 /// Panics only if a canonical case errors out of the analyzer, which
 /// would be a programming error in this module.
 #[must_use]
-pub fn run(with_prescriptions: bool) -> (Vec<NestSuiteResult>, Vec<Certificate>, Vec<Finding>) {
+pub fn run(with_prescriptions: bool) -> NestSuiteRun {
     let mut results = Vec::new();
     let mut certificates = Vec::new();
+    let mut alternatives = Vec::new();
     let mut findings = Vec::new();
     for case in cases() {
         let geometries = [
@@ -304,27 +366,64 @@ pub fn run(with_prescriptions: bool) -> (Vec<NestSuiteResult>, Vec<Certificate>,
                 });
             }
             if with_prescriptions && !analysis.verdict.is_conflict_free() {
-                match prescribe(&case.nest, &geometry, DEFAULT_MAX_PAD) {
-                    Some(cert) if cert.verify() => certificates.push(cert),
-                    Some(cert) => findings.push(Finding {
-                        rule: "VC102".into(),
-                        path: format!("nestsuite:{}", case.nest.name),
-                        line: 0,
-                        message: format!(
-                            "prescription '{}' under {geometry} fails re-verification",
-                            cert.fix
-                        ),
-                        snippet: String::new(),
-                        allowed: false,
-                    }),
-                    None => findings.push(Finding {
+                let ranked = plan(&case.nest, &geometry, DEFAULT_MAX_PAD)
+                    .map(|p| p.ranked)
+                    .unwrap_or_default();
+                if ranked.is_empty() {
+                    findings.push(Finding {
                         rule: "VC102".into(),
                         path: format!("nestsuite:{}", case.nest.name),
                         line: 0,
                         message: format!("no prescription repairs this nest under {geometry}"),
                         snippet: String::new(),
                         allowed: false,
-                    }),
+                    });
+                } else {
+                    for cert in &ranked {
+                        if !cert.verify() {
+                            findings.push(Finding {
+                                rule: "VC102".into(),
+                                path: format!("nestsuite:{}", case.nest.name),
+                                line: 0,
+                                message: format!(
+                                    "prescription '{}' under {geometry} fails re-verification",
+                                    cert.fix
+                                ),
+                                snippet: String::new(),
+                                allowed: false,
+                            });
+                        }
+                    }
+                    let best_fix = ranked[0].fix.to_string();
+                    let committed = EXPECTED_BEST
+                        .iter()
+                        .find(|(nest, geo, _)| *nest == case.nest.name && *geo == geometry.kind());
+                    match committed {
+                        Some((_, _, fix)) if *fix == best_fix => {}
+                        Some((_, _, fix)) => findings.push(Finding {
+                            rule: "VC106".into(),
+                            path: format!("nestsuite:{}", case.nest.name),
+                            line: 0,
+                            message: format!(
+                                "best-certificate drift under {geometry}: committed '{fix}', planner chose '{best_fix}'"
+                            ),
+                            snippet: String::new(),
+                            allowed: false,
+                        }),
+                        None => findings.push(Finding {
+                            rule: "VC106".into(),
+                            path: format!("nestsuite:{}", case.nest.name),
+                            line: 0,
+                            message: format!(
+                                "interfering row has no committed best repair (planner chose '{best_fix}' under {geometry})"
+                            ),
+                            snippet: String::new(),
+                            allowed: false,
+                        }),
+                    }
+                    let mut ranked = ranked;
+                    certificates.push(ranked.remove(0));
+                    alternatives.extend(ranked);
                 }
             }
             results.push(NestSuiteResult {
@@ -337,7 +436,12 @@ pub fn run(with_prescriptions: bool) -> (Vec<NestSuiteResult>, Vec<Certificate>,
             });
         }
     }
-    (results, certificates, findings)
+    NestSuiteRun {
+        rows: results,
+        certificates,
+        alternatives,
+        findings,
+    }
 }
 
 #[cfg(test)]
@@ -347,31 +451,33 @@ mod tests {
 
     #[test]
     fn canonical_nest_suite_is_green() {
-        let (results, certificates, findings) = run(true);
-        assert_eq!(results.len(), 28, "14 cases x 2 geometries");
-        for r in &results {
+        let outcome = run(true);
+        assert_eq!(outcome.rows.len(), 28, "14 cases x 2 geometries");
+        for r in &outcome.rows {
             assert!(
                 r.ok,
                 "{} under {}: expected {:?}, got {}",
                 r.nest, r.geometry, r.expected, r.verdict
             );
         }
-        assert!(findings.is_empty(), "{findings:?}");
+        assert!(outcome.findings.is_empty(), "{:?}", outcome.findings);
         // Interfering rows: vec-pow2-stride/pow2, subblock-ld-pow2/pow2,
         // subblock-erratum both ways, fft-row-stage/pow2,
         // cross-stream-alias/pow2, diag-skew/prime, ld-odd-cols/pow2,
         // ld-unaligned/pow2, and skew-pair both ways — each repaired
-        // and re-verified.
-        assert_eq!(certificates.len(), 11);
-        assert!(certificates.iter().all(Certificate::verify));
+        // and re-verified, best and alternatives alike.
+        assert_eq!(outcome.certificates.len(), 11);
+        assert!(outcome.certificates.iter().all(Certificate::verify));
+        assert!(!outcome.alternatives.is_empty());
+        assert!(outcome.alternatives.iter().all(Certificate::verify));
     }
 
     #[test]
     fn every_canonical_row_is_enumeration_free() {
         // The tentpole invariant: the relational domain settles the
         // whole committed suite symbolically — zero materialized lines.
-        let (results, _, _) = run(false);
-        for r in &results {
+        let outcome = run(false);
+        for r in &outcome.rows {
             assert_eq!(
                 r.enumerated_lines, 0,
                 "{} under {} fell back to enumeration",
@@ -382,8 +488,8 @@ mod tests {
 
     #[test]
     fn huge_nest_row_stays_purely_abstract() {
-        let (results, _, _) = run(false);
-        for r in results.iter().filter(|r| r.nest == "huge-reuse") {
+        let outcome = run(false);
+        for r in outcome.rows.iter().filter(|r| r.nest == "huge-reuse") {
             assert!(r.verdict.is_conflict_free());
             assert_eq!(
                 r.enumerated_lines, 0,
@@ -394,29 +500,20 @@ mod tests {
 
     #[test]
     fn headline_rows_get_the_expected_fix_classes() {
-        let (_, certificates, _) = run(true);
+        let outcome = run(true);
         let fix_for = |name: &str, geo: &str| {
-            certificates
+            outcome
+                .certificates
                 .iter()
                 .find(|c| c.nest == name && c.original_geometry == geo)
                 .map(|c| c.fix)
         };
-        // The padded-leading-dimension classic.
+        // The padded-leading-dimension classic is the cheapest repair.
         assert_eq!(
             fix_for("subblock-ld-pow2", "pow2"),
             Some(Fix::PadLeadingDim {
                 from: 8192,
                 to: 8193
-            })
-        );
-        // The erratum shrinks to the exact corrected bound b2 = 4.
-        assert_eq!(
-            fix_for("subblock-erratum", "prime"),
-            Some(Fix::ShrinkTrip {
-                ref_index: 0,
-                dim: 0,
-                from: 8,
-                to: 4
             })
         );
         // Cross-stream aliasing has no program fix; the paper's cache
@@ -425,5 +522,76 @@ mod tests {
             fix_for("cross-stream-alias", "pow2"),
             Some(Fix::SwitchToPrime { exponent: 13 })
         );
+        // The erratum's exact corrected bound b2 = 4 is still certified,
+        // as a ranked alternative when a cheaper shrink exists.
+        let erratum_b2 = outcome
+            .certificates
+            .iter()
+            .chain(outcome.alternatives.iter())
+            .find(|c| {
+                c.nest == "subblock-erratum"
+                    && c.original_geometry == "prime"
+                    && matches!(
+                        c.fix,
+                        Fix::ShrinkTrip {
+                            ref_index: 0,
+                            dim: 0,
+                            ..
+                        }
+                    )
+            })
+            .expect("erratum b2 shrink must be ranked");
+        assert_eq!(
+            erratum_b2.fix,
+            Fix::ShrinkTrip {
+                ref_index: 0,
+                dim: 0,
+                from: 8,
+                to: 4
+            }
+        );
+    }
+
+    #[test]
+    fn multi_kind_rows_rank_at_least_two_certificates() {
+        // Wherever two repair kinds apply, the planner must surface at
+        // least two ranked certificates (the acceptance bar for the
+        // ranked-alternatives contract).
+        let outcome = run(true);
+        for (name, geo) in [
+            ("vec-pow2-stride", "pow2"),
+            ("subblock-erratum", "prime"),
+            ("fft-row-stage", "pow2"),
+        ] {
+            let ranked: Vec<_> = outcome
+                .certificates
+                .iter()
+                .chain(outcome.alternatives.iter())
+                .filter(|c| c.nest == name && c.original_geometry == geo)
+                .collect();
+            assert!(
+                ranked.len() >= 2,
+                "{name}/{geo}: expected >= 2 ranked certificates, got {ranked:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_best_table_covers_every_interfering_row() {
+        let outcome = run(false);
+        for r in outcome
+            .rows
+            .iter()
+            .filter(|r| !matches!(r.expected, Expect::Free))
+        {
+            assert!(
+                EXPECTED_BEST
+                    .iter()
+                    .any(|(n, g, _)| *n == r.nest && *g == r.geometry),
+                "{}/{} missing from EXPECTED_BEST",
+                r.nest,
+                r.geometry
+            );
+        }
     }
 }

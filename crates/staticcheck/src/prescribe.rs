@@ -1,36 +1,38 @@
-//! Layer-3 prescriber: searches minimal program or geometry repairs for
-//! an interfering loop nest and emits machine-checkable certificates.
+//! Layer-3 prescriber: repairs an interfering loop nest with a
+//! machine-checkable certificate, delegating the search to the
+//! cost-ranked planner ([`crate::plan`]).
 //!
-//! The search order mirrors the paper's own remedies, cheapest first:
+//! The repair vocabulary mirrors the paper's own remedies:
 //!
-//! 1. **Pad the leading dimension** (§2's classic fix): for a nest with
-//!    a declared leading dimension `ld`, try `ld + δ` for
-//!    `δ = 1, 2, …, max_pad`, rewriting every `±ld` coefficient. This
-//!    repairs the power-of-two-stride pathology without touching the
-//!    cache.
-//! 2. **Shrink a trip count** (the §4 sub-block discipline): for each
-//!    reference implicated in a conflict, outermost dimension first,
-//!    binary-search the largest trip count that renders the whole nest
-//!    conflict-free.
-//! 3. **Change the cache geometry** — the paper's headline move. For a
-//!    power-of-two cache, switch to the smallest supported Mersenne
-//!    geometry with at least as many sets ([`Fix::SwitchToPrime`]); for
-//!    a prime cache, bump to the next supported exponent
-//!    ([`Fix::BumpExponent`]).
+//! 1. **Pad the leading dimension** (§2's classic fix): rewrite every
+//!    coefficient that is a multiple of the declared leading dimension
+//!    `k·ld` to `k·(ld + δ)` — repairing the power-of-two-stride
+//!    pathology without touching the cache.
+//! 2. **Shrink a trip count** (the §4 sub-block discipline): bound a
+//!    dimension of an implicated reference to the largest trip count
+//!    that renders the whole nest conflict-free.
+//! 3. **Change the cache geometry** — the paper's headline move:
+//!    switch a power-of-two cache to a supported Mersenne geometry
+//!    ([`Fix::SwitchToPrime`]) or bump a prime cache to a larger
+//!    supported exponent ([`Fix::BumpExponent`]).
 //!
+//! Historically these were *searched* in that order and the first hit
+//! won. Today the planner analyzes the full candidate frontier and
+//! ranks every surviving repair under an explicit cost model
+//! ([`crate::plan::CostModel`]); [`prescribe`] returns the cheapest.
 //! Every prescription is packaged as a [`Certificate`] carrying the
-//! repaired nest and geometry; [`Certificate::verify`] re-runs the
-//! abstract interpreter from scratch, so a certificate is never taken on
-//! faith — `vcache check --nests --prescribe` and the differential tests
-//! replay them through the simulator as well.
+//! repaired nest, the repaired geometry, its cost, and the weights it
+//! was ranked under; [`Certificate::verify`] re-runs the abstract
+//! interpreter from scratch, so a certificate is never taken on faith —
+//! `vcache check --nests --prescribe` and the differential tests replay
+//! them through the simulator as well.
 
 use serde::Serialize;
-use vcache_mersenne::MERSENNE_EXPONENTS;
 
-use crate::absint::{analyze_nest, analyze_nest_with_budget, NestBudget, NestError, NestVerdict};
+use crate::absint::{analyze_nest, NestBudget, NestError, NestVerdict};
 use crate::conflict::Geometry;
 use crate::nest::LoopNest;
-use crate::suite::EXPONENT;
+use crate::plan::{plan_with_budget, CostWeights, Plan};
 
 /// Largest padding delta tried by default.
 pub const DEFAULT_MAX_PAD: u64 = 64;
@@ -64,8 +66,8 @@ pub enum Fix {
         /// Repaired exponent.
         to: u32,
     },
-    /// Replace a power-of-two geometry with the smallest supported
-    /// Mersenne geometry of at least the same set count.
+    /// Replace a power-of-two geometry with a supported Mersenne
+    /// geometry of at least the same set count.
     SwitchToPrime {
         /// The Mersenne exponent of the replacement geometry.
         exponent: u32,
@@ -97,7 +99,9 @@ impl std::fmt::Display for Fix {
 /// A machine-checkable repair certificate: applying [`Certificate::fix`]
 /// to the original nest/geometry yields [`Certificate::fixed_nest`]
 /// under [`Certificate::fixed_geometry`], which the abstract interpreter
-/// proves conflict-free.
+/// proves conflict-free. The certificate also records how the planner
+/// priced it ([`Certificate::cost`] under [`Certificate::weights`]), so
+/// a stored ranking is auditable and re-rankable offline.
 #[derive(Debug, Clone, Serialize)]
 pub struct Certificate {
     /// Name of the repaired nest.
@@ -113,6 +117,10 @@ pub struct Certificate {
     /// The geometry after the repair (identical to the original for
     /// program fixes).
     pub fixed_geometry: Geometry,
+    /// The planner's price for this repair (lower ranks first).
+    pub cost: f64,
+    /// The cost-model weights the price was computed under.
+    pub weights: CostWeights,
 }
 
 impl Certificate {
@@ -147,9 +155,18 @@ pub struct Advisory {
     pub reduction: f64,
 }
 
+/// Recovers the Mersenne exponent of a prime geometry from its set
+/// count: `sets = 2^e − 1` iff `sets + 1` is a power of two.
+fn mersenne_exponent_of(sets: u64) -> Option<u32> {
+    let next = sets.checked_add(1)?;
+    next.is_power_of_two().then(|| next.trailing_zeros())
+}
+
 /// Pairs each workload's pow2/prime probabilistic rows and emits a
 /// [`Fix::SwitchToPrime`] advisory wherever the prime geometry strictly
-/// reduces the closed-form expected conflict-miss count.
+/// reduces the closed-form expected conflict-miss count. The advised
+/// exponent is derived from the prime row's own geometry, so advisories
+/// stay truthful whatever exponent the suite ran.
 #[must_use]
 pub fn advise_switch_to_prime(rows: &[crate::probabilistic::ProbabilisticRow]) -> Vec<Advisory> {
     let mut advisories = Vec::new();
@@ -160,12 +177,18 @@ pub fn advise_switch_to_prime(rows: &[crate::probabilistic::ProbabilisticRow]) -
         else {
             continue;
         };
+        let Some(exponent) = mersenne_exponent_of(prime.verdict.model().sets) else {
+            // A prime row whose set count is not Mersenne-shaped cannot
+            // be advised as a SwitchToPrime; skip rather than fabricate
+            // an exponent.
+            continue;
+        };
         let pow2_misses = row.verdict.expected_misses();
         let prime_misses = prime.verdict.expected_misses();
         if prime_misses < pow2_misses {
             advisories.push(Advisory {
                 workload: row.workload.clone(),
-                fix: Fix::SwitchToPrime { exponent: EXPONENT },
+                fix: Fix::SwitchToPrime { exponent },
                 expected_misses_pow2: pow2_misses,
                 expected_misses_prime: prime_misses,
                 reduction: pow2_misses - prime_misses,
@@ -175,23 +198,14 @@ pub fn advise_switch_to_prime(rows: &[crate::probabilistic::ProbabilisticRow]) -
     advisories
 }
 
-/// True when the nest is conflict-free under `geometry`; analysis
-/// failures count as "not free" so the search skips the candidate —
-/// except cancellation, which aborts the whole search.
-fn is_free(
-    nest: &LoopNest,
-    geometry: &Geometry,
-    budget: &NestBudget<'_>,
-) -> Result<bool, NestError> {
-    match analyze_nest_with_budget(nest, geometry, budget) {
-        Ok(a) => Ok(a.verdict == NestVerdict::ConflictFree),
-        Err(NestError::Cancelled) => Err(NestError::Cancelled),
-        Err(_) => Ok(false),
+/// Padding candidates: rewrite every coefficient that is a (signed)
+/// multiple `k·ld` of the leading dimension to `k·(ld + δ)` — a padded
+/// array moves *every* row walk, including every-other-row strides like
+/// `2·ld`, not just the unit row stride.
+pub(crate) fn pad_nest(nest: &LoopNest, ld: u64, delta: u64) -> Option<LoopNest> {
+    if ld == 0 {
+        return None;
     }
-}
-
-/// Padding candidates: rewrite every coefficient `±ld` to `±(ld + δ)`.
-fn pad_nest(nest: &LoopNest, ld: u64, delta: u64) -> Option<LoopNest> {
     let old = i64::try_from(ld).ok()?;
     let new = i64::try_from(ld.checked_add(delta)?).ok()?;
     let mut fixed = nest.clone();
@@ -199,11 +213,9 @@ fn pad_nest(nest: &LoopNest, ld: u64, delta: u64) -> Option<LoopNest> {
     let mut changed = false;
     for r in &mut fixed.refs {
         for t in &mut r.terms {
-            if t.coeff == old {
-                t.coeff = new;
-                changed = true;
-            } else if t.coeff == -old {
-                t.coeff = -new;
+            if t.coeff != 0 && t.coeff % old == 0 {
+                let k = t.coeff / old;
+                t.coeff = k.checked_mul(new)?;
                 changed = true;
             }
         }
@@ -211,178 +223,12 @@ fn pad_nest(nest: &LoopNest, ld: u64, delta: u64) -> Option<LoopNest> {
     changed.then_some(fixed)
 }
 
-fn try_padding(
-    nest: &LoopNest,
-    geometry: &Geometry,
-    max_pad: u64,
-    budget: &NestBudget<'_>,
-) -> Result<Option<Certificate>, NestError> {
-    let Some(ld) = nest.leading_dim else {
-        return Ok(None);
-    };
-    for delta in 1..=max_pad {
-        let Some(fixed) = pad_nest(nest, ld, delta) else {
-            continue;
-        };
-        if is_free(&fixed, geometry, budget)? {
-            return Ok(Some(Certificate {
-                nest: nest.name.clone(),
-                original_geometry: geometry.kind(),
-                original_sets: geometry.sets(),
-                fix: Fix::PadLeadingDim {
-                    from: ld,
-                    to: ld + delta,
-                },
-                fixed_nest: fixed,
-                fixed_geometry: *geometry,
-            }));
-        }
-    }
-    Ok(None)
-}
-
-/// References implicated in any conflict of the analysis, in index
-/// order; if the analysis itself fails, every reference is a candidate.
-fn conflicting_refs(
-    nest: &LoopNest,
-    geometry: &Geometry,
-    budget: &NestBudget<'_>,
-) -> Result<Vec<usize>, NestError> {
-    match analyze_nest_with_budget(nest, geometry, budget) {
-        Ok(a) => {
-            let mut v: Vec<usize> = a
-                .proofs
-                .iter()
-                .filter(|p| !p.free)
-                .flat_map(|p| match p.component {
-                    crate::absint::Component::Within { r } => vec![r],
-                    crate::absint::Component::Pair { a, b } => vec![a, b],
-                })
-                .collect();
-            v.sort_unstable();
-            v.dedup();
-            Ok(v)
-        }
-        Err(NestError::Cancelled) => Err(NestError::Cancelled),
-        Err(_) => Ok((0..nest.refs.len()).collect()),
-    }
-}
-
-fn with_trip(nest: &LoopNest, ref_index: usize, dim: usize, trip: u64) -> LoopNest {
-    let mut fixed = nest.clone();
-    fixed.refs[ref_index].terms[dim].trip = trip;
-    fixed
-}
-
-fn try_shrink(
-    nest: &LoopNest,
-    geometry: &Geometry,
-    budget: &NestBudget<'_>,
-) -> Result<Option<Certificate>, NestError> {
-    for ref_index in conflicting_refs(nest, geometry, budget)? {
-        let dims = nest.refs[ref_index].terms.len();
-        for dim in 0..dims {
-            let from = nest.refs[ref_index].terms[dim].trip;
-            if from < 2 {
-                continue;
-            }
-            // A trip of 1 neutralizes the dimension entirely; if even
-            // that does not help, this dimension is not the problem.
-            if !is_free(&with_trip(nest, ref_index, dim, 1), geometry, budget)? {
-                continue;
-            }
-            // Binary search the largest conflict-free trip in
-            // [1, from − 1]. Freedom need not be monotone in the trip
-            // count, so `lo` only ever advances to *verified* values —
-            // the result is always sound, merely maximal-within-search.
-            let (mut lo, mut hi) = (1u64, from - 1);
-            while lo < hi {
-                let mid = lo + (hi - lo).div_ceil(2);
-                if is_free(&with_trip(nest, ref_index, dim, mid), geometry, budget)? {
-                    lo = mid;
-                } else {
-                    hi = mid - 1;
-                }
-            }
-            return Ok(Some(Certificate {
-                nest: nest.name.clone(),
-                original_geometry: geometry.kind(),
-                original_sets: geometry.sets(),
-                fix: Fix::ShrinkTrip {
-                    ref_index,
-                    dim,
-                    from,
-                    to: lo,
-                },
-                fixed_nest: with_trip(nest, ref_index, dim, lo),
-                fixed_geometry: *geometry,
-            }));
-        }
-    }
-    Ok(None)
-}
-
-fn try_geometry(
-    nest: &LoopNest,
-    geometry: &Geometry,
-    budget: &NestBudget<'_>,
-) -> Result<Option<Certificate>, NestError> {
-    let line_words = geometry.line_words();
-    match geometry {
-        Geometry::Pow2 { sets, .. } => {
-            // The paper's move: the smallest supported Mersenne cache of
-            // the same hardware budget or larger — 2^e ≥ sets, trading
-            // one set (2^e − 1) for the prime mapping.
-            for &e in MERSENNE_EXPONENTS.iter() {
-                if e >= 63 || (1u64 << e) < *sets {
-                    continue;
-                }
-                let Ok(candidate) = Geometry::prime(e, line_words) else {
-                    continue;
-                };
-                if is_free(nest, &candidate, budget)? {
-                    return Ok(Some(Certificate {
-                        nest: nest.name.clone(),
-                        original_geometry: geometry.kind(),
-                        original_sets: *sets,
-                        fix: Fix::SwitchToPrime { exponent: e },
-                        fixed_nest: nest.clone(),
-                        fixed_geometry: candidate,
-                    }));
-                }
-            }
-            Ok(None)
-        }
-        Geometry::Prime { modulus, .. } => {
-            let from = modulus.exponent();
-            for &e in MERSENNE_EXPONENTS.iter() {
-                if e <= from || e >= 63 {
-                    continue;
-                }
-                let Ok(candidate) = Geometry::prime(e, line_words) else {
-                    continue;
-                };
-                if is_free(nest, &candidate, budget)? {
-                    return Ok(Some(Certificate {
-                        nest: nest.name.clone(),
-                        original_geometry: geometry.kind(),
-                        original_sets: geometry.sets(),
-                        fix: Fix::BumpExponent { from, to: e },
-                        fixed_nest: nest.clone(),
-                        fixed_geometry: candidate,
-                    }));
-                }
-            }
-            Ok(None)
-        }
-    }
-}
-
-/// Searches a minimal repair for `nest` under `geometry`.
+/// Prescribes the cheapest repair for `nest` under `geometry`.
 ///
 /// Returns `None` when the nest is already conflict-free or when no
-/// repair in the search space works. `max_pad` bounds the padding
-/// search ([`DEFAULT_MAX_PAD`] is the conventional choice).
+/// repair in the planner's frontier works. `max_pad` bounds the padding
+/// frontier ([`DEFAULT_MAX_PAD`] is the conventional choice). For the
+/// full ranking, use [`crate::plan::plan`] directly.
 #[must_use]
 pub fn prescribe(nest: &LoopNest, geometry: &Geometry, max_pad: u64) -> Option<Certificate> {
     prescribe_with_budget(nest, geometry, max_pad, &NestBudget::default()).unwrap_or(None)
@@ -402,22 +248,24 @@ pub fn prescribe_with_budget(
     max_pad: u64,
     nest_budget: &NestBudget<'_>,
 ) -> Result<Option<Certificate>, NestError> {
-    if is_free(nest, geometry, nest_budget)? {
-        return Ok(None);
-    }
-    if let Some(cert) = try_padding(nest, geometry, max_pad, nest_budget)? {
-        return Ok(Some(cert));
-    }
-    if let Some(cert) = try_shrink(nest, geometry, nest_budget)? {
-        return Ok(Some(cert));
-    }
-    try_geometry(nest, geometry, nest_budget)
+    let planned = plan_with_budget(
+        nest,
+        geometry,
+        max_pad,
+        &CostWeights::default(),
+        nest_budget,
+    )?;
+    Ok(planned.and_then(Plan::into_best))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::nest::{AffineRef, Term};
+    use crate::plan::plan;
+    use crate::probabilistic::{
+        Arithmetic, CollisionModel, MonteCarlo, ProbVerdict, ProbabilisticRow,
+    };
     use vcache_core::blocking::{conflict_free_subblock, max_conflict_free_b2, SubBlockPlan};
     use vcache_mersenne::MersenneModulus;
 
@@ -441,7 +289,9 @@ mod tests {
     #[test]
     fn pow2_leading_dim_pathology_is_padded_by_one() {
         // A p = 8192 matrix walked down columns in 4096-column blocks:
-        // stride 8192 mod 8192 = 0, every line lands in one set.
+        // stride 8192 mod 8192 = 0, every line lands in one set. The
+        // one-word pad is by far the cheapest repair, so the planner's
+        // best matches the paper's classic fix.
         let m = MersenneModulus::new(13).unwrap();
         let plan = conflict_free_subblock(8192, 4096, m);
         let n = LoopNest::subblock("ld-pow2", 0, 8192, &plan, 0);
@@ -455,27 +305,103 @@ mod tests {
         );
         assert_eq!(cert.fixed_nest.leading_dim, Some(8193));
         assert!(cert.verify());
+        assert_eq!(cert.weights, CostWeights::default());
+        assert!(cert.cost > 0.0);
     }
 
     #[test]
-    fn erratum_nest_is_shrunk_to_the_exact_bound_under_prime() {
+    fn pad_nest_rewrites_multiples_of_the_leading_dim() {
+        // An every-other-row walk carries the coefficient 2·ld; padding
+        // the array must move it to 2·(ld + δ) or the "repaired" nest no
+        // longer models the padded layout.
+        let n = LoopNest {
+            name: "two-ld".into(),
+            leading_dim: Some(100),
+            refs: vec![AffineRef::new(
+                0,
+                vec![
+                    Term {
+                        coeff: 200,
+                        trip: 8,
+                    },
+                    Term {
+                        coeff: -100,
+                        trip: 4,
+                    },
+                    Term { coeff: 7, trip: 3 },
+                ],
+                0,
+            )],
+        };
+        let padded = pad_nest(&n, 100, 3).unwrap();
+        assert_eq!(padded.leading_dim, Some(103));
+        let coeffs: Vec<i64> = padded.refs[0].terms.iter().map(|t| t.coeff).collect();
+        assert_eq!(coeffs, vec![206, -103, 7]);
+    }
+
+    #[test]
+    fn padding_repairs_a_two_ld_row_walk() {
+        // Regression for the multiples bug: stride 2·ld with ld = 8192
+        // on the pow2 cache. Every touched line sits 2·8192 words apart
+        // — one set. Under the old ±ld-only rewrite the 2·ld coefficient
+        // survived any pad, so no padding certificate existed at all.
+        let n = LoopNest {
+            name: "two-ld-walk".into(),
+            leading_dim: Some(8192),
+            refs: vec![AffineRef::new(
+                0,
+                vec![Term {
+                    coeff: 2 * 8192,
+                    trip: 64,
+                }],
+                0,
+            )],
+        };
+        let cert = prescribe(&n, &pow2_13(), DEFAULT_MAX_PAD).unwrap();
+        assert_eq!(
+            cert.fix,
+            Fix::PadLeadingDim {
+                from: 8192,
+                to: 8193
+            }
+        );
+        assert_eq!(cert.fixed_nest.refs[0].terms[0].coeff, 2 * 8193);
+        assert!(cert.verify());
+    }
+
+    #[test]
+    fn erratum_nest_shrink_site_is_ranked_and_exact() {
         // §4 erratum: P = 10000, C = 8191, b1 = 1000 admits b2 = 4, not
         // the paper's 8. Padding cannot fix this within 64 (b1 = 1000
-        // segments at any nearby stride still overlap), so the
-        // prescriber lands on the trip shrink — and the binary search
-        // must recover exactly max_conflict_free_b2 = 4.
+        // segments at any nearby stride still overlap), so program
+        // repairs are trip shrinks — and the binary search on the b2
+        // dimension must recover exactly max_conflict_free_b2 = 4.
         let m = MersenneModulus::new(13).unwrap();
-        let plan = SubBlockPlan {
+        let sub = SubBlockPlan {
             b1: 1000,
             b2: 8,
             cache_lines: m.value(),
         };
-        let n = LoopNest::subblock("erratum", 0, 10_000, &plan, 0);
-        let cert = prescribe(&n, &prime_13(), DEFAULT_MAX_PAD).unwrap();
+        let n = LoopNest::subblock("erratum", 0, 10_000, &sub, 0);
+        let p = plan(&n, &prime_13(), DEFAULT_MAX_PAD).unwrap();
         let expected = max_conflict_free_b2(10_000, 1000, m);
         assert_eq!(expected, 4);
+        let b2_shrink = p
+            .ranked
+            .iter()
+            .find(|c| {
+                matches!(
+                    c.fix,
+                    Fix::ShrinkTrip {
+                        ref_index: 0,
+                        dim: 0,
+                        ..
+                    }
+                )
+            })
+            .expect("b2 shrink must survive");
         assert_eq!(
-            cert.fix,
+            b2_shrink.fix,
             Fix::ShrinkTrip {
                 ref_index: 0,
                 dim: 0,
@@ -483,18 +409,25 @@ mod tests {
                 to: expected,
             }
         );
-        assert!(cert.verify());
+        for c in &p.ranked {
+            assert!(c.verify(), "{} does not verify", c.fix);
+        }
+        // The planner's best is whichever shrink drops the smallest
+        // iteration fraction; it must be at least as cheap as the b2
+        // shrink it superseded.
+        let best = p.best().unwrap();
+        assert!(matches!(best.fix, Fix::ShrinkTrip { .. }));
+        assert!(best.cost <= b2_shrink.cost);
     }
 
     #[test]
-    fn pow2_stride_nest_switches_to_prime_when_unfixable() {
+    fn pow2_stride_nest_prefers_the_cheap_shrink() {
         // Stride 4096 words over 8191 iterations with no declared
-        // leading dimension: padding is unavailable, and any trip shrink
-        // hands back a useless bound, but the full vector is free on the
-        // prime cache — the paper's headline scenario. Force the
-        // geometry fix by asking for it on a single-dim nest where
-        // shrinking also works, then check the search order prefers the
-        // shrink; strip the dimension to reach SwitchToPrime.
+        // leading dimension: padding is unavailable. Both the trip
+        // shrink (orbit of line stride 512 on 8192 sets is 16) and the
+        // prime switch survive; the shrink drops iterations while the
+        // switch costs a whole geometry change, so the ranking puts the
+        // shrink first.
         let n = LoopNest::new(
             "pow2-stride",
             vec![AffineRef::new(
@@ -508,9 +441,6 @@ mod tests {
         );
         let g = Geometry::pow2(8192, 8).unwrap();
         let cert = prescribe(&n, &g, DEFAULT_MAX_PAD).unwrap();
-        // Orbit of line stride 512 on 8192 sets is 16: the shrink search
-        // finds trip 16 first (search order: program fixes before
-        // geometry fixes).
         assert_eq!(
             cert.fix,
             Fix::ShrinkTrip {
@@ -528,7 +458,8 @@ mod tests {
         // Two same-stream refs aliasing at a multiple of 8192 lines
         // apart under pow2; shrinking trips to 1 still leaves two
         // distinct lines in one set, padding is unavailable, so only the
-        // prime switch can save it.
+        // prime switch can save it — and the smallest exponent has the
+        // smallest set-count delta, so it ranks first.
         let a = AffineRef::new(0, vec![Term { coeff: 1, trip: 2 }], 0);
         let b = AffineRef::new(8192 * 8, vec![Term { coeff: 1, trip: 2 }], 0);
         let n = LoopNest::new("alias", vec![a, b]);
@@ -545,7 +476,7 @@ mod tests {
         // immediate self-conflict; trips of 1 are free so the shrink
         // rule would fire — block it by pairing two offset copies of the
         // same stream so every program fix fails, then only a larger
-        // prime helps.
+        // prime helps, and the smallest workable bump is cheapest.
         let a = AffineRef::new(
             0,
             vec![Term {
@@ -563,7 +494,7 @@ mod tests {
 
     #[test]
     fn cancelled_budget_aborts_the_search() {
-        // An interfering nest whose repair search runs many candidate
+        // An interfering nest whose repair planning runs many candidate
         // analyses; an immediately-fired callback must surface as
         // Cancelled, not as a bogus "no repair found".
         let n = LoopNest::new(
@@ -601,5 +532,71 @@ mod tests {
         let json = serde_json::to_string(&cert).unwrap();
         assert!(json.contains("PadLeadingDim"));
         assert!(json.contains("fixed_geometry"));
+        assert!(json.contains("\"cost\""));
+        assert!(json.contains("\"weights\""));
+        assert!(json.contains("\"pad_word\""));
+    }
+
+    fn prob_row(
+        workload: &str,
+        geometry: &'static str,
+        sets: u64,
+        expected_misses: f64,
+    ) -> ProbabilisticRow {
+        ProbabilisticRow {
+            workload: workload.to_owned(),
+            geometry,
+            verdict: ProbVerdict::ExpectedConflicts {
+                expected_misses,
+                distinct_sets: 1.0,
+                bound: 0.0,
+                model: CollisionModel {
+                    distribution: "uniform-span",
+                    support_lines: 8,
+                    occupied_sets: 8,
+                    accesses: 64,
+                    sets,
+                    associativity: 1,
+                    line_words: 1,
+                    expected_total_misses: expected_misses,
+                    expected_compulsory_misses: 0.0,
+                    tail_threshold: 2,
+                    arithmetic: Arithmetic::FloatNearestEven,
+                },
+            },
+            monte_carlo: MonteCarlo {
+                sweeps: 0,
+                empirical_mean: expected_misses,
+                std_err: 0.0,
+            },
+            tolerance: 1.0,
+            drift: 0.0,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn advisory_exponent_comes_from_the_prime_rows_geometry() {
+        // A suite run on 2^5 − 1 = 31 sets must advise exponent 5, not
+        // a hardcoded 13.
+        let rows = vec![
+            prob_row("w", "pow2", 32, 10.0),
+            prob_row("w", "prime", 31, 4.0),
+        ];
+        let advisories = advise_switch_to_prime(&rows);
+        assert_eq!(advisories.len(), 1);
+        assert_eq!(advisories[0].fix, Fix::SwitchToPrime { exponent: 5 });
+        assert!((advisories[0].reduction - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_mersenne_prime_rows_yield_no_advisory() {
+        // 30 sets is not 2^e − 1: no exponent is derivable, so no
+        // advisory is emitted rather than a fabricated one.
+        let rows = vec![
+            prob_row("w", "pow2", 32, 10.0),
+            prob_row("w", "prime", 30, 4.0),
+        ];
+        assert!(advise_switch_to_prime(&rows).is_empty());
     }
 }

@@ -21,9 +21,14 @@ pub struct Report {
     /// Canonical nest-suite rows (empty when `--nests` was not
     /// requested).
     pub nests: Vec<NestSuiteResult>,
-    /// Verified repair certificates for interfering nest rows (empty
-    /// unless `--nests --prescribe`).
+    /// Verified repair certificates for interfering nest rows — the
+    /// planner's cheapest choice per row (empty unless
+    /// `--nests --prescribe`).
     pub certificates: Vec<Certificate>,
+    /// Every other ranked repair the planner verified, across all
+    /// interfering rows, in ranking order (empty unless
+    /// `--nests --prescribe`).
+    pub alternatives: Vec<Certificate>,
     /// Aggregated rows of the randomized enumeration-freedom battery
     /// (empty when `--nests` was not requested).
     pub battery: Vec<BatteryResult>,
@@ -150,11 +155,20 @@ impl Report {
             }
         }
         if !self.certificates.is_empty() {
-            out.push_str("\nrepair certificates:\n");
+            out.push_str("\nrepair certificates (best per row):\n");
             for c in &self.certificates {
                 out.push_str(&format!(
-                    "  {:<28} {:<6} {}\n",
-                    c.nest, c.original_geometry, c.fix
+                    "  {:<28} {:<6} {} (cost {:.1})\n",
+                    c.nest, c.original_geometry, c.fix, c.cost
+                ));
+            }
+        }
+        if !self.alternatives.is_empty() {
+            out.push_str("\nranked alternatives:\n");
+            for c in &self.alternatives {
+                out.push_str(&format!(
+                    "  {:<28} {:<6} {} (cost {:.1})\n",
+                    c.nest, c.original_geometry, c.fix, c.cost
                 ));
             }
         }
@@ -233,6 +247,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            alternatives: vec![],
             battery: vec![],
             workloads: vec![],
             probabilistic: vec![],
@@ -244,6 +259,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            alternatives: vec![],
             battery: vec![],
             workloads: vec![],
             probabilistic: vec![],
@@ -260,6 +276,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            alternatives: vec![],
             battery: vec![],
             workloads: vec![],
             probabilistic: vec![],
@@ -278,6 +295,7 @@ mod tests {
             suite: vec![],
             nests: vec![],
             certificates: vec![],
+            alternatives: vec![],
             battery: vec![],
             workloads: vec![],
             probabilistic: vec![],

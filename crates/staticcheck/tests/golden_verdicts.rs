@@ -62,6 +62,7 @@ fn golden_file_encodes_the_documented_verdict_shapes() {
     // --programs-only run).
     assert!(GOLDEN.contains("\"nests\":[]"));
     assert!(GOLDEN.contains("\"certificates\":[]"));
+    assert!(GOLDEN.contains("\"alternatives\":[]"));
     assert!(GOLDEN.contains("\"battery\":[]"));
     assert!(GOLDEN.contains("\"probabilistic\":[]"));
     assert!(GOLDEN.contains("\"advisories\":[]"));

@@ -263,6 +263,96 @@ fn random_certificates_replay_clean() {
     assert!(repaired >= 10, "only {repaired} certificates exercised");
 }
 
+/// Every certificate the planner ranks — best and alternatives alike —
+/// must re-verify and replay clean through the simulator under its
+/// repaired geometry, for every interfering canonical nest row. Costs
+/// must ascend in ranking order, and rows where more than one repair
+/// kind applies must rank at least two certificates, so callers really
+/// are choosing between repairs, not rubber-stamping a single one.
+#[test]
+fn every_ranked_canonical_certificate_replays_clean() {
+    use vcache_check::nestsuite::cases;
+    use vcache_check::plan;
+    use vcache_check::suite::EXPONENT;
+    let mut ranked_total = 0u64;
+    let mut multi_kind_rows = 0u64;
+    for case in cases() {
+        let geometries = [
+            Geometry::pow2(1 << EXPONENT, case.line_words),
+            Geometry::prime(EXPONENT, case.line_words),
+        ];
+        for geometry in geometries {
+            let geometry = match geometry {
+                Ok(g) => g,
+                Err(e) => panic!("{}: bad geometry: {e}", case.nest.name),
+            };
+            let Some(planned) = plan(&case.nest, &geometry, DEFAULT_MAX_PAD) else {
+                continue; // conflict-free row: nothing to repair
+            };
+            assert!(
+                !planned.ranked.is_empty(),
+                "{} on {}: interfering but the planner ranked nothing",
+                case.nest.name,
+                geometry
+            );
+            for pair in planned.ranked.windows(2) {
+                assert!(
+                    pair[0].cost <= pair[1].cost,
+                    "{} on {}: ranking not cheapest-first ({} > {})",
+                    case.nest.name,
+                    geometry,
+                    pair[0].cost,
+                    pair[1].cost
+                );
+            }
+            let kinds: BTreeSet<&str> = planned
+                .ranked
+                .iter()
+                .map(|c| match c.fix {
+                    vcache_check::prescribe::Fix::PadLeadingDim { .. } => "pad",
+                    vcache_check::prescribe::Fix::ShrinkTrip { .. } => "shrink",
+                    vcache_check::prescribe::Fix::SwitchToPrime { .. }
+                    | vcache_check::prescribe::Fix::BumpExponent { .. } => "geometry",
+                })
+                .collect();
+            if kinds.len() >= 2 {
+                assert!(
+                    planned.ranked.len() >= 2,
+                    "{} on {}: {} repair kinds apply but only one certificate ranked",
+                    case.nest.name,
+                    geometry,
+                    kinds.len()
+                );
+                multi_kind_rows += 1;
+            }
+            for cert in &planned.ranked {
+                assert!(
+                    cert.verify(),
+                    "{} on {}: ranked '{}' fails re-verification",
+                    case.nest.name,
+                    geometry,
+                    cert.fix
+                );
+                let (conflicts, _) = replay(&cert.fixed_nest, &cert.fixed_geometry);
+                assert_eq!(
+                    conflicts, 0,
+                    "{} on {}: ranked '{}' replayed with {conflicts} conflict misses",
+                    case.nest.name, geometry, cert.fix
+                );
+                ranked_total += 1;
+            }
+        }
+    }
+    assert!(
+        ranked_total >= 20,
+        "only {ranked_total} ranked certificates replayed"
+    );
+    assert!(
+        multi_kind_rows >= 3,
+        "only {multi_kind_rows} rows offered a multi-kind choice"
+    );
+}
+
 /// Word-set (per stream) of a flat program.
 fn program_word_set(program: &vcache_workloads::Program) -> BTreeSet<(u64, u32)> {
     program.words().collect()

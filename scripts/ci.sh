@@ -74,6 +74,45 @@ timeout --kill-after=10 300 bash -c '
     }
 '
 
+# Planner stability gate: the ranked prescriptions for the canonical
+# nest suite are committed (EXPECTED_BEST in nestsuite.rs); a cost-model
+# tweak or frontier change that silently reshuffles the best repair per
+# row must surface as a VC106 finding and fail here, making ranking
+# drift a deliberate act.
+echo "==> planner ranking stability  (timeout 300s)"
+timeout --kill-after=10 300 bash -c '
+    set -euo pipefail
+    out=$(./target/release/vcache check --nests --prescribe --json)
+    if echo "$out" | grep -q "\"rule\":\"VC106\""; then
+        echo "best-certificate drift (VC106) in prescribe report:"
+        echo "$out" | grep -o "\"message\":\"[^\"]*\"" | head || true
+        exit 1
+    fi
+    # The headline repairs, pinned as serialized fragments so an empty
+    # or reshaped certificates section cannot turn this gate into a
+    # no-op: the Eq. 8 stride nest shrinks, the pow2 leading dimension
+    # pads to 8193, and the cross-stream alias switches to the prime
+    # mapper — each priced by the cost model.
+    echo "$out" | grep -q "\"certificates\":\[{" || {
+        echo "certificates section missing from prescribe report"; exit 1
+    }
+    echo "$out" | grep -q "\"alternatives\":\[{" || {
+        echo "alternatives section missing from prescribe report"; exit 1
+    }
+    echo "$out" | grep -q "\"PadLeadingDim\":{\"from\":8192,\"to\":8193}" || {
+        echo "canonical pad certificate missing"; exit 1
+    }
+    echo "$out" | grep -q "\"SwitchToPrime\":{\"exponent\":13}" || {
+        echo "canonical geometry-switch certificate missing"; exit 1
+    }
+    echo "$out" | grep -q "\"weights\":{\"pad_word\":" || {
+        echo "cost-model weights missing from certificates"; exit 1
+    }
+    echo "$out" | grep -q "\"cost\":" || {
+        echo "per-candidate cost missing from certificates"; exit 1
+    }
+'
+
 # Trace-overhead budget: instrumented analysis must stay within 1.5x of
 # the untraced fast path (and the phase observer must fire per phase,
 # never per enumeration step).

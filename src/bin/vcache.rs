@@ -58,8 +58,11 @@ USAGE:
       (VC001-VC009, allowlist in staticcheck.allow); --programs runs the
       canonical static-verdict suite (Layer 2, VC100 on drift); --nests
       runs the affine loop-nest suite (Layer 3, VC101 on drift), and
-      --prescribe additionally demands a verifying repair certificate for
-      every interfering nest row (VC102); --workloads certifies every
+      --prescribe additionally plans the full repair frontier for every
+      interfering nest row and prints the cost-ranked certificates (best
+      per row plus ranked alternatives; VC102 when no repair verifies,
+      VC106 when the best choice drifts from the committed table);
+      --workloads certifies every
       generator in vcache-workloads against its loop-nest lowering
       (word-set equality or an explicit non-affine exclusion, VC103 on
       drift); --probabilistic computes closed-form ExpectedConflicts
